@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure (scaled down to the
+``fast`` profile where training is involved) and writes the rendered
+ASCII table under ``artifacts/reports/`` in addition to printing it, so
+``pytest benchmarks/ --benchmark-only`` leaves the full set of
+reproduced tables on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cache import cache_dir
+
+
+def pytest_configure(config):
+    (cache_dir() / "reports").mkdir(parents=True, exist_ok=True)
+
+
+@pytest.fixture
+def report_sink():
+    """Write a rendered table to artifacts/reports/<name>.txt and echo it."""
+
+    def _sink(name: str, text: str) -> pathlib.Path:
+        path = cache_dir() / "reports" / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+        return path
+
+    return _sink

@@ -1,0 +1,12 @@
+"""Benchmark/regeneration of paper Figure 1 (weight ranges, CNN vs NLP)."""
+
+from repro.experiments import fig1_weight_ranges
+
+
+def test_fig1_weight_ranges(benchmark, report_sink):
+    result = benchmark.pedantic(
+        lambda: fig1_weight_ranges.run(profile="fast"),
+        rounds=1, iterations=1)
+    report_sink("fig1_weight_ranges", fig1_weight_ranges.render(result))
+    # Shape check: NLP models span >10x the CNN range (the paper's claim).
+    assert result["nlp_over_cnn_span"] > 10.0

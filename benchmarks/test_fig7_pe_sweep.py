@@ -1,0 +1,25 @@
+"""Benchmark/regeneration of paper Figure 7 (PE energy & perf/area sweep)."""
+
+import pytest
+
+from repro.experiments import fig7_pe_sweep
+
+
+def test_fig7_pe_sweep(benchmark, report_sink):
+    result = benchmark.pedantic(fig7_pe_sweep.run, rounds=3, iterations=1)
+    report_sink("fig7_pe_sweep", fig7_pe_sweep.render(result))
+
+    # Every modeled point lands within the calibration band of the paper.
+    for point in result["points"]:
+        assert point["energy_fj_per_op"] == pytest.approx(
+            point["paper_energy"], rel=0.15), point
+        assert point["tops_per_mm2"] == pytest.approx(
+            point["paper_tops_mm2"], rel=0.25), point
+
+    # Headline ratios: HFINT energy ratio shrinks 0.97x -> 0.90x with
+    # growing size; INT always wins perf/area by 1.04x-1.21x-ish.
+    r_small = result["ratios"]["4b_K4"]
+    r_large = result["ratios"]["8b_K16"]
+    assert r_large["hfint_over_int_energy"] < r_small["hfint_over_int_energy"] < 1.0
+    for ratios in result["ratios"].values():
+        assert 1.0 < ratios["int_over_hfint_perf_area"] < 1.35

@@ -1,0 +1,54 @@
+"""Throughput microbenchmarks of the quantization kernels themselves.
+
+Not a paper artifact, but the number that matters to a downstream user
+adopting the library: how fast each format quantizes a million-element
+weight tensor, and how fast the bit-accurate HFINT datapath simulates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import AdaptivFloat, make_quantizer
+from repro.hardware import HFIntVectorMac
+
+_N = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return np.random.default_rng(0).standard_normal(_N) * 0.1
+
+
+@pytest.mark.parametrize("fmt", ["adaptivfloat", "float", "bfp", "uniform",
+                                 "posit", "fixedpoint"])
+def test_quantize_throughput(benchmark, tensor, fmt):
+    quantizer = make_quantizer(fmt, 8)
+    result = benchmark(quantizer.quantize, tensor)
+    assert result.shape == tensor.shape
+
+
+def test_adaptivfloat_encode_decode_throughput(benchmark, tensor):
+    fmt = AdaptivFloat(8, 3)
+    params = fmt.fit(tensor)
+    values = fmt.quantize_with_params(tensor, params)
+
+    def roundtrip():
+        words = fmt.encode(values, params["exp_bias"])
+        return fmt.decode(words, params["exp_bias"])
+
+    out = benchmark(roundtrip)
+    np.testing.assert_allclose(out, values)
+
+
+def test_hfint_datapath_sim_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    mac = HFIntVectorMac(bits=8, exp_bits=3)
+    fmt = AdaptivFloat(8, 3)
+    w = rng.normal(size=(64, 256)) * 0.2
+    a = rng.normal(size=256)
+    bw = int(fmt.fit(w)["exp_bias"])
+    ba = int(fmt.fit(a)["exp_bias"])
+    w_words = fmt.encode(fmt.quantize_with_params(w, {"exp_bias": bw}), bw)
+    a_words = fmt.encode(fmt.quantize_with_params(a, {"exp_bias": ba}), ba)
+    acc = benchmark(mac.accumulate, w_words, a_words)
+    assert acc.shape == (64,)

@@ -1,0 +1,50 @@
+"""Benchmark/regeneration of paper Table 2 (weight compression, PTQ/QAR).
+
+Runs the scaled-down ('fast' profile) grid over {8, 6, 4} bits x five
+formats x three models and checks the paper's qualitative shape:
+everything is fine at 8-bit, and at 4-bit AdaptivFloat is the most
+resilient format while the non-adaptive float/posit collapse on the
+wide-distribution Transformer.
+"""
+
+from repro.experiments import table2_weight_quant
+
+_BITS = (8, 6, 4)
+
+
+def _score(payload, bits, fmt, key):
+    return payload["grid"][bits][fmt][key]
+
+
+def test_table2_weight_quant(benchmark, report_sink):
+    result = benchmark.pedantic(
+        lambda: table2_weight_quant.run(profile="fast", bits_list=_BITS),
+        rounds=1, iterations=1)
+    report_sink("table2_weight_quant", table2_weight_quant.render(result))
+
+    transformer = result["models"]["transformer"]
+    fp32 = transformer["fp32"]
+    # 8-bit: every format is close to FP32 (within 15 BLEU).
+    for fmt in result["formats"]:
+        assert _score(transformer, 8, fmt, "ptq") > fp32 - 15.0, fmt
+    # 4-bit: non-adaptive float and posit collapse on the Transformer...
+    assert _score(transformer, 4, "float", "ptq") < 0.3 * fp32
+    assert _score(transformer, 4, "posit", "ptq") < 0.3 * fp32
+    # ...while AdaptivFloat stays the best format (PTQ and QAR).
+    for key in ("ptq", "qar"):
+        scores = {fmt: _score(transformer, 4, fmt, key)
+                  for fmt in result["formats"]}
+        assert max(scores, key=scores.get) == "adaptivfloat", (key, scores)
+    # QAR recovers accuracy over PTQ for 4-bit AdaptivFloat.
+    assert (_score(transformer, 4, "adaptivfloat", "qar")
+            >= _score(transformer, 4, "adaptivfloat", "ptq") - 1.0)
+
+    # seq2seq (WER: lower is better): AdaptivFloat best at 4-bit QAR.
+    seq2seq = result["models"]["seq2seq"]
+    wer = {fmt: _score(seq2seq, 4, fmt, "qar") for fmt in result["formats"]}
+    assert min(wer, key=wer.get) == "adaptivfloat", wer
+
+    # resnet: modest degradation for AdaptivFloat at 4-bit after QAR
+    # (paper: only 1.1 points below FP32).
+    resnet = result["models"]["resnet"]
+    assert _score(resnet, 4, "adaptivfloat", "qar") > resnet["fp32"] - 20.0

@@ -1,0 +1,40 @@
+"""Benchmark/regeneration of paper Table 3 (weight + activation quantization).
+
+Scaled-down grid over {8, 4} bits x five formats x three models with
+calibrated activation grids + QAR.  Shape checks: W8/A8 AdaptivFloat is
+near FP32 on every model; at W4/A4 the CNN survives AdaptivFloat
+quantization far better than the attention models degrade (paper
+Section 4.3).
+"""
+
+from repro.experiments import table3_weight_act_quant
+
+_BITS = (8, 4)
+
+
+def test_table3_weight_act_quant(benchmark, report_sink):
+    result = benchmark.pedantic(
+        lambda: table3_weight_act_quant.run(profile="fast", bits_list=_BITS),
+        rounds=1, iterations=1)
+    report_sink("table3_weight_act_quant",
+                table3_weight_act_quant.render(result))
+
+    for name, payload in result["models"].items():
+        fp32 = payload["fp32"]
+        w8a8 = payload["grid"][8]["adaptivfloat"]
+        if payload["higher_is_better"]:
+            assert w8a8 > fp32 - 12.0, (name, w8a8, fp32)
+        else:
+            assert w8a8 < fp32 + 12.0, (name, w8a8, fp32)
+
+    # W4/A4: the CNN retains most of its accuracy under AdaptivFloat
+    # (paper: 72.4 vs 76.2 FP32) - relative drop under ~40%.
+    resnet = result["models"]["resnet"]
+    assert resnet["grid"][4]["adaptivfloat"] > 0.6 * resnet["fp32"]
+
+    # W4/A4 AdaptivFloat is still the best (or tied-best) format on the
+    # wide-distribution transformer.
+    transformer = result["models"]["transformer"]
+    scores = transformer["grid"][4]
+    best = max(scores, key=scores.get)
+    assert scores["adaptivfloat"] >= scores[best] - 1.0, scores

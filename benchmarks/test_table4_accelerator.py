@@ -1,0 +1,23 @@
+"""Benchmark/regeneration of paper Table 4 (accelerator system PPA)."""
+
+import pytest
+
+from repro.experiments import table4_accelerator
+
+
+def test_table4_accelerator(benchmark, report_sink):
+    result = benchmark.pedantic(table4_accelerator.run, rounds=3, iterations=1)
+    report_sink("table4_accelerator", table4_accelerator.render(result))
+
+    rows = result["rows"]
+    # Latency: both systems identical, matching the paper's 81.2 us.
+    assert rows["int"]["runtime_us"] == rows["hfint"]["runtime_us"]
+    assert rows["int"]["runtime_us"] == pytest.approx(81.2, rel=0.01)
+    # Power: within ~10% of the paper's absolute numbers, and the HFINT
+    # system cheaper (paper ratio 0.92x; direction must hold).
+    assert rows["int"]["power_mw"] == pytest.approx(61.38, rel=0.10)
+    assert rows["hfint"]["power_mw"] == pytest.approx(56.22, rel=0.10)
+    assert result["ratios"]["power"] < 1.0
+    # Area: HFINT larger (paper ratio 1.14x; our component model yields a
+    # smaller but same-direction gap - see EXPERIMENTS.md).
+    assert result["ratios"]["area"] > 1.0

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Hardware co-design walk-through: INT vs HFINT PE on an LSTM gate.
+
+1. Quantizes one LSTM gate computation (weights + activations) with
+   both encodings and runs it through the *bit-accurate* datapath
+   simulations of paper Fig. 5 — showing the HFINT pipeline's integer
+   accumulator reproduces the AdaptivFloat dot product exactly.
+2. Prints the analytical per-op energy / throughput-per-area of both
+   PEs across MAC vector sizes (paper Fig. 7).
+3. Prints the 4-PE accelerator systems' power/area/latency (Table 4).
+
+Run:  python examples/hfint_pe_simulation.py
+"""
+
+import numpy as np
+
+from repro.formats import AdaptivFloat, Uniform
+from repro.hardware import (HFIntVectorMac, IntVectorMac, PAPER_WORKLOAD,
+                            RequantParams, make_pe, paper_accelerator)
+
+rng = np.random.default_rng(0)
+hidden, inputs = 32, 64
+weights = rng.normal(size=(hidden, inputs)) * 0.4
+acts = np.tanh(rng.normal(size=inputs))
+
+# ----------------------------------------------------------- HFINT datapath
+print("bit-accurate HFINT8/30 pipeline (paper Fig. 5b)")
+fmt = AdaptivFloat(8, 3)
+bias_w = int(fmt.fit(weights)["exp_bias"])
+bias_a = int(fmt.fit(acts)["exp_bias"])
+w_q = fmt.quantize_with_params(weights, {"exp_bias": bias_w})
+a_q = fmt.quantize_with_params(acts, {"exp_bias": bias_a})
+reference = np.tanh(w_q @ a_q)
+
+mac = HFIntVectorMac(bits=8, exp_bits=3)
+out_bias = int(fmt.fit(reference)["exp_bias"])
+shift = mac.output_shift_for(np.abs(w_q @ a_q).max(), bias_w, bias_a)
+words, values = mac.matvec(fmt.encode(w_q, bias_w), bias_w,
+                           fmt.encode(a_q, bias_a), bias_a,
+                           out_bias, shift, activation=np.tanh)
+acc = mac.accumulate(fmt.encode(w_q, bias_w), fmt.encode(a_q, bias_a))
+unit = 2.0 ** (bias_w + bias_a - 2 * mac.mant_bits)
+print(f"  weight exp_bias={bias_w}, activation exp_bias={bias_a}, "
+      f"accumulator width={mac.acc_width} bits")
+print(f"  integer accumulator == exact dot product: "
+      f"{np.allclose(acc * unit, w_q @ a_q)}")
+print(f"  post-activation max |error| vs float reference: "
+      f"{np.abs(values - reference).max():.5f}")
+
+# ------------------------------------------------------------- INT datapath
+print("\nbit-accurate INT8/24/40 pipeline (paper Fig. 5a)")
+uq = Uniform(8)
+wp, ap = uq.fit(weights), uq.fit(acts)
+w_lvl = np.rint(uq.quantize_with_params(weights, wp) / wp["scale"]).astype(np.int64)
+a_lvl = np.rint(uq.quantize_with_params(acts, ap) / ap["scale"]).astype(np.int64)
+imac = IntVectorMac(bits=8)
+ref_int = (w_lvl * wp["scale"]) @ (a_lvl * ap["scale"])
+s_out = np.abs(ref_int).max() / 127
+requant = RequantParams.from_scale(wp["scale"] * ap["scale"] / s_out, 16)
+out_lvl = imac.matvec(w_lvl, a_lvl, requant)
+print(f"  {imac.scale_bits}-bit requant scale = {requant.multiplier}/2^{requant.frac_bits}")
+print(f"  max |error| vs float reference: "
+      f"{np.abs(out_lvl * s_out - ref_int).max():.5f} "
+      f"(<= 1 LSB = {s_out:.5f})")
+
+# ------------------------------------------------------------ PPA (Fig. 7)
+print("\nanalytical PE model (paper Fig. 7):")
+for k in (4, 8, 16):
+    int_pe = make_pe("int", 8, k)
+    hf_pe = make_pe("hfint", 8, k)
+    print(f"  K={k:2d}: {int_pe.name} {int_pe.energy_per_op():6.2f} fJ/op, "
+          f"{int_pe.perf_per_area():.2f} TOPS/mm2 | "
+          f"{hf_pe.name} {hf_pe.energy_per_op():6.2f} fJ/op, "
+          f"{hf_pe.perf_per_area():.2f} TOPS/mm2 | "
+          f"energy ratio {hf_pe.energy_per_op()/int_pe.energy_per_op():.3f}")
+
+# --------------------------------------------------------- system (Table 4)
+print("\naccelerator systems (paper Table 4):")
+for kind in ("int", "hfint"):
+    report = paper_accelerator(kind).report(PAPER_WORKLOAD)
+    print(f"  {report['name']}: {report['power_mw']:.2f} mW, "
+          f"{report['area_mm2']:.2f} mm2, {report['runtime_us']:.1f} us")

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Deep-Compression-style pipeline: prune -> AdaptivFloat -> bitstream.
+
+Paper Section 2 notes that pruning/weight-sharing "can be used in
+combination to this work".  This example prunes an MLP, quantizes the
+surviving weights to AdaptivFloat<6,3> (where the zero codepoint keeps
+the sparsity bit-exact), packs everything into real 6-bit bitstreams,
+and reports the storage reduction versus FP32.
+
+Run:  python examples/prune_and_pack.py
+"""
+
+import numpy as np
+
+from repro.formats import AdaptivFloat, pack_words, packed_nbytes
+from repro.nn import QuantSpec, quantize_weights_inplace
+from repro.nn.models import MLP
+from repro.nn.prune import magnitude_prune, sparsity_report
+
+BITS = 6
+
+model = MLP([64, 128, 64, 10], rng=np.random.default_rng(0))
+fp32_bytes = sum(p.data.nbytes for p in model.parameters())
+print(f"dense FP32 model: {fp32_bytes} bytes")
+
+masks = magnitude_prune(model, sparsity=0.6, scope="global")
+report = quantize_weights_inplace(model, QuantSpec("adaptivfloat", BITS))
+overall = sparsity_report(model)["__overall__"]
+print(f"after 60% magnitude pruning + AdaptivFloat<{BITS},3>: "
+      f"{overall:.1%} of weights are exact zeros")
+
+fmt = AdaptivFloat(BITS, 3)
+packed_bytes = 0
+for (name, module) in model.named_modules():
+    for pname, param in module._parameters.items():
+        if pname == "bias":
+            packed_bytes += param.data.nbytes  # biases stay FP32
+            continue
+        key = f"{name}.{pname}"
+        if key not in report:
+            continue
+        exp_bias = int(report[key]["exp_bias"])
+        words = fmt.encode(param.data.astype(np.float64), exp_bias)
+        stream = pack_words(words, BITS)
+        assert len(stream) == packed_nbytes(param.data.size, BITS)
+        packed_bytes += len(stream) + 1  # +1 byte for the exp_bias register
+
+print(f"packed {BITS}-bit model: {packed_bytes} bytes "
+      f"({fp32_bytes / packed_bytes:.2f}x smaller; a sparse container "
+      "over the zero codepoints would shrink it further)")

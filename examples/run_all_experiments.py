@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Writes rendered ASCII tables to ``artifacts/reports/`` and structured
+JSON to ``artifacts/results/``.  The ``full`` profile reproduces the
+numbers recorded in EXPERIMENTS.md (roughly an hour on one CPU, mostly
+the Table 2/3 QAR grids); ``fast`` finishes in a few minutes.
+
+Run:  python examples/run_all_experiments.py [--profile fast|full]
+      python examples/run_all_experiments.py --only table2 fig7
+"""
+
+import argparse
+import time
+
+from repro.cache import cache_dir
+from repro.experiments import (ablations, fig1_weight_ranges,
+                               fig4_rms_error, fig7_pe_sweep, table1_models,
+                               table2_weight_quant, table3_weight_act_quant,
+                               table4_accelerator)
+
+EXPERIMENTS = {
+    "table1": (table1_models, True),
+    "fig1": (fig1_weight_ranges, True),
+    "fig4": (fig4_rms_error, True),
+    "table2": (table2_weight_quant, True),
+    "table3": (table3_weight_act_quant, True),
+    "fig7": (fig7_pe_sweep, False),
+    "table4": (table4_accelerator, False),
+    "ablations": (ablations, True),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=("fast", "full"), default="full")
+    parser.add_argument("--only", nargs="*", choices=sorted(EXPERIMENTS),
+                        help="subset of experiments to run")
+    args = parser.parse_args()
+
+    reports = cache_dir() / "reports"
+    reports.mkdir(parents=True, exist_ok=True)
+    selected = args.only or list(EXPERIMENTS)
+
+    for name in selected:
+        driver, takes_profile = EXPERIMENTS[name]
+        start = time.time()
+        result = driver.run(profile=args.profile) if takes_profile \
+            else driver.run()
+        text = driver.render(result)
+        path = reports / f"{name}_{args.profile}.txt"
+        path.write_text(text + "\n")
+        print(f"=== {name} ({time.time() - start:.0f}s) -> {path}")
+        print(text)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""AdaptivFloat: algorithm-hardware co-design of adaptive floating-point
+encodings for resilient deep learning inference (DAC 2020) — a full
+from-scratch reproduction.
+
+Subpackages
+-----------
+``repro.formats``
+    AdaptivFloat (paper Algorithm 1) and the baseline number formats
+    (IEEE-like float, block floating point, uniform/integer, posit,
+    fixed point), with bit-exact encode/decode and bit packing.
+``repro.nn``
+    A NumPy autodiff NN framework: layers, the paper's three model
+    families, optimizers, and fake-quantization for PTQ/QAR.
+``repro.data`` / ``repro.metrics``
+    Synthetic substitutes for WMT'17 / LibriSpeech / ImageNet and the
+    BLEU / WER / Top-1 / RMS-error metrics.
+``repro.hardware``
+    The INT and HFINT processing elements: calibrated energy/area
+    models, bit-accurate datapath simulation, and the 4-PE accelerator.
+``repro.experiments``
+    One driver per paper table/figure.
+
+Quick start::
+
+    import numpy as np
+    from repro.formats import AdaptivFloat
+
+    w = np.random.randn(64, 64).astype(np.float32)
+    q = AdaptivFloat(bits=8, exp_bits=3)
+    w_q = q.quantize(w)
+"""
+
+from . import analysis, data, formats, hardware, metrics, nn
+from .formats import AdaptivFloat, adaptivfloat_quantize, make_quantizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivFloat", "adaptivfloat_quantize", "analysis", "data", "formats",
+    "hardware", "make_quantizer", "metrics", "nn", "__version__",
+]

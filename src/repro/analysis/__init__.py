@@ -1,0 +1,18 @@
+"""Analysis utilities: weight statistics, sweeps, reporting."""
+
+from .mixed_precision import assign_mixed_precision, average_bits
+from .model_zoo_stats import PUBLISHED_MODELS, PublishedModel, sample_weights, weight_ranges
+from .reporting import fmt, format_table, load_result, save_result
+from .textplot import ascii_bars, ascii_boxplot, ascii_histogram
+from .sweep import (bitwidth_sweep_rms, exponent_width_search_metric,
+                    exponent_width_search_rms)
+from .weight_stats import layer_weights, weight_range, weight_summary
+
+__all__ = [
+    "PUBLISHED_MODELS", "PublishedModel", "ascii_bars", "ascii_boxplot",
+    "ascii_histogram", "assign_mixed_precision",
+    "average_bits", "bitwidth_sweep_rms", "exponent_width_search_metric",
+    "exponent_width_search_rms", "fmt", "format_table", "layer_weights",
+    "load_result", "sample_weights", "save_result", "weight_range",
+    "weight_ranges", "weight_summary",
+]

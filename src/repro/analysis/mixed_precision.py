@@ -1,0 +1,103 @@
+"""Sensitivity-guided mixed-precision bit assignment (extension).
+
+The paper's related work surveys per-layer adaptive-precision schemes
+([16, 22]); AdaptivFloat instead fixes the word size and adapts the
+exponent range.  This extension combines the two: given a weight-budget
+(average bits per weight), assign each layer a word size by a greedy
+sensitivity rule — start everyone at the minimum width and repeatedly
+promote the layer whose RMS-error reduction per added bit-byte is the
+largest — all within the AdaptivFloat encoding.
+
+This is a data-free proxy search (RMS against FP32 weights); plugging
+the result into QAR is the intended workflow.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..formats import make_quantizer
+from ..metrics import rms_error
+from ..nn.module import Module
+from .weight_stats import layer_weights
+
+__all__ = ["assign_mixed_precision", "average_bits"]
+
+
+def _layer_error(weights: np.ndarray, fmt: str, bits: int) -> float:
+    quantizer = make_quantizer(fmt, bits)
+    return rms_error(weights, quantizer.quantize(weights)) * np.sqrt(weights.size)
+
+
+def assign_mixed_precision(model: Module, budget_avg_bits: float,
+                           fmt: str = "adaptivfloat",
+                           bit_choices: Sequence[int] = (4, 5, 6, 7, 8)
+                           ) -> Dict[str, int]:
+    """Assign per-layer bit widths under a parameter-weighted budget.
+
+    ``budget_avg_bits`` is the target average bits per weight across the
+    model.  Returns ``{layer_name: bits}``.  Greedy: each step promotes
+    the layer with the best error-reduction per bit-cost until the
+    budget is exhausted.
+    """
+    choices = sorted(set(int(b) for b in bit_choices))
+    if len(choices) < 1:
+        raise ValueError("need at least one bit choice")
+    if not choices[0] <= budget_avg_bits <= choices[-1]:
+        raise ValueError(
+            f"budget {budget_avg_bits} outside feasible range "
+            f"[{choices[0]}, {choices[-1]}]")
+
+    tensors = layer_weights(model)
+    sizes = {name: w.size for name, w in tensors}
+    total = sum(sizes.values())
+    budget_bits = budget_avg_bits * total
+
+    # Precompute per-layer error at each candidate width.
+    errors: Dict[str, Dict[int, float]] = {}
+    for name, w in tensors:
+        errors[name] = {b: _layer_error(w, fmt, b) for b in choices}
+
+    assignment = {name: choices[0] for name, _ in tensors}
+    used = choices[0] * total
+
+    def gain(name: str) -> Tuple[float, int]:
+        """(error drop per extra bit-cost, next width) for a promotion."""
+        current = assignment[name]
+        idx = choices.index(current)
+        if idx + 1 >= len(choices):
+            return 0.0, current
+        nxt = choices[idx + 1]
+        cost = (nxt - current) * sizes[name]
+        drop = errors[name][current] - errors[name][nxt]
+        return (drop / cost if cost else 0.0), nxt
+
+    heap: List[Tuple[float, str, int]] = []
+    for name, _ in tensors:
+        g, nxt = gain(name)
+        if g > 0:
+            heapq.heappush(heap, (-g, name, nxt))
+
+    while heap:
+        neg_g, name, nxt = heapq.heappop(heap)
+        if nxt <= assignment[name]:
+            continue  # stale entry
+        cost = (nxt - assignment[name]) * sizes[name]
+        if used + cost > budget_bits:
+            continue
+        assignment[name] = nxt
+        used += cost
+        g, following = gain(name)
+        if g > 0:
+            heapq.heappush(heap, (-g, name, following))
+    return assignment
+
+
+def average_bits(assignment: Dict[str, int], model: Module) -> float:
+    """Parameter-weighted average width of an assignment."""
+    sizes = {name: w.size for name, w in layer_weights(model)}
+    total = sum(sizes.values())
+    return sum(bits * sizes[name] for name, bits in assignment.items()) / total

@@ -1,0 +1,74 @@
+"""Parameter sweeps: the paper's exponent-width search and bit sweeps.
+
+Section 4 of the paper: "The number of exponent bits ... is set evenly
+for all the layers in the network to the value yielding the highest
+inference accuracy after doing a search on the exponent width."  This
+module provides that search, both in its cheap RMS-proxy form (over
+weight tensors) and its exact form (over a model-evaluation callable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..formats import make_quantizer
+from ..metrics import rms_error
+
+__all__ = ["exponent_width_search_rms", "exponent_width_search_metric",
+           "bitwidth_sweep_rms"]
+
+
+def _field_name(fmt: str) -> str:
+    return "es" if fmt == "posit" else "exp_bits"
+
+
+def exponent_width_search_rms(tensors: Sequence[np.ndarray], fmt: str,
+                              bits: int,
+                              candidates: Iterable[int]) -> Tuple[int, Dict[int, float]]:
+    """Pick the exponent width minimizing mean per-tensor RMS error."""
+    field = _field_name(fmt)
+    scores: Dict[int, float] = {}
+    for width in candidates:
+        try:
+            quantizer = make_quantizer(fmt, bits, **{field: width})
+        except ValueError:
+            continue  # width does not fit in the word
+        errors = [rms_error(t, quantizer.quantize(t)) for t in tensors]
+        scores[width] = float(np.mean(errors))
+    if not scores:
+        raise ValueError(f"no feasible exponent width for {fmt}{bits}")
+    best = min(scores, key=scores.get)
+    return best, scores
+
+
+def exponent_width_search_metric(evaluate: Callable[[int], float], fmt: str,
+                                 bits: int, candidates: Iterable[int],
+                                 higher_is_better: bool = True
+                                 ) -> Tuple[int, Dict[int, float]]:
+    """Exact search: ``evaluate(width)`` returns the model metric."""
+    scores: Dict[int, float] = {}
+    field = _field_name(fmt)
+    for width in candidates:
+        try:
+            make_quantizer(fmt, bits, **{field: width})
+        except ValueError:
+            continue
+        scores[width] = float(evaluate(width))
+    if not scores:
+        raise ValueError(f"no feasible exponent width for {fmt}{bits}")
+    chooser = max if higher_is_better else min
+    best = chooser(scores, key=scores.get)
+    return best, scores
+
+
+def bitwidth_sweep_rms(tensors: Sequence[np.ndarray], fmt: str,
+                       bit_list: Sequence[int]) -> Dict[int, float]:
+    """Mean per-tensor RMS error across word sizes (paper-default fields)."""
+    out: Dict[int, float] = {}
+    for bits in bit_list:
+        quantizer = make_quantizer(fmt, bits)
+        errors = [rms_error(t, quantizer.quantize(t)) for t in tensors]
+        out[bits] = float(np.mean(errors))
+    return out

@@ -1,0 +1,92 @@
+"""Terminal plots: ASCII boxplots and bar charts for the reports.
+
+The paper's Fig. 4 is a boxplot figure and Fig. 7 a grouped bar chart;
+these helpers render faithful text analogues so
+``artifacts/reports/*.txt`` can show the *shape* of each figure, not
+just its numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_boxplot", "ascii_bars", "ascii_histogram"]
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return int(round(pos * (width - 1)))
+
+
+def ascii_boxplot(stats_by_label: Mapping[str, Mapping[str, float]],
+                  width: int = 50, title: Optional[str] = None) -> str:
+    """Render five-number summaries as horizontal box-and-whisker rows.
+
+    ``stats_by_label`` maps row labels to dicts with ``min``, ``q1``,
+    ``median``, ``q3``, ``max`` (as produced by
+    :func:`repro.metrics.boxplot_stats`).
+    """
+    if not stats_by_label:
+        raise ValueError("no data")
+    lo = min(s["min"] for s in stats_by_label.values())
+    hi = max(s["max"] for s in stats_by_label.values())
+    label_width = max(len(label) for label in stats_by_label)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, s in stats_by_label.items():
+        row = [" "] * width
+        i_min = _scale(s["min"], lo, hi, width)
+        i_q1 = _scale(s["q1"], lo, hi, width)
+        i_med = _scale(s["median"], lo, hi, width)
+        i_q3 = _scale(s["q3"], lo, hi, width)
+        i_max = _scale(s["max"], lo, hi, width)
+        for i in range(i_min, i_q1):
+            row[i] = "-"
+        for i in range(i_q1, i_q3 + 1):
+            row[i] = "="
+        for i in range(i_q3 + 1, i_max + 1):
+            row[i] = "-"
+        row[i_min] = "|"
+        row[i_max] = "|"
+        row[i_med] = "#"
+        lines.append(f"{label.ljust(label_width)} [{''.join(row)}]")
+    lines.append(f"{' ' * label_width}  {lo:<.4g}{' ' * (width - 12)}{hi:>.4g}")
+    return "\n".join(lines)
+
+
+def ascii_bars(values_by_label: Mapping[str, float], width: int = 40,
+               title: Optional[str] = None, unit: str = "") -> str:
+    """Horizontal bar chart, one row per label."""
+    if not values_by_label:
+        raise ValueError("no data")
+    hi = max(values_by_label.values())
+    label_width = max(len(label) for label in values_by_label)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values_by_label.items():
+        bar = "#" * max(1, _scale(value, 0.0, hi, width) + 1) if hi > 0 else ""
+        lines.append(f"{label.ljust(label_width)} {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(values: Sequence[float], bins: int = 20, width: int = 40,
+                    title: Optional[str] = None) -> str:
+    """Vertical-count histogram rendered as horizontal bars."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no data")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max()
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for count, lo_edge, hi_edge in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * (_scale(count, 0, peak, width) + 1) if peak else ""
+        lines.append(f"[{lo_edge:>9.3g}, {hi_edge:>9.3g}) {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Per-layer weight statistics of our trained models (Fig. 1 / Fig. 4 input).
+
+The Fig. 4 RMS-error study quantizes every weight matrix of every layer
+independently; :func:`layer_weights` extracts exactly the tensors that
+the weight-quantization path touches (the same layer set as
+:data:`repro.nn.quantize.DEFAULT_QUANTIZED_LAYERS`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.quantize import DEFAULT_QUANTIZED_LAYERS
+
+__all__ = ["layer_weights", "weight_range", "weight_summary"]
+
+
+def layer_weights(model: Module) -> List[Tuple[str, np.ndarray]]:
+    """Every quantizable weight tensor, as ``(qualified_name, array)``."""
+    out: List[Tuple[str, np.ndarray]] = []
+    for name, module in model.named_modules():
+        if not isinstance(module, DEFAULT_QUANTIZED_LAYERS):
+            continue
+        for pname, param in module._parameters.items():
+            if pname == "bias" or pname.startswith("bias"):
+                continue
+            out.append((f"{name}.{pname}" if name else pname, param.data))
+    if not out:
+        raise ValueError("model has no quantizable weights")
+    return out
+
+
+def weight_range(model: Module) -> Tuple[float, float]:
+    """Global (min, max) over all quantizable weights (paper Table 1)."""
+    lo = min(float(w.min()) for _, w in layer_weights(model))
+    hi = max(float(w.max()) for _, w in layer_weights(model))
+    return lo, hi
+
+
+def weight_summary(model: Module) -> Dict[str, float]:
+    """Aggregate stats used in reports."""
+    tensors = [w.ravel() for _, w in layer_weights(model)]
+    flat = np.concatenate(tensors)
+    return {
+        "layers": len(tensors),
+        "parameters": int(flat.size),
+        "w_min": float(flat.min()),
+        "w_max": float(flat.max()),
+        "w_std": float(flat.std()),
+        "abs_p99.9": float(np.percentile(np.abs(flat), 99.9)),
+    }

@@ -1,0 +1,18 @@
+"""Artifact cache location shared by experiments and reporting."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+__all__ = ["cache_dir"]
+
+
+def cache_dir() -> pathlib.Path:
+    """Artifact cache root (override with ``REPRO_CACHE_DIR``).
+
+    Holds trained-model checkpoints and experiment result JSONs.
+    """
+    root = pathlib.Path(os.environ.get("REPRO_CACHE_DIR", "artifacts"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root

@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``formats``     Describe the number formats at a word size.
+``quantize``    Quantize a ``.npy`` tensor file with any format.
+``pe``          Print a PE's PPA (energy/op, TOPS/mm², widths).
+``experiment``  Run one paper table/figure driver and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_formats(args: argparse.Namespace) -> int:
+    from .analysis import format_table
+    from .formats import make_quantizer
+
+    rows = []
+    names = ("adaptivfloat", "float", "bfp", "uniform", "posit",
+             "fixedpoint", "logquant")
+    for name in names:
+        quantizer = make_quantizer(name, args.bits)
+        spec = quantizer.spec()
+        extras = ", ".join(f"{k}={v}" for k, v in spec.items()
+                           if k not in ("name", "bits"))
+        try:
+            count = len(quantizer.codepoints())
+        except TypeError:
+            count = len(quantizer.codepoints(0))  # adaptive formats
+        rows.append([name, args.bits, count, extras])
+    print(format_table(["format", "bits", "codepoints", "fields"], rows,
+                       title=f"number formats at {args.bits}-bit"))
+    return 0
+
+
+def _cmd_quantize(args: argparse.Namespace) -> int:
+    from .formats import make_quantizer
+    from .metrics import rms_error
+
+    tensor = np.load(args.input)
+    quantizer = make_quantizer(args.fmt, args.bits)
+    quantized = quantizer.quantize(tensor.astype(np.float64))
+    np.save(args.output, quantized.astype(tensor.dtype))
+    print(f"{args.fmt}{args.bits}: wrote {args.output} "
+          f"(RMS error {rms_error(tensor, quantized):.6g})")
+    return 0
+
+
+def _cmd_pe(args: argparse.Namespace) -> int:
+    from .hardware import make_pe
+
+    pe = make_pe(args.kind, args.bits, args.vector_size)
+    print(f"{pe.name} (K={args.vector_size}, H={pe.config.accum_length})")
+    print(f"  accumulator width : {pe.accumulator_width} bits")
+    print(f"  throughput        : {pe.throughput_ops() / 1e9:.1f} GOPS")
+    print(f"  energy per op     : {pe.energy_per_op():.2f} fJ")
+    print(f"  datapath area     : {pe.area() * 1e3:.1f} x 1e-3 mm^2")
+    print(f"  perf per area     : {pe.perf_per_area():.2f} TOPS/mm^2")
+    for part, value in pe.breakdown().items():
+        print(f"    {part:10s} {value:8.3f} fJ/op")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    drivers = {
+        "table1": experiments.table1_models,
+        "table2": experiments.table2_weight_quant,
+        "table3": experiments.table3_weight_act_quant,
+        "table4": experiments.table4_accelerator,
+        "fig1": experiments.fig1_weight_ranges,
+        "fig4": experiments.fig4_rms_error,
+        "fig7": experiments.fig7_pe_sweep,
+        "ablations": experiments.ablations,
+    }
+    driver = drivers[args.name]
+    if args.name in ("fig7", "table4"):
+        result = driver.run()
+    else:
+        result = driver.run(profile=args.profile)
+    print(driver.render(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("formats", help="describe the number formats")
+    p.add_argument("--bits", type=int, default=8)
+    p.set_defaults(func=_cmd_formats)
+
+    p = sub.add_parser("quantize", help="quantize a .npy tensor")
+    p.add_argument("--fmt", default="adaptivfloat")
+    p.add_argument("--bits", type=int, default=8)
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_quantize)
+
+    p = sub.add_parser("pe", help="print a PE's PPA")
+    p.add_argument("--kind", choices=("int", "hfint"), default="hfint")
+    p.add_argument("--bits", type=int, default=8)
+    p.add_argument("--vector-size", type=int, default=16)
+    p.set_defaults(func=_cmd_pe)
+
+    p = sub.add_parser("experiment", help="run one paper table/figure")
+    p.add_argument("name", choices=("table1", "table2", "table3", "table4",
+                                    "fig1", "fig4", "fig7", "ablations"))
+    p.add_argument("--profile", choices=("tiny", "fast", "full"),
+                   default="fast")
+    p.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

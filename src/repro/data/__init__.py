@@ -1,0 +1,7 @@
+"""Synthetic datasets substituting for WMT'17 / LibriSpeech / ImageNet."""
+
+from .images import ImageTask
+from .speech import SpeechTask
+from .translation import TranslationTask
+
+__all__ = ["ImageTask", "SpeechTask", "TranslationTask"]

@@ -1,0 +1,24 @@
+"""Experiment drivers: one module per paper table/figure (DESIGN.md §5).
+
+Each driver exposes ``run(...) -> dict`` (computes and persists results)
+and ``render(result) -> str`` (the ASCII analogue of the paper's
+table/figure).  ``repro.experiments.common`` holds the trained-model
+zoo and profiles.
+"""
+
+from . import (ablations, activation_ranges, common,
+               fig1_weight_ranges, fig4_rms_error,
+               fig7_pe_sweep, model_costs, table1_models,
+               table2_weight_quant, table3_weight_act_quant,
+               table4_accelerator)
+from .common import (MODEL_NAMES, PROFILES, get_bundle, qar_retrain,
+                     trained_model)
+
+__all__ = [
+    "MODEL_NAMES", "PROFILES", "ablations", "activation_ranges",
+    "common", "fig1_weight_ranges",
+    "fig4_rms_error", "fig7_pe_sweep", "get_bundle", "model_costs",
+    "qar_retrain",
+    "table1_models", "table2_weight_quant", "table3_weight_act_quant",
+    "table4_accelerator", "trained_model",
+]

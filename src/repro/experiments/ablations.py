@@ -1,0 +1,123 @@
+"""Ablations of the design choices DESIGN.md §7 calls out.
+
+Four studies, all on the trained Transformer (the model where encoding
+choices matter most):
+
+* **adaptivity** — AdaptivFloat vs an IEEE-like float of identical
+  geometry (same ``n``/``e``): isolates the contribution of the dynamic
+  ``exp_bias``, the paper's core idea.
+* **granularity** — per-layer (paper) vs per-channel ``exp_bias``.
+* **round modes** — nearest-even (hardware default) vs nearest-away vs
+  stochastic rounding.
+* **bfp block size** — whole-tensor shared exponent (paper baseline) vs
+  finer blocks, quantifying how much block granularity rescues BFP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..analysis import format_table, layer_weights, save_result
+from ..formats import AdaptivFloat, BlockFloat, FloatIEEE, RoundMode
+from ..metrics import rms_error
+from ..nn import QuantSpec, quantize_weights_inplace
+from .common import PROFILES, get_bundle, trained_model
+
+__all__ = ["run", "render"]
+
+
+def _mean_rms(tensors, quantizer) -> float:
+    return float(sum(rms_error(t, quantizer.quantize(t))
+                     for t in tensors) / len(tensors))
+
+
+def run(profile: str = "full", bits_list: Sequence[int] = (4, 6, 8),
+        model_name: str = "transformer") -> Dict:
+    prof = PROFILES[profile]
+    bundle = get_bundle(model_name)
+    base, task, fp32 = trained_model(model_name, profile)
+    state = base.state_dict()
+    tensors = [w for _, w in layer_weights(base)]
+
+    # ------------------------------------------------ adaptivity (accuracy)
+    adaptivity = {}
+    for bits in bits_list:
+        scores = {}
+        for fmt, overrides in (("adaptivfloat", {"exp_bits": 3}),
+                               ("float", {"exp_bits": 3})):
+            model, _ = bundle.build()
+            model.load_state_dict(state)
+            quantize_weights_inplace(model, QuantSpec(fmt, int(bits), overrides))
+            model.eval()
+            scores[fmt] = bundle.evaluate(model, task, prof.eval_size)
+        adaptivity[int(bits)] = scores
+
+    # ------------------------------------------------- granularity (RMS)
+    granularity = {}
+    for bits in bits_list:
+        granularity[int(bits)] = {
+            "per_layer": _mean_rms(tensors, AdaptivFloat(int(bits), 3)),
+            "per_channel": _mean_rms(tensors,
+                                     AdaptivFloat(int(bits), 3, channel_axis=0)),
+        }
+
+    # ------------------------------------------------- round modes (RMS)
+    round_modes = {}
+    for bits in bits_list:
+        round_modes[int(bits)] = {
+            mode: _mean_rms(tensors, AdaptivFloat(int(bits), 3, round_mode=mode))
+            for mode in RoundMode.ALL
+        }
+
+    # --------------------------------------------- BFP block size (RMS)
+    bfp_blocks = {}
+    for bits in bits_list:
+        bfp_blocks[int(bits)] = {
+            "whole-tensor": _mean_rms(tensors, BlockFloat(int(bits))),
+            "block-64": _mean_rms(tensors, BlockFloat(int(bits), block_size=64)),
+            "block-16": _mean_rms(tensors, BlockFloat(int(bits), block_size=16)),
+            "adaptivfloat": _mean_rms(tensors, AdaptivFloat(int(bits), 3)),
+        }
+
+    result = {
+        "model": model_name, "fp32": fp32,
+        "metric": bundle.metric,
+        "adaptivity": adaptivity, "granularity": granularity,
+        "round_modes": round_modes, "bfp_blocks": bfp_blocks,
+    }
+    save_result(f"ablations_{profile}", result)
+    return result
+
+
+def render(result: Dict) -> str:
+    blocks = []
+    rows = [[bits, s["adaptivfloat"], s["float"]]
+            for bits, s in result["adaptivity"].items()]
+    blocks.append(format_table(
+        ["#bits", "adaptive exp_bias", "fixed IEEE bias"], rows,
+        title=(f"Ablation A - the dynamic exp_bias "
+               f"({result['metric']} of {result['model']}, same <n,3> geometry; "
+               f"FP32 = {result['fp32']:.2f})")))
+
+    rows = [[bits, g["per_layer"], g["per_channel"]]
+            for bits, g in result["granularity"].items()]
+    blocks.append(format_table(
+        ["#bits", "per-layer RMS", "per-channel RMS"], rows,
+        title="Ablation B - exp_bias granularity (mean per-layer RMS error)",
+        digits=5))
+
+    rows = [[bits] + [m[k] for k in RoundMode.ALL]
+            for bits, m in result["round_modes"].items()]
+    blocks.append(format_table(
+        ["#bits"] + list(RoundMode.ALL), rows,
+        title="Ablation C - mantissa rounding mode (mean RMS error)",
+        digits=5))
+
+    rows = [[bits, b["whole-tensor"], b["block-64"], b["block-16"],
+             b["adaptivfloat"]]
+            for bits, b in result["bfp_blocks"].items()]
+    blocks.append(format_table(
+        ["#bits", "bfp whole", "bfp 64", "bfp 16", "adaptivfloat"], rows,
+        title="Ablation D - BFP block size vs AdaptivFloat (mean RMS error)",
+        digits=5))
+    return "\n\n".join(blocks)

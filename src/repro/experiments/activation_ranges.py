@@ -1,0 +1,101 @@
+"""Extension analysis: per-site activation dynamic range.
+
+Paper Section 4.3 explains the W4/A4 collapse on the sequence models:
+"many of the activations from the attention mechanism fall outside of
+the available dynamic range of the number format."  This driver
+measures exactly that — for every activation-quantization site it
+calibrates the AdaptivFloat grid at a given word size and reports what
+fraction of calibration-batch activations falls below ``value_min``
+(crushed to zero / the minimum) at that site, plus the site's
+max/median dynamic ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..analysis import format_table, save_result
+from ..formats import AdaptivFloat
+from ..nn import Tensor
+from ..nn.quantize import DEFAULT_QUANTIZED_LAYERS
+from .common import MODEL_NAMES, PROFILES, get_bundle, trained_model
+
+__all__ = ["run", "render"]
+
+
+class _RangeProbe:
+    """An act_fake_quant stand-in that records raw activations."""
+
+    def __init__(self) -> None:
+        self.max_abs = 0.0
+        self.samples: list = []
+
+    def __call__(self, x: Tensor) -> Tensor:
+        a = np.abs(x.data).ravel()
+        if a.size:
+            self.max_abs = max(self.max_abs, float(a.max()))
+            take = a if a.size <= 4096 else a[:: a.size // 4096][:4096]
+            self.samples.append(take.astype(np.float32))
+        return x
+
+
+def run(profile: str = "full", bits: int = 4,
+        models: Sequence[str] = MODEL_NAMES) -> Dict:
+    prof = PROFILES[profile]
+    fmt = AdaptivFloat(bits, 3)
+    result: Dict = {"bits": int(bits), "models": {}}
+    for name in models:
+        bundle = get_bundle(name)
+        model, task, _ = trained_model(name, profile)
+        model.eval()
+        probes: Dict[str, _RangeProbe] = {}
+        for mod_name, module in model.named_modules():
+            if isinstance(module, DEFAULT_QUANTIZED_LAYERS):
+                probe = _RangeProbe()
+                module.act_fake_quant = probe
+                probes[mod_name] = probe
+        for batch in bundle.batches(task, prof.batch_size, 2, 123):
+            bundle.train_step(model, batch)
+        rows = []
+        for site, probe in probes.items():
+            if not probe.samples:
+                continue
+            pooled = np.concatenate(probe.samples)
+            nonzero = pooled[pooled > 0]
+            if nonzero.size == 0:
+                continue
+            bias = fmt.fit(np.asarray([probe.max_abs]))["exp_bias"]
+            vmin, _ = fmt.range_for_bias(int(bias))
+            underflow = float((nonzero < float(vmin)).mean())
+            rows.append({
+                "site": site,
+                "max_abs": probe.max_abs,
+                "dynamic_ratio": probe.max_abs / float(np.median(nonzero)),
+                "underflow_fraction": underflow,
+            })
+        for module in model.modules():
+            module.act_fake_quant = None
+        rows.sort(key=lambda r: -r["underflow_fraction"])
+        result["models"][name] = {
+            "sites": rows,
+            "mean_underflow": float(np.mean(
+                [r["underflow_fraction"] for r in rows])),
+        }
+    save_result(f"activation_ranges_{profile}", result)
+    return result
+
+
+def render(result: Dict) -> str:
+    blocks = []
+    for name, payload in result["models"].items():
+        rows = [[r["site"], r["max_abs"], r["dynamic_ratio"],
+                 r["underflow_fraction"]] for r in payload["sites"][:8]]
+        blocks.append(format_table(
+            ["site", "max|x|", "max/median", f"underflow@{result['bits']}b"],
+            rows,
+            title=(f"Activation ranges - {name} (mean underflow "
+                   f"{payload['mean_underflow']:.2f})"),
+            digits=3))
+    return "\n\n".join(blocks)

@@ -1,0 +1,48 @@
+"""Figure 1: range of weights of popular CNN vs NLP models.
+
+Combines the calibrated published-model emulators (BERT/GPT/XLNet/XLM/
+Inception/DenseNet, see :mod:`repro.analysis.model_zoo_stats`) with the
+actually-measured ranges of our three trained models, demonstrating the
+paper's point: LayerNorm sequence models span >10x wider weight ranges
+than BatchNorm CNNs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis import format_table, save_result, weight_range, weight_ranges
+from .common import MODEL_NAMES, trained_model
+
+__all__ = ["run", "render"]
+
+
+def run(profile: str = "full", include_trained: bool = True) -> Dict:
+    rows: List[Dict] = list(weight_ranges())
+    if include_trained:
+        family = {"transformer": "nlp", "seq2seq": "nlp", "resnet": "cnn"}
+        for name in MODEL_NAMES:
+            model, _, _ = trained_model(name, profile)
+            lo, hi = weight_range(model)
+            rows.append({"model": f"{name} (ours, trained)",
+                         "family": family[name],
+                         "w_min": lo, "w_max": hi, "source": "measured"})
+    nlp_span = max(max(abs(r["w_min"]), r["w_max"])
+                   for r in rows if r["family"] == "nlp")
+    cnn_span = max(max(abs(r["w_min"]), r["w_max"])
+                   for r in rows if r["family"] == "cnn")
+    result = {"rows": rows, "nlp_over_cnn_span": nlp_span / cnn_span}
+    save_result(f"fig1_{profile}", result)
+    return result
+
+
+def render(result: Dict) -> str:
+    rows = [[r["model"], r["family"], r["w_min"], r["w_max"], r["source"]]
+            for r in result["rows"]]
+    table = format_table(
+        ["model", "family", "w_min", "w_max", "source"], rows,
+        title="Figure 1 - range of DNN weight values (CNN vs NLP)")
+    ratio = result["nlp_over_cnn_span"]
+    return (f"{table}\n"
+            f"NLP/CNN max-|w| ratio: {ratio:.1f}x "
+            f"(paper: 'more than 10x larger')")

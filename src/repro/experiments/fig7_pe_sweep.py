@@ -1,0 +1,81 @@
+"""Figure 7: per-op energy and throughput/area of INT vs HFINT PEs
+across MAC vector sizes (K = 4, 8, 16) and operand widths (4, 8 bit).
+
+Pure analytical-model sweep — no training involved.  Paper reference
+values are attached to every point so the renderer can print the
+model-vs-paper deltas alongside the headline ratios (HFINT energy
+0.97x -> 0.90x of INT; INT 1.04x - 1.21x higher TOPS/mm²).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..analysis import format_table, save_result
+from ..hardware import make_pe
+
+__all__ = ["run", "render", "PAPER_ENERGY", "PAPER_PERF_AREA"]
+
+PAPER_ENERGY = {
+    ("int", 4): {4: 127.00, 8: 59.75, 16: 30.36},
+    ("hfint", 4): {4: 123.12, 8: 56.39, 16: 27.77},
+    ("int", 8): {4: 227.61, 8: 105.80, 16: 52.21},
+    ("hfint", 8): {4: 205.27, 8: 98.38, 16: 46.88},
+}
+PAPER_PERF_AREA = {
+    ("int", 4): {4: 1.31, 8: 2.28, 16: 3.90},
+    ("hfint", 4): {4: 1.26, 8: 2.10, 16: 3.42},
+    ("int", 8): {4: 1.11, 8: 1.59, 16: 2.25},
+    ("hfint", 8): {4: 1.02, 8: 1.39, 16: 1.86},
+}
+
+
+def run(vector_sizes: Sequence[int] = (4, 8, 16),
+        bit_widths: Sequence[int] = (4, 8)) -> Dict:
+    points = []
+    for bits in bit_widths:
+        for kind in ("int", "hfint"):
+            for k in vector_sizes:
+                pe = make_pe(kind, bits, k)
+                paper_e = PAPER_ENERGY.get((kind, bits), {}).get(k)
+                paper_pa = PAPER_PERF_AREA.get((kind, bits), {}).get(k)
+                points.append({
+                    "pe": pe.name, "kind": kind, "bits": bits, "K": k,
+                    "energy_fj_per_op": pe.energy_per_op(),
+                    "tops_per_mm2": pe.perf_per_area(),
+                    "paper_energy": paper_e, "paper_tops_mm2": paper_pa,
+                })
+    ratios = {}
+    for bits in bit_widths:
+        for k in vector_sizes:
+            e_int = make_pe("int", bits, k).energy_per_op()
+            e_hf = make_pe("hfint", bits, k).energy_per_op()
+            pa_int = make_pe("int", bits, k).perf_per_area()
+            pa_hf = make_pe("hfint", bits, k).perf_per_area()
+            ratios[f"{bits}b_K{k}"] = {
+                "hfint_over_int_energy": e_hf / e_int,
+                "int_over_hfint_perf_area": pa_int / pa_hf,
+            }
+    result = {"points": points, "ratios": ratios}
+    save_result("fig7", result)
+    return result
+
+
+def render(result: Dict) -> str:
+    rows = []
+    for p in result["points"]:
+        rows.append([
+            p["pe"], p["K"], p["energy_fj_per_op"],
+            p["paper_energy"] if p["paper_energy"] is not None else "-",
+            p["tops_per_mm2"],
+            p["paper_tops_mm2"] if p["paper_tops_mm2"] is not None else "-",
+        ])
+    table = format_table(
+        ["PE", "K", "fJ/op", "paper fJ/op", "TOPS/mm2", "paper TOPS/mm2"],
+        rows, title="Figure 7 - per-op energy (top) and perf/area (bottom)")
+    lines = [table, "", "HFINT/INT energy and INT/HFINT perf-area ratios:"]
+    for key, r in result["ratios"].items():
+        lines.append(f"  {key}: energy {r['hfint_over_int_energy']:.3f} "
+                     f"(paper 0.97->0.90), perf/area "
+                     f"{r['int_over_hfint_perf_area']:.3f} (paper 1.04->1.21)")
+    return "\n".join(lines)

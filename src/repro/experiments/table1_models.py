@@ -1,0 +1,61 @@
+"""Table 1: the DNN models under evaluation.
+
+Structure, parameter count, weight range and FP32 score of our three
+trained substitutes, printed next to the paper's originals so the
+correspondence (and the deliberate down-scaling) is explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis import format_table, save_result, weight_range
+from .common import MODEL_NAMES, get_bundle, trained_model
+
+__all__ = ["run", "render"]
+
+_STRUCTURE = {
+    "transformer": "Attention, FC layers",
+    "seq2seq": "Attention, LSTM, FC layers",
+    "resnet": "CNN, FC layers",
+}
+_PAPER = {
+    "transformer": {"params": "93M", "range": "[-12.46, 20.41]",
+                    "fp32": "BLEU: 27.40", "dataset": "WMT'17 En-De"},
+    "seq2seq": {"params": "20M", "range": "[-2.21, 2.39]",
+                "fp32": "WER: 13.34", "dataset": "LibriSpeech 960h"},
+    "resnet": {"params": "25M", "range": "[-0.78, 1.32]",
+               "fp32": "Top-1: 76.2", "dataset": "ImageNet"},
+}
+
+
+def run(profile: str = "full") -> Dict:
+    rows = []
+    for name in MODEL_NAMES:
+        bundle = get_bundle(name)
+        model, _, score = trained_model(name, profile)
+        lo, hi = weight_range(model)
+        rows.append({
+            "model": name,
+            "structure": _STRUCTURE[name],
+            "params": model.num_parameters(),
+            "w_min": lo, "w_max": hi,
+            "metric": bundle.metric, "fp32": score,
+            "paper": _PAPER[name],
+        })
+    result = {"rows": rows}
+    save_result(f"table1_{profile}", result)
+    return result
+
+
+def render(result: Dict) -> str:
+    rows = [[r["model"], r["structure"], r["params"],
+             f"[{r['w_min']:.2f}, {r['w_max']:.2f}]",
+             f"{r['metric']}: {r['fp32']:.2f}",
+             f"{r['paper']['params']} / {r['paper']['range']} / "
+             f"{r['paper']['fp32']}"]
+            for r in result["rows"]]
+    return format_table(
+        ["model", "structure", "#params", "weight range", "FP32 (ours)",
+         "paper (#params / range / FP32)"],
+        rows, title="Table 1 - DNN models under evaluation")

@@ -1,0 +1,97 @@
+"""Table 2: weight bit compression, PTQ and QAR, five formats x three models.
+
+For every (model, bits, format) cell the driver reports two scores:
+
+* **PTQ** — post-training quantization: the plateaued FP32 weights are
+  quantized in place (per-layer self-adaptive parameters) and the model
+  is evaluated as-is.
+* **QAR** — quantization-aware retraining: starting again from the FP32
+  baseline, weight fake-quantizers (STE) are attached and the model is
+  fine-tuned briefly before evaluation, exactly the paper's procedure
+  ("post-training quantization / post-quantization aware retraining").
+
+Expected shape (paper Section 4.2): everything is fine at 16/8 bits; at
+<=6 bits the non-adaptive formats (float, posit) and the shared-grid
+formats (BFP, uniform) collapse on the wide-distribution models while
+AdaptivFloat degrades gracefully; QAR recovers AdaptivFloat to near (or
+slightly above, via the noise-regularization effect) the FP32 score.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..analysis import format_table, save_result
+from ..formats import FORMAT_NAMES
+from ..nn import QuantSpec, attach_weight_quantizers, quantize_weights_inplace
+from .common import (MODEL_NAMES, PROFILES, get_bundle, qar_retrain,
+                     trained_model)
+
+__all__ = ["run", "render", "DEFAULT_BITS"]
+
+DEFAULT_BITS = (16, 8, 7, 6, 5, 4)
+
+
+def _clone_into(bundle, base_state):
+    model, task = bundle.build()
+    model.load_state_dict(base_state)
+    return model, task
+
+
+def run(profile: str = "full", bits_list: Sequence[int] = DEFAULT_BITS,
+        formats: Sequence[str] = FORMAT_NAMES,
+        models: Sequence[str] = MODEL_NAMES,
+        include_qar: bool = True) -> Dict:
+    prof = PROFILES[profile]
+    result: Dict = {"models": {}, "bits": list(map(int, bits_list)),
+                    "formats": list(formats)}
+    for name in models:
+        bundle = get_bundle(name)
+        base_model, task, fp32 = trained_model(name, profile)
+        base_state = base_model.state_dict()
+        grid: Dict = {}
+        for bits in bits_list:
+            per_fmt: Dict = {}
+            for fmt in formats:
+                spec = QuantSpec(fmt, int(bits))
+                # --- PTQ
+                model, _ = _clone_into(bundle, base_state)
+                quantize_weights_inplace(model, spec)
+                model.eval()
+                ptq = bundle.evaluate(model, task, prof.eval_size)
+                # --- QAR
+                if include_qar:
+                    model, _ = _clone_into(bundle, base_state)
+                    attach_weight_quantizers(model, spec)
+                    qar_retrain(model, task, bundle, prof)
+                    qar = bundle.evaluate(model, task, prof.eval_size)
+                else:
+                    qar = None
+                per_fmt[fmt] = {"ptq": ptq, "qar": qar}
+            grid[int(bits)] = per_fmt
+        result["models"][name] = {
+            "fp32": fp32, "metric": bundle.metric,
+            "higher_is_better": bundle.higher_is_better, "grid": grid,
+        }
+    save_result(f"table2_{profile}", result)
+    return result
+
+
+def render(result: Dict) -> str:
+    blocks = []
+    for name, payload in result["models"].items():
+        rows = []
+        for bits, per_fmt in payload["grid"].items():
+            row = [bits]
+            for fmt in result["formats"]:
+                cell = per_fmt[fmt]
+                if cell["qar"] is None:
+                    row.append(f"{cell['ptq']:.2f}")
+                else:
+                    row.append(f"{cell['ptq']:.2f} / {cell['qar']:.2f}")
+            rows.append(row)
+        blocks.append(format_table(
+            ["#bits"] + list(result["formats"]), rows,
+            title=(f"Table 2 - {payload['metric']} of {name} "
+                   f"(PTQ / QAR; FP32 = {payload['fp32']:.2f})")))
+    return "\n\n".join(blocks)

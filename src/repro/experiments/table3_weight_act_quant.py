@@ -1,0 +1,76 @@
+"""Table 3: joint weight + activation quantization after QAR.
+
+Wn/An quantizes both weights and activations to n bits.  Activation
+grids are frozen from max-|x| statistics collected during offline
+calibration batches (paper Section 5.2), then the model is retrained
+quantization-aware and evaluated.
+
+Expected shape (paper Section 4.3): AdaptivFloat W8/A8 matches (or
+beats) FP32; W4/A4 collapses on the attention models — whose activation
+ranges exceed the format's dynamic range — but survives on the CNN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..analysis import format_table, save_result
+from ..formats import FORMAT_NAMES
+from ..nn import (QuantSpec, attach_act_quantizers, attach_weight_quantizers,
+                  calibrate)
+from .common import (MODEL_NAMES, PROFILES, get_bundle, qar_retrain,
+                     trained_model)
+
+__all__ = ["run", "render", "DEFAULT_BITS"]
+
+DEFAULT_BITS = (8, 6, 4)
+_CALIBRATION_BATCHES = 4
+
+
+def run(profile: str = "full", bits_list: Sequence[int] = DEFAULT_BITS,
+        formats: Sequence[str] = FORMAT_NAMES,
+        models: Sequence[str] = MODEL_NAMES) -> Dict:
+    prof = PROFILES[profile]
+    result: Dict = {"models": {}, "bits": list(map(int, bits_list)),
+                    "formats": list(formats)}
+    for name in models:
+        bundle = get_bundle(name)
+        base_model, task, fp32 = trained_model(name, profile)
+        base_state = base_model.state_dict()
+        grid: Dict = {}
+        for bits in bits_list:
+            per_fmt: Dict = {}
+            for fmt in formats:
+                spec = QuantSpec(fmt, int(bits))
+                model, _ = bundle.build()
+                model.load_state_dict(base_state)
+                attach_weight_quantizers(model, spec)
+                attach_act_quantizers(model, spec)
+                model.eval()
+                with calibrate(model):
+                    for batch in bundle.batches(
+                            task, prof.batch_size, _CALIBRATION_BATCHES, 77):
+                        bundle.train_step(model, batch)
+                qar_retrain(model, task, bundle, prof)
+                per_fmt[fmt] = bundle.evaluate(model, task, prof.eval_size)
+            grid[int(bits)] = per_fmt
+        result["models"][name] = {
+            "fp32": fp32, "metric": bundle.metric,
+            "higher_is_better": bundle.higher_is_better, "grid": grid,
+        }
+    save_result(f"table3_{profile}", result)
+    return result
+
+
+def render(result: Dict) -> str:
+    blocks = []
+    for name, payload in result["models"].items():
+        rows = []
+        for bits, per_fmt in payload["grid"].items():
+            rows.append([f"W{bits}/A{bits}"]
+                        + [per_fmt[fmt] for fmt in result["formats"]])
+        blocks.append(format_table(
+            ["#bits"] + list(result["formats"]), rows,
+            title=(f"Table 3 - {payload['metric']} of {name} after QAR "
+                   f"(weights+activations; FP32 = {payload['fp32']:.2f})")))
+    return "\n\n".join(blocks)

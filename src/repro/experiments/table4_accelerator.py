@@ -1,0 +1,66 @@
+"""Table 4: PPA of the 8-bit INT and HFINT accelerator systems.
+
+Four PEs (K = 16) + 1 MB global buffer running 100 LSTM time steps with
+256 hidden units, weight stationary.  Expected shape: identical compute
+time (both datapaths sustain the same MAC throughput under the same
+pipelining), HFINT at ~0.92x the power and >1x the area of INT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis import format_table, save_result
+from ..hardware import PAPER_WORKLOAD, paper_accelerator
+
+__all__ = ["run", "render", "PAPER_TABLE4"]
+
+PAPER_TABLE4 = {
+    "int": {"power_mw": 61.38, "area_mm2": 6.9, "runtime_us": 81.2},
+    "hfint": {"power_mw": 56.22, "area_mm2": 7.9, "runtime_us": 81.2},
+}
+
+
+def run() -> Dict:
+    rows = {}
+    for kind in ("int", "hfint"):
+        accelerator = paper_accelerator(kind)
+        report = accelerator.report(PAPER_WORKLOAD)
+        report["cycles_per_step"] = accelerator.cycles_per_step(PAPER_WORKLOAD)
+        report["energy_breakdown_fj"] = accelerator.dynamic_energy_fj(
+            PAPER_WORKLOAD)
+        report["paper"] = PAPER_TABLE4[kind]
+        rows[kind] = report
+    result = {
+        "rows": rows,
+        "ratios": {
+            "power": rows["hfint"]["power_mw"] / rows["int"]["power_mw"],
+            "area": rows["hfint"]["area_mm2"] / rows["int"]["area_mm2"],
+            "paper_power": PAPER_TABLE4["hfint"]["power_mw"]
+            / PAPER_TABLE4["int"]["power_mw"],
+            "paper_area": PAPER_TABLE4["hfint"]["area_mm2"]
+            / PAPER_TABLE4["int"]["area_mm2"],
+        },
+    }
+    save_result("table4", result)
+    return result
+
+
+def render(result: Dict) -> str:
+    rows = []
+    for kind, report in result["rows"].items():
+        paper = report["paper"]
+        rows.append([
+            report["name"],
+            report["power_mw"], paper["power_mw"],
+            report["area_mm2"], paper["area_mm2"],
+            report["runtime_us"], paper["runtime_us"],
+        ])
+    table = format_table(
+        ["system", "mW", "paper mW", "mm2", "paper mm2", "us", "paper us"],
+        rows, title="Table 4 - PPA of the 8-bit INT and HFINT accelerators")
+    r = result["ratios"]
+    return (f"{table}\n"
+            f"HFINT/INT power ratio: {r['power']:.3f} "
+            f"(paper {r['paper_power']:.3f}); "
+            f"area ratio: {r['area']:.3f} (paper {r['paper_area']:.3f})")

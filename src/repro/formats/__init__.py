@@ -1,0 +1,57 @@
+"""Number formats: AdaptivFloat and the paper's baseline encodings.
+
+Public entry points:
+
+* :class:`AdaptivFloat` — the paper's format (Algorithm 1).
+* :class:`FloatIEEE`, :class:`BlockFloat`, :class:`Uniform`,
+  :class:`Posit`, :class:`FixedPoint` — the baselines.
+* :func:`make_quantizer` / :func:`paper_formats` — factories with the
+  paper's default field widths.
+* :func:`adaptivfloat_quantize` — one-shot functional quantization.
+"""
+
+from .adaptivfloat import AdaptivFloat, adaptivfloat_quantize, exponent_bias_for
+from .base import AdaptiveQuantizer, Quantizer, QuantizedTensor, RoundMode
+from .bfp import BlockFloat
+from .bitpack import pack_words, packed_nbytes, unpack_words
+from .fixedpoint import FixedPoint
+from .float_ieee import FloatIEEE
+from .logquant import LogQuant
+from .numerics import (adaptivfloat_product_bits, decades_covered,
+                       dynamic_range_db, format_summary,
+                       hfint_accumulator_bits, int_accumulator_bits,
+                       worst_case_relative_error)
+from .posit import Posit, decode_posit_word
+from .registry import FORMAT_NAMES, Fp32, make_quantizer, paper_formats
+from .uniform import Uniform
+
+__all__ = [
+    "AdaptivFloat",
+    "AdaptiveQuantizer",
+    "BlockFloat",
+    "FixedPoint",
+    "FloatIEEE",
+    "Fp32",
+    "FORMAT_NAMES",
+    "LogQuant",
+    "adaptivfloat_product_bits",
+    "decades_covered",
+    "dynamic_range_db",
+    "format_summary",
+    "hfint_accumulator_bits",
+    "int_accumulator_bits",
+    "worst_case_relative_error",
+    "Posit",
+    "Quantizer",
+    "QuantizedTensor",
+    "RoundMode",
+    "Uniform",
+    "adaptivfloat_quantize",
+    "decode_posit_word",
+    "exponent_bias_for",
+    "make_quantizer",
+    "pack_words",
+    "packed_nbytes",
+    "paper_formats",
+    "unpack_words",
+]

@@ -1,0 +1,240 @@
+"""AdaptivFloat — the paper's adaptive floating-point format (Algorithm 1).
+
+``AdaptivFloat<n, e>`` is an *n*-bit float-like format with ``e`` exponent
+bits and ``m = n - e - 1`` mantissa bits whose exponent range is shifted,
+per tensor, by an integer ``exp_bias`` derived from the tensor's maximum
+absolute value:
+
+    ``exp_max  = floor(log2(max|W|))``
+    ``exp_bias = exp_max - (2**e - 1)``
+
+There are no denormals.  The bottom codepoint (exponent bits == 0 and
+mantissa bits == 0) is re-purposed as +/-0, sacrificing the +/-minimum
+value (paper Fig. 2), so:
+
+    ``value_min = 2**exp_bias * (1 + 2**-m)``
+    ``value_max = 2**exp_max  * (2 - 2**-m)``
+
+Quantization (paper Algorithm 1): magnitudes below ``value_min`` round to
+0 or ``value_min`` at the halfway threshold, magnitudes above ``value_max``
+clamp, and everything else rounds to the nearest point on the mantissa
+grid ``2**(exp - m)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .base import AdaptiveQuantizer, RoundMode, ulp_round
+
+__all__ = [
+    "AdaptivFloat",
+    "adaptivfloat_quantize",
+    "exponent_bias_for",
+]
+
+_BiasLike = Union[int, np.ndarray]
+
+
+def _frexp_exponent(a: np.ndarray) -> np.ndarray:
+    """Exact floor(log2(a)) for positive ``a`` via frexp (no log rounding)."""
+    _, e = np.frexp(a)
+    return e - 1
+
+
+def exponent_bias_for(x: np.ndarray, exp_bits: int,
+                      axis: Optional[int] = None) -> _BiasLike:
+    """Derive the AdaptivFloat ``exp_bias`` for tensor ``x``.
+
+    With ``axis=None`` (the paper's per-layer granularity) a scalar bias is
+    returned.  With an integer ``axis`` a per-channel bias is computed by
+    reducing over all *other* axes (per-channel ablation, DESIGN.md §7).
+
+    An all-zero tensor has no defined exponent; we return the most negative
+    bias so that the (empty) grid sits harmlessly below any future data.
+    """
+    a = np.abs(np.asarray(x, dtype=np.float64))
+    if axis is None:
+        max_abs = a.max() if a.size else 0.0
+        if max_abs == 0.0:
+            return -(2 ** exp_bits - 1)
+        exp_max = int(_frexp_exponent(np.asarray(max_abs)))
+        return exp_max - (2 ** exp_bits - 1)
+
+    reduce_axes = tuple(i for i in range(a.ndim) if i != (axis % a.ndim))
+    max_abs = a.max(axis=reduce_axes, keepdims=True)
+    exp_max = np.where(max_abs > 0.0, _frexp_exponent(max_abs),
+                       -(2 ** exp_bits - 1))
+    return (exp_max - (2 ** exp_bits - 1)).astype(np.int64)
+
+
+class AdaptivFloat(AdaptiveQuantizer):
+    """``AdaptivFloat<n, e>`` quantizer (paper Section 3, Algorithm 1).
+
+    Parameters
+    ----------
+    bits:
+        Total word size *n* (sign + exponent + mantissa).
+    exp_bits:
+        Exponent field width *e*.  The paper finds ``e = 3`` the best
+        setting across its models (Section 4), so that is the default.
+    round_mode:
+        Mantissa rounding mode; the hardware-faithful default is
+        round-to-nearest-even.
+    channel_axis:
+        ``None`` for the paper's per-layer granularity, or an axis index
+        for the per-channel ablation.
+    """
+
+    name = "adaptivfloat"
+
+    def __init__(self, bits: int, exp_bits: int = 3,
+                 round_mode: str = RoundMode.NEAREST_EVEN,
+                 channel_axis: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(bits)
+        if exp_bits < 1:
+            raise ValueError(f"need at least 1 exponent bit, got {exp_bits}")
+        if bits - exp_bits - 1 < 0:
+            raise ValueError(
+                f"AdaptivFloat<{bits},{exp_bits}> leaves no room for the sign bit")
+        if round_mode not in RoundMode.ALL:
+            raise ValueError(f"unknown round mode {round_mode!r}")
+        self.exp_bits = int(exp_bits)
+        self.mant_bits = int(bits - exp_bits - 1)
+        self.round_mode = round_mode
+        self.channel_axis = channel_axis
+        self._rng = rng
+
+    # ----------------------------------------------------------- structure
+    @property
+    def exp_levels(self) -> int:
+        """Number of distinct stored exponent values (``2**e``)."""
+        return 2 ** self.exp_bits
+
+    def range_for_bias(self, exp_bias: _BiasLike) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(value_min, value_max)`` for a given ``exp_bias``."""
+        exp_bias = np.asarray(exp_bias, dtype=np.float64)
+        exp_max = exp_bias + (self.exp_levels - 1)
+        ulp = 2.0 ** (-self.mant_bits)
+        value_min = np.exp2(exp_bias) * (1.0 + ulp)
+        value_max = np.exp2(exp_max) * (2.0 - ulp)
+        return value_min, value_max
+
+    # ------------------------------------------------------------- fitting
+    def fit(self, x: np.ndarray) -> Dict[str, Any]:
+        return {"exp_bias": exponent_bias_for(x, self.exp_bits, self.channel_axis)}
+
+    # ---------------------------------------------------------- quantizing
+    def quantize_with_params(self, x: np.ndarray, params: Dict[str, Any]) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        exp_bias = params["exp_bias"]
+        value_min, value_max = self.range_for_bias(exp_bias)
+
+        sign = np.sign(x)
+        a = np.abs(x)
+
+        # Clamp overflow first so the grid rounding below never needs an
+        # exponent above exp_max (Algorithm 1, "handle unrepresentable").
+        a = np.minimum(a, value_max)
+
+        # Round-to-nearest on the mantissa grid 2**(exp - m).  frexp gives
+        # the exact exponent; rounding a mantissa up to 2.0 lands exactly on
+        # the next binade, which is representable because overflow was
+        # clamped above.
+        safe = np.where(a > 0.0, a, 1.0)
+        exp = _frexp_exponent(safe)
+        quantum = np.exp2(exp.astype(np.float64) - self.mant_bits)
+        on_grid = ulp_round(a / quantum, self.round_mode, self._rng) * quantum
+
+        # Below value_min the only codepoints are 0 and +/-value_min
+        # (the +/-2**exp_bias slot is the zero encoding): round at the
+        # halfway threshold.
+        halfway = 0.5 * value_min
+        small = np.where(a > halfway, value_min, 0.0)
+
+        out = np.where(a < value_min, small, on_grid)
+        return sign * out
+
+    # -------------------------------------------------------- enumeration
+    def codepoints(self, exp_bias: int = 0) -> np.ndarray:
+        """Every representable value for a scalar ``exp_bias`` (sorted)."""
+        exp_bias = int(exp_bias)
+        mant_codes = np.arange(2 ** self.mant_bits, dtype=np.float64)
+        mantissas = 1.0 + mant_codes * 2.0 ** (-self.mant_bits)
+        exps = exp_bias + np.arange(self.exp_levels, dtype=np.float64)
+        mags = (np.exp2(exps)[:, None] * mantissas[None, :]).ravel()
+        mags = mags[1:]  # drop the (exp=0, mant=0) slot: it encodes zero
+        values = np.concatenate([-mags, [0.0], mags])
+        return np.sort(values)
+
+    # ---------------------------------------------------------- bit codec
+    def encode(self, values: np.ndarray, exp_bias: int) -> np.ndarray:
+        """Encode already-quantized ``values`` into raw bit words (uint32).
+
+        Layout (MSB to LSB): sign | exponent (e bits) | mantissa (m bits).
+        The all-zero exponent+mantissa pattern is the zero codepoint.
+        """
+        v = np.asarray(values, dtype=np.float64)
+        sign = (v < 0).astype(np.uint32)
+        a = np.abs(v)
+        nonzero = a > 0.0
+        safe = np.where(nonzero, a, 1.0)
+        exp = _frexp_exponent(safe)
+        stored_exp = exp - int(exp_bias)
+        mant = safe / np.exp2(exp.astype(np.float64))
+        mant_steps = (mant - 1.0) * 2.0 ** self.mant_bits
+        mant_code = np.rint(mant_steps).astype(np.int64)
+        if np.any(nonzero & ((stored_exp < 0) | (stored_exp >= self.exp_levels))):
+            raise ValueError("value outside the representable exponent range")
+        off_grid = np.abs(mant_steps - mant_code) > 1e-9
+        if np.any(nonzero & (off_grid
+                             | (mant_code < 0)
+                             | (mant_code >= 2 ** self.mant_bits))):
+            raise ValueError("value not on the mantissa grid")
+        if np.any(nonzero & (stored_exp == 0) & (mant_code == 0)):
+            raise ValueError(
+                "+/-2**exp_bias is the sacrificed minimum (its codepoint "
+                "encodes zero) and cannot be represented")
+        word = (sign << (self.bits - 1)) \
+            | (stored_exp.astype(np.uint32) << self.mant_bits) \
+            | mant_code.astype(np.uint32)
+        return np.where(nonzero, word, np.uint32(0)).astype(np.uint32)
+
+    def decode(self, words: np.ndarray, exp_bias: int) -> np.ndarray:
+        """Decode raw bit words back to float values."""
+        w = np.asarray(words, dtype=np.uint32)
+        mant_mask = np.uint32(2 ** self.mant_bits - 1)
+        exp_mask = np.uint32(self.exp_levels - 1)
+        sign = np.where((w >> (self.bits - 1)) & np.uint32(1), -1.0, 1.0)
+        stored_exp = (w >> self.mant_bits) & exp_mask
+        mant_code = w & mant_mask
+        is_zero = (stored_exp == 0) & (mant_code == 0)
+        mant = 1.0 + mant_code.astype(np.float64) * 2.0 ** (-self.mant_bits)
+        mag = np.exp2(stored_exp.astype(np.float64) + int(exp_bias)) * mant
+        return np.where(is_zero, 0.0, sign * mag)
+
+    # --------------------------------------------------------------- misc
+    def spec(self) -> Dict[str, Any]:
+        spec = super().spec()
+        spec.update(exp_bits=self.exp_bits, mant_bits=self.mant_bits,
+                    round_mode=self.round_mode)
+        return spec
+
+
+def adaptivfloat_quantize(x: np.ndarray, bits: int, exp_bits: int = 3,
+                          exp_bias: Optional[int] = None,
+                          round_mode: str = RoundMode.NEAREST_EVEN) -> np.ndarray:
+    """One-shot functional form of AdaptivFloat quantization.
+
+    When ``exp_bias`` is ``None`` it is derived from ``x`` (self-adaptive,
+    the paper's weight path); otherwise the provided bias is used (the
+    calibrated activation path).
+    """
+    quantizer = AdaptivFloat(bits, exp_bits, round_mode=round_mode)
+    if exp_bias is None:
+        return quantizer.quantize(x)
+    return quantizer.quantize_with_params(
+        np.asarray(x, dtype=np.float64), {"exp_bias": exp_bias})

@@ -1,0 +1,154 @@
+"""Common infrastructure for the quantized number formats.
+
+Every format in :mod:`repro.formats` is exposed as a :class:`Quantizer`,
+a stateless description of an *n*-bit encoding plus the operations the
+paper's evaluation needs:
+
+* ``quantize(x)``      -- round a float tensor to the nearest codepoint,
+* ``codepoints(...)``  -- enumerate every representable value,
+* ``encode/decode``    -- convert to and from the raw bit patterns that a
+  hardware datapath would store.
+
+Adaptive formats (AdaptivFloat, block floating point, uniform) derive a
+per-tensor parameter (``exp_bias``, shared exponent, or scale) from the
+data; non-adaptive formats (IEEE-like float, posit) do not.  The
+``fit(x)`` / ``quantize_with_params`` split lets callers freeze the
+adaptive parameter from calibration data, which is how the paper handles
+activation tensors (Section 5.2: the activation ``exp_bias`` is "informed
+from statistics during offline batch inference").
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "RoundMode",
+    "Quantizer",
+    "AdaptiveQuantizer",
+    "round_to_grid",
+    "ulp_round",
+]
+
+
+class RoundMode:
+    """Supported rounding modes for mantissa / grid rounding."""
+
+    NEAREST_EVEN = "nearest-even"
+    NEAREST_AWAY = "nearest-away"
+    STOCHASTIC = "stochastic"
+
+    ALL = (NEAREST_EVEN, NEAREST_AWAY, STOCHASTIC)
+
+
+def ulp_round(x: np.ndarray, mode: str = RoundMode.NEAREST_EVEN,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Round ``x`` to integers under the requested rounding mode.
+
+    ``x`` is expected to already be expressed in units of the target grid
+    (i.e. one ULP == 1.0).
+    """
+    if mode == RoundMode.NEAREST_EVEN:
+        return np.rint(x)
+    if mode == RoundMode.NEAREST_AWAY:
+        return np.trunc(x + np.copysign(0.5, x))
+    if mode == RoundMode.STOCHASTIC:
+        if rng is None:
+            rng = np.random.default_rng()
+        floor = np.floor(x)
+        frac = x - floor
+        return floor + (rng.random(size=np.shape(x)) < frac)
+    raise ValueError(f"unknown rounding mode: {mode!r}")
+
+
+def round_to_grid(x: np.ndarray, quantum: np.ndarray,
+                  mode: str = RoundMode.NEAREST_EVEN,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Round ``x`` to the nearest multiple of ``quantum`` (elementwise)."""
+    return ulp_round(np.asarray(x, dtype=np.float64) / quantum, mode, rng) * quantum
+
+
+class Quantizer(abc.ABC):
+    """Abstract n-bit number format.
+
+    Subclasses must set :attr:`name` and :attr:`bits` and implement
+    :meth:`quantize` and :meth:`codepoints`.
+    """
+
+    #: short format identifier, e.g. ``"adaptivfloat"``
+    name: str = "abstract"
+
+    def __init__(self, bits: int) -> None:
+        if bits < 2:
+            raise ValueError(f"{type(self).__name__} needs at least 2 bits, got {bits}")
+        self.bits = int(bits)
+
+    # ------------------------------------------------------------------ API
+    @abc.abstractmethod
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Return ``x`` rounded to the nearest representable value."""
+
+    @abc.abstractmethod
+    def codepoints(self, **params: Any) -> np.ndarray:
+        """Return a sorted 1-D array of every representable value."""
+
+    # -------------------------------------------------------------- helpers
+    def spec(self) -> Dict[str, Any]:
+        """A plain-dict description (for reports and serialization)."""
+        return {"name": self.name, "bits": self.bits}
+
+    def quantization_error(self, x: np.ndarray) -> float:
+        """Root-mean-square error of quantizing ``x`` (paper Fig. 4)."""
+        x = np.asarray(x, dtype=np.float64)
+        err = self.quantize(x) - x
+        return float(np.sqrt(np.mean(err * err)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{k}={v}" for k, v in self.spec().items() if k != "name")
+        return f"{type(self).__name__}({fields})"
+
+
+class AdaptiveQuantizer(Quantizer):
+    """A quantizer whose grid depends on a per-tensor parameter.
+
+    Subclasses implement :meth:`fit` (derive the adaptive parameter from
+    data) and :meth:`quantize_with_params`.  The default :meth:`quantize`
+    composes the two, which is the per-layer self-adaptive behaviour used
+    for weights throughout the paper.
+    """
+
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray) -> Dict[str, Any]:
+        """Derive the adaptive parameter(s) (e.g. ``exp_bias``) from ``x``."""
+
+    @abc.abstractmethod
+    def quantize_with_params(self, x: np.ndarray, params: Dict[str, Any]) -> np.ndarray:
+        """Quantize ``x`` on the grid described by ``params``."""
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self.quantize_with_params(x, self.fit(x))
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizedTensor:
+    """A quantized tensor together with the parameters used to encode it.
+
+    ``values`` holds the dequantized (float) view; ``params`` holds the
+    adaptive parameters (empty for non-adaptive formats) so the tensor can
+    be re-encoded to bits exactly.
+    """
+
+    values: np.ndarray
+    format_spec: Dict[str, Any]
+    params: Dict[str, Any]
+
+    @property
+    def nbytes_packed(self) -> int:
+        """Size in bytes if packed at the format's bit width."""
+        bits = int(self.format_spec["bits"]) * self.values.size
+        return (bits + 7) // 8

@@ -1,0 +1,102 @@
+"""Block floating-point (BFP) quantizer (paper baseline, cf. Flexpoint).
+
+A block of values shares one exponent — that of the block's largest
+magnitude — and each element keeps an *n*-bit signed mantissa on the
+fixed-point grid ``2**(shared_exp - (n - 2))``.  Elements much smaller
+than the block maximum lose mantissa bits one-for-one, which is exactly
+the failure mode the paper contrasts AdaptivFloat against (Section 2:
+"elements with smaller magnitudes will be more prone to data loss").
+
+The default block is the whole tensor (per-layer shared exponent, the
+self-adaptive configuration evaluated in the paper).  A finite
+``block_size`` groups the flattened tensor into chunks for the block-size
+ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .base import AdaptiveQuantizer, RoundMode, ulp_round
+
+__all__ = ["BlockFloat"]
+
+
+class BlockFloat(AdaptiveQuantizer):
+    """``n``-bit block floating point with a shared per-block exponent."""
+
+    name = "bfp"
+
+    def __init__(self, bits: int, block_size: Optional[int] = None,
+                 round_mode: str = RoundMode.NEAREST_EVEN,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(bits)
+        if block_size is not None and block_size < 1:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        if round_mode not in RoundMode.ALL:
+            raise ValueError(f"unknown round mode {round_mode!r}")
+        self.block_size = block_size
+        self.round_mode = round_mode
+        self._rng = rng
+
+    # ----------------------------------------------------------- structure
+    @property
+    def mant_max(self) -> int:
+        """Largest signed mantissa magnitude (symmetric clamp)."""
+        return 2 ** (self.bits - 1) - 1
+
+    def _quantum(self, shared_exp: np.ndarray) -> np.ndarray:
+        return np.exp2(np.asarray(shared_exp, dtype=np.float64) - (self.bits - 2))
+
+    @staticmethod
+    def _shared_exp(max_abs: np.ndarray) -> np.ndarray:
+        safe = np.where(max_abs > 0.0, max_abs, 1.0)
+        _, e = np.frexp(safe)
+        return np.where(max_abs > 0.0, e - 1, 0)
+
+    # ------------------------------------------------------------- fitting
+    def fit(self, x: np.ndarray) -> Dict[str, Any]:
+        a = np.abs(np.asarray(x, dtype=np.float64))
+        if self.block_size is None:
+            max_abs = a.max() if a.size else 0.0
+            return {"shared_exp": int(self._shared_exp(np.asarray(max_abs)))}
+        blocks = self._to_blocks(a)
+        return {"shared_exp": self._shared_exp(blocks.max(axis=1)).astype(np.int64)}
+
+    # ---------------------------------------------------------- quantizing
+    def quantize_with_params(self, x: np.ndarray, params: Dict[str, Any]) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        shared_exp = params["shared_exp"]
+        if self.block_size is None:
+            return self._quantize_flat(x, np.asarray(shared_exp))
+        blocks = self._to_blocks(x)
+        exp = np.asarray(shared_exp).reshape(-1, 1)
+        out = self._quantize_flat(blocks, exp)
+        return out.ravel()[: x.size].reshape(x.shape)
+
+    def _quantize_flat(self, x: np.ndarray, shared_exp: np.ndarray) -> np.ndarray:
+        quantum = self._quantum(shared_exp)
+        mant = ulp_round(x / quantum, self.round_mode, self._rng)
+        mant = np.clip(mant, -self.mant_max, self.mant_max)
+        return mant * quantum
+
+    def _to_blocks(self, x: np.ndarray) -> np.ndarray:
+        flat = np.ravel(x)
+        size = int(self.block_size)
+        pad = (-flat.size) % size
+        if pad:
+            flat = np.concatenate([flat, np.zeros(pad, dtype=flat.dtype)])
+        return flat.reshape(-1, size)
+
+    # -------------------------------------------------------- enumeration
+    def codepoints(self, shared_exp: int = 0) -> np.ndarray:
+        quantum = float(self._quantum(np.asarray(float(shared_exp))))
+        mants = np.arange(-self.mant_max, self.mant_max + 1, dtype=np.float64)
+        return mants * quantum
+
+    def spec(self) -> Dict[str, Any]:
+        spec = super().spec()
+        spec.update(block_size=self.block_size)
+        return spec

@@ -1,0 +1,47 @@
+"""Bit-packing of quantized tensors into real bitstreams.
+
+The accuracy experiments only need the dequantized float view of a
+tensor, but the hardware story rests on the claim that an ``n``-bit
+format really stores ``n`` bits per element.  This module packs arrays
+of ``n``-bit words (as produced by ``AdaptivFloat.encode``, or integer
+levels from the uniform/BFP formats) into a contiguous ``uint8`` buffer,
+MSB-first, and unpacks them again — the storage layout a weight buffer
+in the PE would hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_words", "unpack_words", "packed_nbytes"]
+
+
+def packed_nbytes(count: int, bits: int) -> int:
+    """Bytes needed to store ``count`` words of ``bits`` bits each."""
+    return (count * bits + 7) // 8
+
+
+def pack_words(words: np.ndarray, bits: int) -> bytes:
+    """Pack unsigned ``bits``-wide words into a MSB-first byte string."""
+    if not 1 <= bits <= 32:
+        raise ValueError(f"bits must be in [1, 32], got {bits}")
+    w = np.asarray(words, dtype=np.uint64).ravel()
+    if np.any(w >= (1 << bits)):
+        raise ValueError(f"word does not fit in {bits} bits")
+    # Expand each word into its bits (MSB first), then pack.
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
+    bit_matrix = ((w[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
+    return np.packbits(bit_matrix.ravel()).tobytes()
+
+
+def unpack_words(buffer: bytes, bits: int, count: int) -> np.ndarray:
+    """Unpack ``count`` ``bits``-wide words from a MSB-first byte string."""
+    if not 1 <= bits <= 32:
+        raise ValueError(f"bits must be in [1, 32], got {bits}")
+    needed = packed_nbytes(count, bits)
+    if len(buffer) < needed:
+        raise ValueError(f"buffer too short: need {needed} bytes, got {len(buffer)}")
+    flat = np.unpackbits(np.frombuffer(buffer, dtype=np.uint8),
+                         count=count * bits).reshape(count, bits)
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
+    return (flat.astype(np.uint64) << shifts[None, :]).sum(axis=1).astype(np.uint32)

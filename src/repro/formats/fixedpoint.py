@@ -1,0 +1,61 @@
+"""Classic two's-complement fixed-point quantizer (Q-format).
+
+Not one of the paper's five headline formats, but the representative of
+the "fixed-point encodings [3, 5, 20]" the introduction argues against:
+a static grid ``2**-frac_bits`` with range ``[-2**int_bits,
+2**int_bits - 2**-frac_bits]``.  Useful in ablations to show how a fixed
+binary point fails on wide-distribution layers even when uniform
+quantization (with its float scale) still works.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .base import Quantizer, RoundMode, ulp_round
+
+__all__ = ["FixedPoint"]
+
+
+class FixedPoint(Quantizer):
+    """``n``-bit two's-complement fixed point with ``frac_bits`` fraction bits."""
+
+    name = "fixedpoint"
+
+    def __init__(self, bits: int, frac_bits: int,
+                 round_mode: str = RoundMode.NEAREST_EVEN,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(bits)
+        if round_mode not in RoundMode.ALL:
+            raise ValueError(f"unknown round mode {round_mode!r}")
+        self.frac_bits = int(frac_bits)
+        self.round_mode = round_mode
+        self._rng = rng
+
+    @property
+    def quantum(self) -> float:
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def level_min(self) -> int:
+        return -(2 ** (self.bits - 1))
+
+    @property
+    def level_max(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        levels = ulp_round(x / self.quantum, self.round_mode, self._rng)
+        return np.clip(levels, self.level_min, self.level_max) * self.quantum
+
+    def codepoints(self) -> np.ndarray:
+        levels = np.arange(self.level_min, self.level_max + 1, dtype=np.float64)
+        return levels * self.quantum
+
+    def spec(self) -> Dict[str, Any]:
+        spec = super().spec()
+        spec.update(frac_bits=self.frac_bits)
+        return spec

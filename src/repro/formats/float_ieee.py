@@ -1,0 +1,96 @@
+"""Non-adaptive IEEE-like float quantizer (paper baseline "Float").
+
+``FloatIEEE<n, e>`` follows the IEEE 754 layout — sign, ``e`` exponent
+bits with the standard bias ``2**(e-1) - 1``, ``m = n - e - 1`` mantissa
+bits — but, being a quantization grid rather than an arithmetic type, it
+has no Inf/NaN codepoints: the top exponent is an ordinary binade and
+out-of-range magnitudes saturate to the largest finite value.  Subnormals
+are kept, which is what gives the format its zero representation and its
+(fixed) tiny-value resolution.
+
+Unlike AdaptivFloat the exponent range never moves; this is the paper's
+non-adaptive float baseline whose dynamic range is whatever the IEEE bias
+dictates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .base import Quantizer, RoundMode, ulp_round
+
+__all__ = ["FloatIEEE"]
+
+
+class FloatIEEE(Quantizer):
+    """IEEE-like ``<n, e>`` float grid with subnormals and saturation."""
+
+    name = "float"
+
+    def __init__(self, bits: int, exp_bits: int = 4,
+                 round_mode: str = RoundMode.NEAREST_EVEN,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(bits)
+        if exp_bits < 1:
+            raise ValueError(f"need at least 1 exponent bit, got {exp_bits}")
+        if bits - exp_bits - 1 < 0:
+            raise ValueError(f"Float<{bits},{exp_bits}> leaves no room for the sign bit")
+        if round_mode not in RoundMode.ALL:
+            raise ValueError(f"unknown round mode {round_mode!r}")
+        self.exp_bits = int(exp_bits)
+        self.mant_bits = int(bits - exp_bits - 1)
+        self.round_mode = round_mode
+        self._rng = rng
+
+    # ----------------------------------------------------------- structure
+    @property
+    def exp_bias(self) -> int:
+        """The fixed IEEE exponent bias ``2**(e-1) - 1``."""
+        return 2 ** (self.exp_bits - 1) - 1
+
+    @property
+    def min_normal_exp(self) -> int:
+        """Exponent of the smallest normal binade (stored exponent 1)."""
+        return 1 - self.exp_bias
+
+    @property
+    def max_exp(self) -> int:
+        """Exponent of the largest binade (stored exponent all-ones)."""
+        return (2 ** self.exp_bits - 1) - self.exp_bias
+
+    @property
+    def value_max(self) -> float:
+        return 2.0 ** self.max_exp * (2.0 - 2.0 ** (-self.mant_bits))
+
+    # ---------------------------------------------------------- quantizing
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        sign = np.sign(x)
+        a = np.minimum(np.abs(x), self.value_max)
+
+        safe = np.where(a > 0.0, a, 1.0)
+        _, e = np.frexp(safe)
+        exp = e - 1
+        # Subnormal region shares the smallest normal binade's quantum.
+        exp = np.maximum(exp, self.min_normal_exp)
+        quantum = np.exp2(exp.astype(np.float64) - self.mant_bits)
+        q = ulp_round(a / quantum, self.round_mode, self._rng) * quantum
+        return sign * np.where(a > 0.0, q, 0.0)
+
+    # -------------------------------------------------------- enumeration
+    def codepoints(self) -> np.ndarray:
+        ulp = 2.0 ** (-self.mant_bits)
+        sub = np.arange(2 ** self.mant_bits, dtype=np.float64) \
+            * ulp * 2.0 ** self.min_normal_exp
+        mants = 1.0 + np.arange(2 ** self.mant_bits, dtype=np.float64) * ulp
+        exps = np.arange(self.min_normal_exp, self.max_exp + 1, dtype=np.float64)
+        normals = (np.exp2(exps)[:, None] * mants[None, :]).ravel()
+        mags = np.concatenate([sub[1:], normals])
+        return np.sort(np.concatenate([-mags, [0.0], mags]))
+
+    def spec(self) -> Dict[str, Any]:
+        spec = super().spec()
+        spec.update(exp_bits=self.exp_bits, mant_bits=self.mant_bits)
+        return spec

@@ -1,0 +1,91 @@
+"""Numerical-analysis helpers for the encodings.
+
+First-principles quantities behind the paper's design choices: dynamic
+range, worst-case relative error, and the exact accumulator widths a MAC
+pipeline needs — derived symbolically here and compared, in the tests,
+against the paper's ``2n + log2(H)`` / ``2(2^e−1) + 2m + log2(H)``
+register formulas.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from .base import Quantizer
+
+__all__ = [
+    "dynamic_range_db", "decades_covered", "worst_case_relative_error",
+    "adaptivfloat_product_bits", "int_accumulator_bits",
+    "hfint_accumulator_bits", "format_summary",
+]
+
+
+def dynamic_range_db(quantizer: Quantizer, **params) -> float:
+    """20·log10(max|x| / min nonzero |x|) over the codepoint set."""
+    points = np.abs(quantizer.codepoints(**params))
+    nonzero = points[points > 0]
+    if nonzero.size == 0:
+        raise ValueError("format has no nonzero codepoints")
+    return 20.0 * math.log10(float(nonzero.max() / nonzero.min()))
+
+
+def decades_covered(quantizer: Quantizer, **params) -> float:
+    """Orders of magnitude between the smallest and largest magnitudes."""
+    return dynamic_range_db(quantizer, **params) / 20.0
+
+
+def worst_case_relative_error(quantizer: Quantizer, **params) -> float:
+    """Largest relative rounding error *within* the covered range.
+
+    Computed from adjacent codepoint gaps: a value at the midpoint of
+    the widest relative gap incurs the worst error.
+    """
+    points = np.unique(np.abs(quantizer.codepoints(**params)))
+    points = points[points > 0]
+    if points.size < 2:
+        raise ValueError("need at least two magnitudes")
+    mids = 0.5 * (points[:-1] + points[1:])
+    err = (mids - points[:-1]) / mids
+    return float(err.max())
+
+
+# ------------------------------------------------------- width derivations
+def adaptivfloat_product_bits(exp_bits: int, mant_bits: int) -> int:
+    """Bits to hold one exact AdaptivFloat x AdaptivFloat product
+    (unsigned magnitude, in units of ``2^-(2m)`` before biases).
+
+    Mantissas are in ``[2^m, 2^(m+1))`` so products need ``2m + 2`` bits;
+    stored exponents add up to ``2 (2^e - 1)`` left shifts.
+    """
+    return (2 * mant_bits + 2) + 2 * (2 ** exp_bits - 1)
+
+
+def int_accumulator_bits(bits: int, accum_length: int) -> int:
+    """Exact signed width for ``H`` products of n-bit two's-complement
+    operands (symmetric ±(2^(n-1)−1) values)."""
+    level = 2 ** (bits - 1) - 1
+    worst = accum_length * level * level
+    return math.ceil(math.log2(worst + 1)) + 1  # +1 sign
+
+
+def hfint_accumulator_bits(bits: int, exp_bits: int,
+                           accum_length: int) -> int:
+    """Exact signed width for ``H`` worst-case AdaptivFloat products."""
+    mant_bits = bits - exp_bits - 1
+    mant_max = 2 ** (mant_bits + 1) - 1          # (2 - 2^-m) * 2^m
+    shift_max = 2 * (2 ** exp_bits - 1)
+    worst = accum_length * mant_max * mant_max * (2 ** shift_max)
+    return math.ceil(math.log2(worst + 1)) + 1  # +1 sign
+
+
+def format_summary(quantizer: Quantizer, **params) -> Dict[str, float]:
+    """One row of the CLI's format table: range and precision figures."""
+    return {
+        "codepoints": len(np.unique(quantizer.codepoints(**params))),
+        "dynamic_range_db": dynamic_range_db(quantizer, **params),
+        "decades": decades_covered(quantizer, **params),
+        "worst_rel_error": worst_case_relative_error(quantizer, **params),
+    }

@@ -1,0 +1,139 @@
+"""Posit quantizer (paper baseline "Posit", Gustafson's type III unum).
+
+A ``posit<n, es>`` word is sign | regime | exponent (``es`` bits) |
+fraction, where the run-length-encoded regime contributes a factor
+``useed**k`` with ``useed = 2**(2**es)``.  Posits taper: precision is
+highest around +/-1 and falls off toward ``maxpos = useed**(n-2)`` and
+``minpos = useed**-(n-2)``.  Like IEEE float (and unlike AdaptivFloat)
+the format is non-adaptive — its dynamic range is fixed by ``(n, es)``.
+
+Quantization proceeds by exact enumeration: every positive codepoint is
+decoded once per ``(n, es)`` (at most ``2**(n-1) - 1`` values, cached)
+and inputs round to the nearest codepoint.  Two underflow conventions
+are supported:
+
+* ``"nearest"`` (default): tiny magnitudes may round to zero — the
+  convention of software posit-quantization libraries, and the one that
+  behaves sensibly for DNN weights.
+* ``"saturate"``: the posit-standard rule that nonzero values never
+  round to zero (they stop at ``minpos``) and never exceed ``maxpos``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from .base import Quantizer
+
+__all__ = ["Posit", "decode_posit_word"]
+
+
+def decode_posit_word(word: int, bits: int, es: int) -> float:
+    """Decode one ``bits``-wide posit word (non-negative int) to a float.
+
+    Word 0 is zero; the NaR pattern (1 followed by zeros) raises, since a
+    quantization grid has no NaR.  Negative posits are the two's
+    complement of their absolute value.
+    """
+    mask = (1 << bits) - 1
+    word &= mask
+    if word == 0:
+        return 0.0
+    nar = 1 << (bits - 1)
+    if word == nar:
+        raise ValueError("NaR is not a numeric codepoint")
+    sign = 1.0
+    if word & nar:
+        sign = -1.0
+        word = (-word) & mask
+
+    body = word & (nar - 1)  # bits after the sign, MSB first
+    nbody = bits - 1
+    first = (body >> (nbody - 1)) & 1
+    run = 0
+    for i in range(nbody - 1, -1, -1):
+        if (body >> i) & 1 == first:
+            run += 1
+        else:
+            break
+    k = (run - 1) if first == 1 else -run
+    # Regime consumes `run` bits plus one terminator (if any bits remain).
+    consumed = min(run + 1, nbody)
+    rest = nbody - consumed
+    exp_bits = min(es, rest)
+    exp = (body >> (rest - exp_bits)) & ((1 << exp_bits) - 1) if exp_bits else 0
+    exp <<= es - exp_bits  # missing low exponent bits are zero
+    nfrac = rest - exp_bits
+    frac = body & ((1 << nfrac) - 1) if nfrac else 0
+    scale = k * (1 << es) + exp
+    return sign * 2.0 ** scale * (1.0 + frac / float(1 << nfrac if nfrac else 1))
+
+
+@lru_cache(maxsize=None)
+def _positive_codepoints(bits: int, es: int) -> Tuple[float, ...]:
+    values = [decode_posit_word(w, bits, es) for w in range(1, 2 ** (bits - 1))]
+    values.sort()
+    return tuple(values)
+
+
+class Posit(Quantizer):
+    """``posit<n, es>`` nearest-value quantizer."""
+
+    name = "posit"
+
+    def __init__(self, bits: int, es: int = 1, underflow: str = "nearest") -> None:
+        super().__init__(bits)
+        if bits > 16:
+            raise ValueError("enumeration-based posit supports bits <= 16")
+        if es < 0:
+            raise ValueError(f"es must be non-negative, got {es}")
+        if underflow not in ("nearest", "saturate"):
+            raise ValueError(f"unknown underflow mode {underflow!r}")
+        self.es = int(es)
+        self.underflow = underflow
+
+    # ----------------------------------------------------------- structure
+    @property
+    def useed(self) -> float:
+        return 2.0 ** (2 ** self.es)
+
+    @property
+    def maxpos(self) -> float:
+        return self.useed ** (self.bits - 2)
+
+    @property
+    def minpos(self) -> float:
+        return self.useed ** -(self.bits - 2)
+
+    # ---------------------------------------------------------- quantizing
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        mags = np.asarray(_positive_codepoints(self.bits, self.es))
+        sign = np.sign(x)
+        a = np.minimum(np.abs(x), self.maxpos)
+
+        if self.underflow == "saturate":
+            a = np.where((a > 0.0) & (a < self.minpos), self.minpos, a)
+            table = mags
+        else:
+            table = np.concatenate([[0.0], mags])
+
+        mids = 0.5 * (table[:-1] + table[1:])
+        idx = np.searchsorted(mids, a, side="right")
+        out = table[idx]
+        # Exact zeros are representable (word 0) in both modes.
+        out = np.where(a == 0.0, 0.0, out)
+        return sign * out
+
+    # -------------------------------------------------------- enumeration
+    def codepoints(self) -> np.ndarray:
+        mags = np.asarray(_positive_codepoints(self.bits, self.es))
+        return np.sort(np.concatenate([-mags, [0.0], mags]))
+
+    def spec(self) -> Dict[str, Any]:
+        spec = super().spec()
+        spec.update(es=self.es, underflow=self.underflow)
+        return spec

@@ -1,0 +1,92 @@
+"""Factory for the paper's number formats with the paper's defaults.
+
+Section 4 of the paper fixes the field widths after an exponent-width
+search: 3 exponent bits for AdaptivFloat, 4 for IEEE-like float (3 at a
+4-bit word), and ``es = 1`` for posit (``es = 0`` at a 4-bit word).
+:func:`make_quantizer` encodes those defaults so every experiment in
+:mod:`repro.experiments` builds formats the same way, while still
+accepting explicit overrides for the exponent-width-search ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+from .adaptivfloat import AdaptivFloat
+from .base import Quantizer
+from .bfp import BlockFloat
+from .fixedpoint import FixedPoint
+from .float_ieee import FloatIEEE
+from .logquant import LogQuant
+from .posit import Posit
+from .uniform import Uniform
+
+__all__ = ["Fp32", "make_quantizer", "paper_formats", "FORMAT_NAMES"]
+
+#: The five formats compared throughout the paper, in the tables' order.
+FORMAT_NAMES = ("float", "bfp", "uniform", "posit", "adaptivfloat")
+
+
+class Fp32(Quantizer):
+    """Identity 'format' standing in for the FP32 baseline."""
+
+    name = "fp32"
+
+    def __init__(self, bits: int = 32) -> None:
+        super().__init__(bits)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def codepoints(self) -> np.ndarray:
+        raise NotImplementedError("FP32 codepoints are not enumerable")
+
+
+def _default_float_exp_bits(bits: int) -> int:
+    return 3 if bits <= 4 else 4
+
+
+def _default_posit_es(bits: int) -> int:
+    return 0 if bits <= 4 else 1
+
+
+def make_quantizer(name: str, bits: int, **overrides: Any) -> Quantizer:
+    """Build a quantizer by format name with the paper's default fields.
+
+    Parameters
+    ----------
+    name:
+        One of ``"adaptivfloat"``, ``"float"``, ``"bfp"``, ``"uniform"``,
+        ``"posit"``, ``"fixedpoint"`` or ``"fp32"``.
+    bits:
+        Word size in bits.
+    overrides:
+        Format-specific keyword arguments (``exp_bits``, ``es``,
+        ``block_size``, ``round_mode``, ...).
+    """
+    factories: Dict[str, Callable[..., Quantizer]] = {
+        "adaptivfloat": lambda: AdaptivFloat(
+            bits, exp_bits=overrides.pop("exp_bits", 3), **overrides),
+        "float": lambda: FloatIEEE(
+            bits, exp_bits=overrides.pop("exp_bits", _default_float_exp_bits(bits)),
+            **overrides),
+        "bfp": lambda: BlockFloat(bits, **overrides),
+        "uniform": lambda: Uniform(bits, **overrides),
+        "posit": lambda: Posit(
+            bits, es=overrides.pop("es", _default_posit_es(bits)), **overrides),
+        "fixedpoint": lambda: FixedPoint(
+            bits, frac_bits=overrides.pop("frac_bits", bits - 2), **overrides),
+        "logquant": lambda: LogQuant(bits),
+        "fp32": lambda: Fp32(),
+    }
+    key = name.lower()
+    if key not in factories:
+        raise ValueError(f"unknown format {name!r}; known: {sorted(factories)}")
+    return factories[key]()
+
+
+def paper_formats(bits: int) -> List[Quantizer]:
+    """The five formats of Tables 2/3 and Fig. 4 at a given word size."""
+    return [make_quantizer(name, bits) for name in FORMAT_NAMES]

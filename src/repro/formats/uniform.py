@@ -1,0 +1,91 @@
+"""Uniform (integer) quantization (paper baseline "Uniform").
+
+Symmetric uniform quantization with a full-precision scale factor, the
+scheme used by integer inference engines such as TensorRT [21]:
+
+    ``scale = max|W| / (2**(n-1) - 1)``
+    ``q(v)  = clamp(round(v / scale)) * scale``
+
+The scale is a high-precision float — this is the per-tensor adaptive
+parameter, and it is exactly the hardware cost the HFINT PE avoids by
+replacing the post-accumulation scaling multiplier with AdaptivFloat's
+integer ``exp_bias`` shift (paper Section 5).
+
+An asymmetric (affine) variant with a zero point is provided as an
+extension; the paper's baseline is the symmetric form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .base import AdaptiveQuantizer, RoundMode, ulp_round
+
+__all__ = ["Uniform"]
+
+
+class Uniform(AdaptiveQuantizer):
+    """Symmetric (or affine) ``n``-bit uniform quantizer."""
+
+    name = "uniform"
+
+    def __init__(self, bits: int, symmetric: bool = True,
+                 round_mode: str = RoundMode.NEAREST_EVEN,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(bits)
+        if round_mode not in RoundMode.ALL:
+            raise ValueError(f"unknown round mode {round_mode!r}")
+        self.symmetric = bool(symmetric)
+        self.round_mode = round_mode
+        self._rng = rng
+
+    # ----------------------------------------------------------- structure
+    @property
+    def level_max(self) -> int:
+        """Largest integer level magnitude: ``2**(n-1) - 1``."""
+        return 2 ** (self.bits - 1) - 1
+
+    # ------------------------------------------------------------- fitting
+    def fit(self, x: np.ndarray) -> Dict[str, Any]:
+        x = np.asarray(x, dtype=np.float64)
+        if self.symmetric:
+            max_abs = float(np.abs(x).max()) if x.size else 0.0
+            scale = max_abs / self.level_max
+            if scale <= 0.0:  # all-zero or underflowed-to-zero tensor
+                scale = 1.0
+            return {"scale": scale, "zero_point": 0}
+        lo = float(x.min()) if x.size else 0.0
+        hi = float(x.max()) if x.size else 0.0
+        span = hi - lo
+        levels = 2 ** self.bits - 1
+        scale = span / levels if span > 0.0 else 1.0
+        zero_point = int(np.rint(-lo / scale)) if span > 0.0 else 0
+        return {"scale": scale, "zero_point": zero_point}
+
+    # ---------------------------------------------------------- quantizing
+    def quantize_with_params(self, x: np.ndarray, params: Dict[str, Any]) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        scale = float(params["scale"])
+        zero_point = int(params.get("zero_point", 0))
+        if self.symmetric:
+            levels = ulp_round(x / scale, self.round_mode, self._rng)
+            levels = np.clip(levels, -self.level_max, self.level_max)
+            return levels * scale
+        levels = ulp_round(x / scale, self.round_mode, self._rng) + zero_point
+        levels = np.clip(levels, 0, 2 ** self.bits - 1)
+        return (levels - zero_point) * scale
+
+    # -------------------------------------------------------- enumeration
+    def codepoints(self, scale: float = 1.0, zero_point: int = 0) -> np.ndarray:
+        if self.symmetric:
+            levels = np.arange(-self.level_max, self.level_max + 1, dtype=np.float64)
+            return levels * float(scale)
+        levels = np.arange(0, 2 ** self.bits, dtype=np.float64)
+        return (levels - zero_point) * float(scale)
+
+    def spec(self) -> Dict[str, Any]:
+        spec = super().spec()
+        spec.update(symmetric=self.symmetric)
+        return spec

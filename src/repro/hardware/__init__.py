@@ -1,0 +1,31 @@
+"""Hardware co-design: PE PPA models, bit-accurate datapaths, accelerator.
+
+* :mod:`repro.hardware.pe` — analytical energy/area of the NVDLA-like
+  INT PE and the proposed HFINT PE (paper Fig. 5/7).
+* :mod:`repro.hardware.datapath` — bit-accurate functional simulation of
+  both MAC pipelines at the paper's register widths.
+* :mod:`repro.hardware.accelerator` — the 4-PE + global-buffer system of
+  paper Fig. 6 / Table 4.
+"""
+
+from .accelerator import Accelerator, AcceleratorConfig, paper_accelerator
+from .constants import AREA_16NM, CLOCK_HZ, ENERGY_16NM, SRAM_16NM
+from .datapath import HFIntVectorMac, IntVectorMac, RequantParams
+from .pe import HFIntPE, IntPE, PEConfig, make_pe
+from .profiler import (InferenceCost, MacCounter, count_macs,
+                       estimate_inference_cost)
+from .lstm_program import LSTMCellProgram, compile_lstm_cell
+from .program import HardwareProgram, LayerProgram, compile_linear_stack
+from .simulator import EventSimulator, SimulationTrace
+from .workload import LSTMWorkload, PAPER_WORKLOAD
+
+__all__ = [
+    "AREA_16NM", "Accelerator", "AcceleratorConfig", "CLOCK_HZ",
+    "ENERGY_16NM", "EventSimulator", "HFIntPE", "HFIntVectorMac",
+    "HardwareProgram", "InferenceCost", "IntPE", "IntVectorMac",
+    "LSTMCellProgram", "LSTMWorkload", "LayerProgram", "MacCounter",
+    "PAPER_WORKLOAD", "PEConfig", "RequantParams", "SRAM_16NM",
+    "SimulationTrace", "compile_linear_stack", "compile_lstm_cell",
+    "count_macs", "estimate_inference_cost", "make_pe",
+    "paper_accelerator",
+]

@@ -1,0 +1,88 @@
+"""Energy/area models of the primitive datapath circuits.
+
+Every function is linear in the calibrated coefficients of
+:mod:`repro.hardware.constants`, mirroring how the coefficients were
+fitted.  All energies are dynamic fJ per activation of the circuit at
+1 GHz; all areas are mm².
+"""
+
+from __future__ import annotations
+
+from .constants import (AREA_16NM, ENERGY_16NM, SRAM_16NM, AreaCoefficients,
+                        EnergyCoefficients, SramParameters)
+
+__all__ = [
+    "multiplier_energy", "adder_energy", "shifter_energy", "register_energy",
+    "sram_read_energy", "control_energy",
+    "multiplier_area", "adder_area", "shifter_area", "register_area",
+    "control_area", "sram_area", "sram_read_energy_macro",
+    "sram_write_energy_macro", "sram_leakage_mw",
+]
+
+
+# --------------------------------------------------------------- energy (fJ)
+def multiplier_energy(bits_a: int, bits_b: int,
+                      coef: EnergyCoefficients = ENERGY_16NM) -> float:
+    """Array multiplier: energy scales with the partial-product count."""
+    return coef.mult_per_bit2 * bits_a * bits_b
+
+
+def adder_energy(bits: int, coef: EnergyCoefficients = ENERGY_16NM) -> float:
+    return coef.add_per_bit * bits
+
+
+def shifter_energy(bits: int, coef: EnergyCoefficients = ENERGY_16NM) -> float:
+    return coef.shift_per_bit * bits
+
+
+def register_energy(bits: int, coef: EnergyCoefficients = ENERGY_16NM) -> float:
+    return coef.reg_per_bit * bits
+
+
+def sram_read_energy(bits: int, coef: EnergyCoefficients = ENERGY_16NM) -> float:
+    """Effective operand-delivery energy (buffer read + distribution)."""
+    return coef.sram_read_per_bit * bits
+
+
+def control_energy(coef: EnergyCoefficients = ENERGY_16NM) -> float:
+    """Per-cycle PE sequencing/clock-tree energy."""
+    return coef.ctrl_per_cycle
+
+
+# ---------------------------------------------------------------- area (mm²)
+def multiplier_area(bits_a: int, bits_b: int,
+                    coef: AreaCoefficients = AREA_16NM) -> float:
+    return coef.mult_per_bit2 * bits_a * bits_b
+
+
+def adder_area(bits: int, coef: AreaCoefficients = AREA_16NM) -> float:
+    return coef.add_per_bit * bits
+
+
+def shifter_area(bits: int, coef: AreaCoefficients = AREA_16NM) -> float:
+    return coef.shift_per_bit * bits
+
+
+def register_area(bits: int, coef: AreaCoefficients = AREA_16NM) -> float:
+    return coef.reg_per_bit * bits
+
+
+def control_area(coef: AreaCoefficients = AREA_16NM) -> float:
+    return coef.ctrl_fixed
+
+
+# ----------------------------------------------------------------- SRAM macro
+def sram_area(kib: float, sram: SramParameters = SRAM_16NM) -> float:
+    return sram.area_per_kib * kib
+
+
+def sram_read_energy_macro(bits: int, sram: SramParameters = SRAM_16NM) -> float:
+    return sram.read_fj_per_bit * bits
+
+
+def sram_write_energy_macro(bits: int, sram: SramParameters = SRAM_16NM) -> float:
+    return sram.write_fj_per_bit * bits
+
+
+def sram_leakage_mw(kib: float, sram: SramParameters = SRAM_16NM) -> float:
+    return sram.leakage_mw_per_mib * (kib / 1024.0)

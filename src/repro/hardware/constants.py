@@ -1,0 +1,81 @@
+"""Calibrated 16 nm component coefficients for the PPA model.
+
+The paper evaluates post-HLS netlists with a commercial 16 nm FinFET
+library at 1 GHz (Section 6.1) — a flow we cannot run.  Instead,
+:mod:`repro.hardware` uses a linear component model (multipliers,
+adders, shifters, registers, SRAM delivery, control) whose coefficients
+were fitted, with physically-motivated lower/upper bounds, to the
+twelve per-op energy and twelve throughput/area points of the paper's
+Figure 7 (see ``tools/calibrate_hw.py``, which regenerates this file's
+values).  The fit reproduces every Fig. 7 point within ~12% (energy) /
+~19% (area) and — more importantly — preserves the paper's qualitative
+claims: HFINT per-op energy 0.97x -> 0.90x of INT from (4-bit, K=4) to
+(8-bit, K=16), and INT throughput/area 1.04x - 1.21x above HFINT.
+
+Units: energies in fJ (per operation at 1 GHz), areas in mm².
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["EnergyCoefficients", "AreaCoefficients", "SramParameters",
+           "ENERGY_16NM", "AREA_16NM", "SRAM_16NM", "CLOCK_HZ"]
+
+#: Nominal clock of the evaluated designs (paper Section 6.1).
+CLOCK_HZ = 1.0e9
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyCoefficients:
+    """Dynamic-energy coefficients (fJ)."""
+
+    mult_per_bit2: float      # array multiplier, per operand-bit^2
+    add_per_bit: float        # ripple/prefix adder, per result bit
+    shift_per_bit: float      # barrel shifter, per datapath bit
+    reg_per_bit: float        # clocked register, per bit per cycle
+    sram_read_per_bit: float  # effective operand delivery, per bit
+    ctrl_per_cycle: float     # PE-level sequencing/clocking per cycle
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaCoefficients:
+    """Layout-area coefficients (mm²)."""
+
+    mult_per_bit2: float
+    add_per_bit: float
+    shift_per_bit: float
+    reg_per_bit: float
+    ctrl_fixed: float         # PE-level control/decode block
+
+
+@dataclasses.dataclass(frozen=True)
+class SramParameters:
+    """On-chip SRAM macros (16 nm-class literature values)."""
+
+    area_per_kib: float = 1.45e-3     # mm² per KiB (~1.45 mm²/MiB)
+    read_fj_per_bit: float = 25.0     # fJ per bit read at the macro
+    write_fj_per_bit: float = 30.0    # fJ per bit written
+    leakage_mw_per_mib: float = 1.2   # static power per MiB
+
+
+#: Fitted against paper Fig. 7 energies (tools/calibrate_hw.py).
+ENERGY_16NM = EnergyCoefficients(
+    mult_per_bit2=0.4355,
+    add_per_bit=0.08,
+    shift_per_bit=0.04,
+    reg_per_bit=0.25,
+    sram_read_per_bit=160.66,
+    ctrl_per_cycle=1368.02,
+)
+
+#: Fitted against paper Fig. 7 throughput/area (tools/calibrate_hw.py).
+AREA_16NM = AreaCoefficients(
+    mult_per_bit2=1.0e-7,
+    add_per_bit=1.0e-6,
+    shift_per_bit=3.578e-6,
+    reg_per_bit=8.302e-5,
+    ctrl_fixed=9.557e-3,
+)
+
+SRAM_16NM = SramParameters()

@@ -1,0 +1,237 @@
+"""Bit-accurate functional simulation of the two PE datapaths.
+
+The analytical models in :mod:`repro.hardware.pe` answer "how much does
+it cost"; this module answers "what does it compute".  Both MAC
+pipelines are simulated at integer precision with the exact register
+widths of paper Fig. 5:
+
+* :class:`IntVectorMac` — n-bit integer operands, ``2n + log2(H)``-bit
+  saturating accumulation, S-bit fixed-point requantization multiply,
+  right shift, clip/truncate to n bits.
+* :class:`HFIntVectorMac` — AdaptivFloat operands entering as raw bit
+  words, mantissa multiply + exponent add, alignment into a
+  ``2(2^e-1) + 2m + log2(H)``-bit saturating integer accumulator,
+  ``exp_bias``-driven output shift, clip to an n-bit integer, and
+  integer-to-AdaptivFloat conversion at the output.
+
+Tests verify each pipeline against a float64 reference within the error
+bound implied by its truncations — the numerical contract of the paper's
+co-design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..formats import AdaptivFloat
+
+__all__ = ["IntVectorMac", "HFIntVectorMac", "RequantParams"]
+
+
+def _saturate(x: np.ndarray, width: int) -> np.ndarray:
+    """Two's-complement saturation to ``width`` bits (signed)."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return np.clip(x, lo, hi)
+
+
+@dataclasses.dataclass(frozen=True)
+class RequantParams:
+    """Fixed-point requantization multiplier ``M / 2**frac_bits``.
+
+    The INT PE dequantizes with a high-precision scale (paper Section
+    5.1): the float ``scale`` is encoded as an S-bit integer mantissa
+    with a fractional width, exactly as TensorRT-style engines do.
+    """
+
+    multiplier: int
+    frac_bits: int
+
+    @classmethod
+    def from_scale(cls, scale: float, scale_bits: int) -> "RequantParams":
+        """Encode a positive float scale into S bits (normalized)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        frac = scale_bits - 1 - math.floor(math.log2(scale))
+        multiplier = int(round(scale * (1 << frac)))
+        if multiplier >= 1 << scale_bits:  # rounding overflow
+            multiplier >>= 1
+            frac -= 1
+        return cls(multiplier=multiplier, frac_bits=frac)
+
+    @property
+    def value(self) -> float:
+        return self.multiplier / float(1 << self.frac_bits)
+
+
+class IntVectorMac:
+    """NVDLA-like integer MAC + requantization pipeline (Fig. 5a)."""
+
+    def __init__(self, bits: int = 8, accum_length: int = 256,
+                 scale_bits: Optional[int] = None) -> None:
+        self.bits = bits
+        self.accum_length = accum_length
+        self.scale_bits = scale_bits or 2 * bits
+        self.acc_width = 2 * bits + int(math.log2(accum_length))
+        self.scaled_width = self.acc_width + self.scale_bits
+        self.level_max = 2 ** (bits - 1) - 1
+
+    def check_levels(self, levels: np.ndarray) -> np.ndarray:
+        levels = np.asarray(levels, dtype=np.int64)
+        if np.any(np.abs(levels) > self.level_max):
+            raise ValueError(f"operand exceeds {self.bits}-bit range")
+        return levels
+
+    def accumulate(self, w_levels: np.ndarray, a_levels: np.ndarray) -> np.ndarray:
+        """Sequentially accumulate ``(out, in) x (in,)`` with saturation
+        at the accumulator width each cycle, as the hardware would."""
+        w = self.check_levels(w_levels)
+        a = self.check_levels(a_levels)
+        if w.shape[1] != a.shape[0]:
+            raise ValueError("shape mismatch")
+        if w.shape[1] > self.accum_length:
+            raise ValueError(
+                f"reduction length {w.shape[1]} exceeds H={self.accum_length}")
+        acc = np.zeros(w.shape[0], dtype=np.int64)
+        for j in range(w.shape[1]):
+            acc = _saturate(acc + w[:, j] * a[j], self.acc_width)
+        return acc
+
+    def requantize(self, acc: np.ndarray, requant: RequantParams) -> np.ndarray:
+        """Scale, shift and clip back to n-bit output levels."""
+        scaled = _saturate(acc * requant.multiplier, self.scaled_width)
+        # Arithmetic right shift with round-to-nearest (add half LSB).
+        half = 1 << (requant.frac_bits - 1) if requant.frac_bits > 0 else 0
+        shifted = (scaled + half) >> requant.frac_bits
+        return _saturate(shifted, self.bits)
+
+    def accumulate_tiled(self, w_levels: np.ndarray,
+                         a_levels: np.ndarray) -> np.ndarray:
+        """Reductions longer than H: process H-wide tiles and combine the
+        partial sums in an extended register (``acc + ceil(log2(tiles))``
+        bits), the output-stationary pattern a real tiling loop uses."""
+        w = self.check_levels(w_levels)
+        a = self.check_levels(a_levels)
+        length = w.shape[1]
+        tiles = max(1, -(-length // self.accum_length))
+        extended = self.acc_width + max(1, math.ceil(math.log2(tiles))) \
+            if tiles > 1 else self.acc_width
+        total = np.zeros(w.shape[0], dtype=np.int64)
+        for start in range(0, length, self.accum_length):
+            stop = min(start + self.accum_length, length)
+            partial = self.accumulate(w[:, start:stop], a[start:stop])
+            total = _saturate(total + partial, extended)
+        return total
+
+    def matvec(self, w_levels: np.ndarray, a_levels: np.ndarray,
+               requant: RequantParams,
+               activation: Optional[Callable[[np.ndarray], np.ndarray]] = None
+               ) -> np.ndarray:
+        """Full pipeline: accumulate -> requantize -> activation (on the
+        integer grid).  Returns n-bit output levels.  Reductions longer
+        than H are tiled automatically."""
+        w = np.asarray(w_levels)
+        if w.shape[1] > self.accum_length:
+            acc = self.accumulate_tiled(w_levels, a_levels)
+        else:
+            acc = self.accumulate(w_levels, a_levels)
+        out = self.requantize(acc, requant)
+        if activation is not None:
+            out = _saturate(np.asarray(activation(out), dtype=np.int64), self.bits)
+        return out
+
+
+class HFIntVectorMac:
+    """Hybrid float-integer MAC pipeline (Fig. 5b).
+
+    Operands are AdaptivFloat words plus their per-tensor ``exp_bias``
+    values (held in the PE's 4-bit bias registers).  The accumulator is
+    a plain integer register holding the sum in units of
+    ``2**(bias_w + bias_a - 2m)``.
+    """
+
+    def __init__(self, bits: int = 8, exp_bits: int = 3,
+                 accum_length: int = 256) -> None:
+        self.bits = bits
+        self.exp_bits = exp_bits
+        self.mant_bits = bits - exp_bits - 1
+        self.accum_length = accum_length
+        self.acc_width = (2 * (2 ** exp_bits - 1) + 2 * self.mant_bits
+                          + int(math.log2(accum_length)))
+        self.fmt = AdaptivFloat(bits, exp_bits)
+
+    # ------------------------------------------------------------ decoding
+    def _fields(self, words: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split words into (sign in {-1,+1}, stored exponent, integer
+        mantissa with implied one); zero words get mantissa 0."""
+        w = np.asarray(words, dtype=np.int64)
+        m = self.mant_bits
+        sign = np.where((w >> (self.bits - 1)) & 1, -1, 1).astype(np.int64)
+        exp = (w >> m) & (2 ** self.exp_bits - 1)
+        frac = w & (2 ** m - 1)
+        mant = (1 << m) + frac
+        is_zero = (exp == 0) & (frac == 0)
+        return sign, exp, np.where(is_zero, 0, mant)
+
+    # ---------------------------------------------------------- accumulate
+    def accumulate(self, w_words: np.ndarray, a_words: np.ndarray) -> np.ndarray:
+        """``(out, in)`` weight words x ``(in,)`` activation words ->
+        integer accumulators in units of ``2**-(2m)`` (before biases)."""
+        w_words = np.asarray(w_words)
+        a_words = np.asarray(a_words)
+        if w_words.shape[1] != a_words.shape[0]:
+            raise ValueError("shape mismatch")
+        if w_words.shape[1] > self.accum_length:
+            raise ValueError(
+                f"reduction length {w_words.shape[1]} exceeds H={self.accum_length}")
+        ws, we, wm = self._fields(w_words)
+        as_, ae, am = self._fields(a_words)
+        acc = np.zeros(w_words.shape[0], dtype=np.int64)
+        for j in range(w_words.shape[1]):
+            # mantissa multiply, exponent add, alignment shift
+            product = ws[:, j] * as_[j] * wm[:, j] * am[j]
+            aligned = product << (we[:, j] + ae[j])
+            acc = _saturate(acc + aligned, self.acc_width)
+        return acc
+
+    # ------------------------------------------------------- postprocessing
+    def output_shift_for(self, preact_max_abs: float,
+                         bias_w: int, bias_a: int) -> int:
+        """Shift aligning the accumulator to an n-bit integer covering
+        ``preact_max_abs`` (derived from offline calibration, like the
+        activation exp_bias in paper Section 5.2)."""
+        if preact_max_abs <= 0:
+            return 0
+        acc_units = preact_max_abs / 2.0 ** (bias_w + bias_a - 2 * self.mant_bits)
+        needed = max(0, math.ceil(math.log2(acc_units / (2 ** (self.bits - 1) - 1)))
+                     if acc_units > 0 else 0)
+        return needed
+
+    def matvec(self, w_words: np.ndarray, bias_w: int,
+               a_words: np.ndarray, bias_a: int,
+               out_bias: int, shift: int,
+               activation: Optional[Callable[[np.ndarray], np.ndarray]] = None
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Full pipeline.  Returns ``(out_words, out_values)`` where
+        ``out_words`` are AdaptivFloat words under ``out_bias``.
+
+        ``activation`` operates on the real-valued pre-activations (the
+        PE's activation unit is a lookup on the truncated integers, which
+        is exact for any pointwise function).
+        """
+        acc = self.accumulate(w_words, a_words)
+        # exp_bias-driven shift + clip/truncate to n-bit integer
+        half = 1 << (shift - 1) if shift > 0 else 0
+        ints = _saturate((acc + half) >> shift, self.bits)
+        # the integer grid step in real units:
+        step = 2.0 ** (bias_w + bias_a - 2 * self.mant_bits + shift)
+        preact = ints.astype(np.float64) * step
+        values = activation(preact) if activation is not None else preact
+        # integer-to-AdaptivFloat conversion at the PE output
+        quantized = self.fmt.quantize_with_params(values, {"exp_bias": out_bias})
+        words = self.fmt.encode(quantized, out_bias)
+        return words, quantized

@@ -1,0 +1,189 @@
+"""Compile an LSTM cell onto the HFINT datapath (the Fig. 6 workload).
+
+The paper's accelerator is "targeted for RNN and FC sequence-to-sequence
+networks" and its Table 4 workload is an LSTM.  This module lowers one
+:class:`~repro.nn.layers.recurrent.LSTMCell` to PE state and steps it
+with the bit-accurate :class:`~repro.hardware.datapath.HFIntVectorMac`:
+
+* the two gate matrices (``weight_ih``/``weight_hh``) become packed
+  AdaptivFloat bitstreams with their ``exp_bias`` registers;
+* gate pre-activations accumulate in the wide integer register, biases
+  join in accumulator units, and the exp_bias-driven shift truncates to
+  8-bit integers;
+* sigmoid/tanh are the activation unit's lookups (pointwise, exact);
+* the cell state ``c`` and hidden state ``h`` are re-quantized to
+  AdaptivFloat between steps with offline-calibrated biases — exactly
+  the per-tensor registers of paper Section 5.2.
+
+Tests verify the stepped hardware cell tracks the FP32 cell closely and
+the software fake-quantized cell almost exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..formats import AdaptivFloat
+from ..formats.bitpack import pack_words, unpack_words
+from .datapath import HFIntVectorMac
+
+__all__ = ["LSTMCellProgram", "compile_lstm_cell"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+@dataclasses.dataclass
+class LSTMCellProgram:
+    """One LSTM cell lowered to HFINT PE state."""
+
+    bits: int
+    exp_bits: int
+    accum_length: int
+    hidden: int
+    input_size: int
+    wih_stream: bytes
+    whh_stream: bytes
+    wih_bias: int
+    whh_bias: int
+    x_bias: int              # input-frame exp_bias register
+    h_bias: int              # hidden-state exp_bias register
+    c_bias: int              # cell-state exp_bias register
+    gate_shift: int          # post-accumulation shift for the gate sums
+    bias_values: np.ndarray  # FP bias vector (4H,) applied at the act unit
+
+    # ------------------------------------------------------------ helpers
+    def _mac(self) -> HFIntVectorMac:
+        return HFIntVectorMac(self.bits, self.exp_bits, self.accum_length)
+
+    def _words(self, stream: bytes, rows: int, cols: int) -> np.ndarray:
+        return unpack_words(stream, self.bits, rows * cols).reshape(rows, cols)
+
+    def _tiled(self, mac: HFIntVectorMac, w_words: np.ndarray,
+               a_words: np.ndarray) -> np.ndarray:
+        length = w_words.shape[1]
+        if length <= self.accum_length:
+            return mac.accumulate(w_words, a_words)
+        total = np.zeros(w_words.shape[0], dtype=np.int64)
+        for start in range(0, length, self.accum_length):
+            stop = min(start + self.accum_length, length)
+            total += mac.accumulate(w_words[:, start:stop],
+                                    a_words[start:stop])
+        return total
+
+    # ------------------------------------------------------------- stepping
+    def step(self, x: np.ndarray,
+             state: Optional[Tuple[np.ndarray, np.ndarray]] = None
+             ) -> Tuple[np.ndarray, np.ndarray]:
+        """One time step for one input vector; returns dequantized (h, c)."""
+        fmt = AdaptivFloat(self.bits, self.exp_bits)
+        mac = self._mac()
+        hs = self.hidden
+        if state is None:
+            h = np.zeros(hs)
+            c = np.zeros(hs)
+        else:
+            h, c = state
+
+        x_q = fmt.quantize_with_params(np.asarray(x, dtype=np.float64),
+                                       {"exp_bias": self.x_bias})
+        h_q = fmt.quantize_with_params(np.asarray(h, dtype=np.float64),
+                                       {"exp_bias": self.h_bias})
+        x_words = fmt.encode(x_q, self.x_bias)
+        h_words = fmt.encode(h_q, self.h_bias)
+
+        wih = self._words(self.wih_stream, 4 * hs, self.input_size)
+        whh = self._words(self.whh_stream, 4 * hs, hs)
+        m = mac.mant_bits
+        acc_ih = self._tiled(mac, wih, x_words)
+        acc_hh = self._tiled(mac, whh, h_words)
+        unit_ih = 2.0 ** (self.wih_bias + self.x_bias - 2 * m)
+        unit_hh = 2.0 ** (self.whh_bias + self.h_bias - 2 * m)
+        # the two partial sums are aligned into a common grid by shifting
+        # (model: dequantize each in its own unit, truncate at gate_shift)
+        step_unit = 2.0 ** self.gate_shift
+        level_max = (1 << (self.bits + 8)) - 1  # gate register, wide
+        gates_int = np.clip(
+            np.rint(acc_ih * unit_ih / step_unit)
+            + np.rint(acc_hh * unit_hh / step_unit),
+            -level_max, level_max)
+        gates = gates_int * step_unit + self.bias_values
+
+        i = _sigmoid(gates[0 * hs:1 * hs])
+        f = _sigmoid(gates[1 * hs:2 * hs])
+        g = np.tanh(gates[2 * hs:3 * hs])
+        o = _sigmoid(gates[3 * hs:4 * hs])
+        c_q = fmt.quantize_with_params(c, {"exp_bias": self.c_bias})
+        c_new = f * c_q + i * g
+        c_new = fmt.quantize_with_params(c_new, {"exp_bias": self.c_bias})
+        h_new = o * np.tanh(c_new)
+        h_new = fmt.quantize_with_params(h_new, {"exp_bias": self.h_bias})
+        return h_new, c_new
+
+    def run(self, frames: np.ndarray) -> np.ndarray:
+        """Step a (T, input_size) sequence; returns (T, hidden) h states."""
+        state: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        outputs: List[np.ndarray] = []
+        for frame in np.asarray(frames, dtype=np.float64):
+            h, c = self.step(frame, state)
+            state = (h, c)
+            outputs.append(h)
+        return np.stack(outputs)
+
+
+def compile_lstm_cell(weight_ih: np.ndarray, weight_hh: np.ndarray,
+                      bias: np.ndarray, calibration_frames: np.ndarray,
+                      bits: int = 8, exp_bits: int = 3,
+                      accum_length: int = 256) -> LSTMCellProgram:
+    """Lower an LSTM cell to :class:`LSTMCellProgram`.
+
+    ``weight_ih``: (4H, I); ``weight_hh``: (4H, H); ``bias``: (4H,).
+    ``calibration_frames``: (T, I) representative frames used to program
+    the exp_bias registers and the gate truncation shift offline.
+    """
+    weight_ih = np.asarray(weight_ih, dtype=np.float64)
+    weight_hh = np.asarray(weight_hh, dtype=np.float64)
+    bias = np.asarray(bias, dtype=np.float64)
+    hidden = weight_hh.shape[1]
+    if weight_ih.shape[0] != 4 * hidden or weight_hh.shape[0] != 4 * hidden:
+        raise ValueError("gate matrices must have 4*hidden rows")
+
+    fmt = AdaptivFloat(bits, exp_bits)
+    wih_bias = int(fmt.fit(weight_ih)["exp_bias"])
+    whh_bias = int(fmt.fit(weight_hh)["exp_bias"])
+    x_bias = int(fmt.fit(calibration_frames)["exp_bias"])
+    # h/c live in (-1, 1): anchor their registers at 1.0.
+    h_bias = int(fmt.fit(np.asarray([1.0]))["exp_bias"])
+    c_bias = int(fmt.fit(np.asarray([2.0]))["exp_bias"])
+
+    # FP32 calibration pass for the gate pre-activation range.
+    h = np.zeros(hidden)
+    c = np.zeros(hidden)
+    gate_max = 1e-9
+    for x in np.asarray(calibration_frames, dtype=np.float64):
+        gates = weight_ih @ x + weight_hh @ h + bias
+        gate_max = max(gate_max, float(np.abs(gates).max()))
+        i = _sigmoid(gates[:hidden])
+        f = _sigmoid(gates[hidden:2 * hidden])
+        g = np.tanh(gates[2 * hidden:3 * hidden])
+        o = _sigmoid(gates[3 * hidden:])
+        c = f * c + i * g
+        h = o * np.tanh(c)
+    # gate grid: 2**gate_shift steps covering gate_max with 2**(bits+8)
+    gate_shift = math.ceil(math.log2(gate_max / (1 << (bits + 8 - 1))))
+
+    wih_q = fmt.quantize_with_params(weight_ih, {"exp_bias": wih_bias})
+    whh_q = fmt.quantize_with_params(weight_hh, {"exp_bias": whh_bias})
+    return LSTMCellProgram(
+        bits=bits, exp_bits=exp_bits, accum_length=accum_length,
+        hidden=hidden, input_size=weight_ih.shape[1],
+        wih_stream=pack_words(fmt.encode(wih_q, wih_bias).ravel(), bits),
+        whh_stream=pack_words(fmt.encode(whh_q, whh_bias).ravel(), bits),
+        wih_bias=wih_bias, whh_bias=whh_bias,
+        x_bias=x_bias, h_bias=h_bias, c_bias=c_bias,
+        gate_shift=gate_shift, bias_values=bias)

@@ -1,0 +1,281 @@
+"""Analytical PPA models of the two PE micro-architectures (paper Fig. 5).
+
+* :class:`IntPE` — NVDLA-like monolithic integer PE: ``n``-bit integer
+  vector MACs, ``2n + log2(H)``-bit accumulation, an S-bit scaling
+  multiplier for dequantization (widening to ``2n + log2(H) + S``),
+  shift/clip/truncate back to ``n`` bits (paper Section 5.1).
+* :class:`HFIntPE` — the proposed hybrid float-integer PE: AdaptivFloat
+  ``<n, e>`` operands, small mantissa multipliers + exponent adders,
+  fixed-point accumulation at ``2(2^e - 1) + 2m + log2(H)`` bits, an
+  ``exp_bias``-driven shift instead of the scaling multiplier, and an
+  integer-to-AdaptivFloat converter at the output (Section 5.2).
+
+A PE has K lanes, each a K-wide vector MAC: K² MACs (2K² ops) per cycle,
+so a single PE sustains ``2 K² 1e9`` op/s at 1 GHz (Section 6.2).
+
+Energy per op decomposes as ``E_mac/2 + E_lane/(2K) + E_fixed/(2K²)``
+— per-MAC work, per-lane overhead (accumulator register + adder +
+operand delivery + amortized post-processing), and per-PE overhead
+(control).  Area mirrors this with the post-processing unit shared
+across lanes (one result emerges per lane only every H cycles).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict
+
+from . import components as comp
+from .constants import CLOCK_HZ
+
+__all__ = ["PEConfig", "IntPE", "HFIntPE", "make_pe"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PEConfig:
+    """Shared PE parameters.
+
+    ``bits``: MAC operand width; ``vector_size``: K (lanes == vector
+    width); ``accum_length``: H, values accumulated without overflow;
+    ``exp_bits``: AdaptivFloat exponent field (HFINT only; the paper
+    always uses 3); ``scale_bits``: S, the INT dequant scale width (the
+    paper uses S = 2n: INT4/16/24 and INT8/24/40).
+    """
+
+    bits: int = 8
+    vector_size: int = 16
+    accum_length: int = 256
+    exp_bits: int = 3
+    scale_bits: int = 0  # 0 -> default 2 * bits
+
+    def __post_init__(self):
+        if self.bits < 2:
+            raise ValueError(f"bits must be >= 2, got {self.bits}")
+        if self.vector_size < 1:
+            raise ValueError(f"vector_size must be >= 1, got {self.vector_size}")
+        if self.accum_length < 2 or self.accum_length & (self.accum_length - 1):
+            raise ValueError("accum_length must be a power of two >= 2")
+
+    @property
+    def scale_width(self) -> int:
+        return self.scale_bits or 2 * self.bits
+
+    @property
+    def log2_h(self) -> int:
+        return int(math.log2(self.accum_length))
+
+
+class _BasePE:
+    """Common PPA arithmetic for both PE flavours."""
+
+    kind = "base"
+
+    def __init__(self, config: PEConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------ interface
+    @property
+    def name(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def accumulator_width(self) -> int:
+        raise NotImplementedError
+
+    def _mac_energy(self) -> float:
+        raise NotImplementedError
+
+    def _lane_energy(self) -> float:
+        raise NotImplementedError
+
+    def _postproc_energy(self) -> float:
+        """Energy of producing one final output (per lane, per H cycles)."""
+        raise NotImplementedError
+
+    def _mac_area(self) -> float:
+        raise NotImplementedError
+
+    def _lane_area(self) -> float:
+        raise NotImplementedError
+
+    def _postproc_area(self) -> float:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- metrics
+    def ops_per_cycle(self) -> int:
+        k = self.config.vector_size
+        return 2 * k * k
+
+    def throughput_ops(self) -> float:
+        """Sustained op/s at the nominal clock."""
+        return self.ops_per_cycle() * CLOCK_HZ
+
+    def energy_per_cycle(self) -> float:
+        """Dynamic fJ per fully-utilized cycle."""
+        k = self.config.vector_size
+        lane = self._lane_energy() + self._postproc_energy() / self.config.accum_length
+        return k * k * self._mac_energy() + k * lane + comp.control_energy()
+
+    def energy_per_op(self) -> float:
+        """Dynamic fJ per operation (a MAC is 2 ops) — paper Fig. 7 top."""
+        return self.energy_per_cycle() / self.ops_per_cycle()
+
+    def area(self) -> float:
+        """Datapath area in mm² (buffers excluded, as in Fig. 7 bottom)."""
+        k = self.config.vector_size
+        return (k * k * self._mac_area() + k * self._lane_area()
+                + self._postproc_area() + comp.control_area())
+
+    def perf_per_area(self) -> float:
+        """TOPS per mm² — paper Fig. 7 bottom."""
+        tops = self.throughput_ops() / 1e12
+        return tops / self.area()
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-op energy decomposition (fJ) for reporting/ablations."""
+        k = self.config.vector_size
+        ops = self.ops_per_cycle()
+        return {
+            "mac": k * k * self._mac_energy() / ops,
+            "lane": k * self._lane_energy() / ops,
+            "postproc": k * self._postproc_energy()
+            / self.config.accum_length / ops,
+            "control": comp.control_energy() / ops,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name}, K={self.config.vector_size})"
+
+
+class IntPE(_BasePE):
+    """NVDLA-like monolithic integer PE (paper Fig. 5a)."""
+
+    kind = "int"
+
+    @property
+    def name(self) -> str:
+        cfg = self.config
+        return (f"INT{cfg.bits}/{self.accumulator_width}/"
+                f"{self.scaled_width}")
+
+    @property
+    def accumulator_width(self) -> int:
+        cfg = self.config
+        return 2 * cfg.bits + cfg.log2_h
+
+    @property
+    def scaled_width(self) -> int:
+        return self.accumulator_width + self.config.scale_width
+
+    # -------------------------------------------------------------- energy
+    def _mac_energy(self) -> float:
+        cfg = self.config
+        tree_width = 2 * cfg.bits + int(math.log2(cfg.vector_size))
+        return (comp.multiplier_energy(cfg.bits, cfg.bits)
+                + comp.adder_energy(tree_width))
+
+    def _lane_energy(self) -> float:
+        cfg = self.config
+        acc = self.accumulator_width
+        return (comp.adder_energy(acc) + comp.register_energy(acc)
+                + comp.sram_read_energy(cfg.bits))
+
+    def _postproc_energy(self) -> float:
+        acc = self.accumulator_width
+        scaled = self.scaled_width
+        return (comp.multiplier_energy(acc, self.config.scale_width)
+                + comp.shifter_energy(scaled) + comp.register_energy(scaled))
+
+    # ---------------------------------------------------------------- area
+    def _mac_area(self) -> float:
+        cfg = self.config
+        tree_width = 2 * cfg.bits + int(math.log2(cfg.vector_size))
+        return (comp.multiplier_area(cfg.bits, cfg.bits)
+                + comp.adder_area(tree_width)
+                + comp.register_area(cfg.bits))  # stationary weight register
+
+    def _lane_area(self) -> float:
+        acc = self.accumulator_width
+        return (comp.adder_area(acc)
+                + comp.register_area(acc + self.config.bits))
+
+    def _postproc_area(self) -> float:
+        acc = self.accumulator_width
+        scaled = self.scaled_width
+        return (comp.multiplier_area(acc, self.config.scale_width)
+                + comp.shifter_area(scaled) + comp.register_area(scaled))
+
+
+class HFIntPE(_BasePE):
+    """Hybrid float-integer PE exploiting AdaptivFloat (paper Fig. 5b)."""
+
+    kind = "hfint"
+
+    @property
+    def mant_bits(self) -> int:
+        return self.config.bits - self.config.exp_bits - 1
+
+    @property
+    def name(self) -> str:
+        return f"HFINT{self.config.bits}/{self.accumulator_width}"
+
+    @property
+    def accumulator_width(self) -> int:
+        cfg = self.config
+        return 2 * (2 ** cfg.exp_bits - 1) + 2 * self.mant_bits + cfg.log2_h
+
+    # -------------------------------------------------------------- energy
+    def _mac_energy(self) -> float:
+        cfg = self.config
+        acc = self.accumulator_width
+        mant = self.mant_bits + 1  # implied leading one
+        return (comp.multiplier_energy(mant, mant)
+                + comp.adder_energy(cfg.exp_bits + 1)   # exponent adder
+                + comp.shifter_energy(acc)              # product alignment
+                + comp.adder_energy(acc))               # reduction tree
+
+    def _lane_energy(self) -> float:
+        cfg = self.config
+        acc = self.accumulator_width
+        return (comp.adder_energy(acc) + comp.register_energy(acc)
+                + comp.sram_read_energy(cfg.bits))
+
+    def _postproc_energy(self) -> float:
+        acc = self.accumulator_width
+        # exp_bias shift, integer-to-AdaptivFloat conversion, output reg.
+        return (comp.shifter_energy(acc) + comp.adder_energy(self.config.bits)
+                + comp.register_energy(acc))
+
+    # ---------------------------------------------------------------- area
+    def _mac_area(self) -> float:
+        cfg = self.config
+        acc = self.accumulator_width
+        mant = self.mant_bits + 1
+        return (comp.multiplier_area(mant, mant)
+                + comp.adder_area(cfg.exp_bits + 1)
+                + comp.shifter_area(acc)
+                + comp.adder_area(acc)
+                + comp.register_area(cfg.bits))  # stationary weight register
+
+    def _lane_area(self) -> float:
+        acc = self.accumulator_width
+        return (comp.adder_area(acc)
+                + comp.register_area(acc + self.config.bits))
+
+    def _postproc_area(self) -> float:
+        acc = self.accumulator_width
+        return (comp.shifter_area(acc) + comp.adder_area(self.config.bits)
+                + comp.register_area(acc))
+
+
+def make_pe(kind: str, bits: int, vector_size: int,
+            accum_length: int = 256, **kwargs) -> _BasePE:
+    """Factory: ``kind`` in {"int", "hfint"}."""
+    config = PEConfig(bits=bits, vector_size=vector_size,
+                      accum_length=accum_length, **kwargs)
+    if kind == "int":
+        return IntPE(config)
+    if kind == "hfint":
+        return HFIntPE(config)
+    raise ValueError(f"unknown PE kind {kind!r}")

@@ -1,0 +1,59 @@
+"""Workload descriptors for the accelerator model (paper Section 6.1).
+
+The paper's evaluation workload is "100 LSTM time steps with 256 hidden
+units operating in a weight stationary dataflow"; Table 4 reports the
+resulting latency/power/area for the 4-PE systems.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["LSTMWorkload", "PAPER_WORKLOAD"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LSTMWorkload:
+    """A single-layer LSTM run: the accelerator's target kernel."""
+
+    timesteps: int = 100
+    hidden: int = 256
+    input_dim: int = 256
+
+    def __post_init__(self):
+        if min(self.timesteps, self.hidden, self.input_dim) < 1:
+            raise ValueError("workload dimensions must be positive")
+
+    @property
+    def gates(self) -> int:
+        return 4
+
+    @property
+    def macs_per_step(self) -> int:
+        """MACs for the 4 gate matrices of one time step."""
+        return self.gates * self.hidden * (self.hidden + self.input_dim)
+
+    @property
+    def ops_per_step(self) -> int:
+        return 2 * self.macs_per_step
+
+    @property
+    def gate_outputs_per_step(self) -> int:
+        return self.gates * self.hidden
+
+    @property
+    def weight_count(self) -> int:
+        """Stationary weights (gate matrices; biases folded)."""
+        return self.gates * self.hidden * (self.hidden + self.input_dim)
+
+    @property
+    def total_macs(self) -> int:
+        return self.timesteps * self.macs_per_step
+
+    @property
+    def total_ops(self) -> int:
+        return self.timesteps * self.ops_per_step
+
+
+#: The exact workload of paper Table 4.
+PAPER_WORKLOAD = LSTMWorkload(timesteps=100, hidden=256, input_dim=256)

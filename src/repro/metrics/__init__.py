@@ -1,0 +1,11 @@
+"""Evaluation metrics: BLEU, WER, top-1 accuracy, RMS quantization error."""
+
+from .accuracy import top1_accuracy, top_k_accuracy
+from .bleu import bleu_score, ngram_precisions
+from .error import boxplot_stats, rms_error
+from .wer import edit_distance, wer_score
+
+__all__ = [
+    "bleu_score", "boxplot_stats", "edit_distance", "ngram_precisions",
+    "rms_error", "top1_accuracy", "top_k_accuracy", "wer_score",
+]

@@ -1,0 +1,27 @@
+"""Classification accuracy, the ResNet metric (paper: Top-1 = 76.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_accuracy", "top1_accuracy"]
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Top-k accuracy on the 0-100 scale.
+
+    ``logits``: (N, classes); ``labels``: (N,) integer class ids.
+    """
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if len(labels) != len(logits):
+        raise ValueError("logits/labels length mismatch")
+    top = np.argsort(-logits, axis=1)[:, :k]
+    hit = (top == labels[:, None]).any(axis=1)
+    return 100.0 * float(hit.mean())
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    return top_k_accuracy(logits, labels, k=1)

@@ -1,0 +1,35 @@
+"""Quantization-error metrics (paper Fig. 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["rms_error", "boxplot_stats"]
+
+
+def rms_error(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """Root-mean-square error between a tensor and its quantized image."""
+    reference = np.asarray(reference, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    if reference.shape != quantized.shape:
+        raise ValueError(f"shape mismatch {reference.shape} vs {quantized.shape}")
+    diff = quantized - reference
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def boxplot_stats(values: Sequence[float]) -> Dict[str, float]:
+    """The five-number summary + mean backing one Fig. 4 boxplot."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no values")
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    return {
+        "min": float(arr.min()),
+        "q1": float(q1),
+        "median": float(median),
+        "q3": float(q3),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+    }

@@ -1,0 +1,51 @@
+"""Word error rate (Levenshtein), the seq2seq speech metric.
+
+Corpus WER = total (substitutions + insertions + deletions) over all
+utterances, divided by total reference words, on the 0-100 scale the
+paper uses (FP32 seq2seq WER = 13.34).  WER can exceed 100 when a model
+hallucinates long outputs — the paper prints "inf"-like collapses for
+4-bit float/posit; we report the actual (large) number.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["edit_distance", "wer_score"]
+
+
+def edit_distance(reference: Sequence[int], hypothesis: Sequence[int]) -> int:
+    """Levenshtein distance with unit costs (two-row DP)."""
+    ref, hyp = list(reference), list(hypothesis)
+    if not ref:
+        return len(hyp)
+    if not hyp:
+        return len(ref)
+    previous = np.arange(len(hyp) + 1)
+    current = np.empty_like(previous)
+    for i, r in enumerate(ref, start=1):
+        current[0] = i
+        for j, h in enumerate(hyp, start=1):
+            current[j] = min(previous[j] + 1,          # deletion
+                             current[j - 1] + 1,       # insertion
+                             previous[j - 1] + (r != h))  # substitution
+        previous, current = current, previous
+    return int(previous[len(hyp)])
+
+
+def wer_score(references: List[Sequence[int]],
+              hypotheses: List[Sequence[int]]) -> float:
+    """Corpus word error rate on the 0-100 scale."""
+    if len(references) != len(hypotheses):
+        raise ValueError(f"{len(references)} references vs "
+                         f"{len(hypotheses)} hypotheses")
+    total_edits = 0
+    total_words = 0
+    for ref, hyp in zip(references, hypotheses):
+        total_edits += edit_distance(ref, hyp)
+        total_words += len(ref)
+    if total_words == 0:
+        raise ValueError("empty reference corpus")
+    return 100.0 * total_edits / total_words

@@ -1,0 +1,34 @@
+"""A compact NumPy NN framework with reverse-mode autodiff.
+
+This package is the training/inference substrate for the paper's three
+model families (DESIGN.md §2): tensors with autograd, layers, models,
+optimizers, and the fake-quantization machinery for post-training
+quantization (PTQ) and quantization-aware retraining (QAR).
+"""
+
+from . import functional, init, layers, optim
+from .layers import (LSTM, AdditiveAttention, BatchNorm2d, Conv2d, Dropout,
+                     Embedding, GELU, LayerNorm, Linear, LSTMCell,
+                     MultiHeadAttention, ReLU, Sigmoid, Tanh)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import Adam, SGD, clip_grad_norm
+from .tensor import Tensor, is_grad_enabled, no_grad
+from . import models, prune, quantize, schedules
+from .prune import magnitude_prune, sparsity_report
+from .trainer import Trainer, TrainHistory
+from .quantize import (ActFakeQuant, QuantSpec, WeightFakeQuant,
+                       attach_act_quantizers, attach_weight_quantizers,
+                       calibrate, detach_quantizers,
+                       quantize_weights_inplace)
+
+__all__ = [
+    "ActFakeQuant", "Adam", "AdditiveAttention", "BatchNorm2d", "Conv2d",
+    "Dropout", "Embedding", "GELU", "LSTM", "LSTMCell", "LayerNorm",
+    "Linear", "Module", "ModuleList", "MultiHeadAttention", "Parameter",
+    "QuantSpec", "ReLU", "SGD", "Sequential", "Sigmoid", "Tanh", "Tensor",
+    "WeightFakeQuant", "attach_act_quantizers", "attach_weight_quantizers",
+    "TrainHistory", "Trainer", "calibrate", "clip_grad_norm",
+    "detach_quantizers", "functional", "init", "is_grad_enabled", "layers",
+    "magnitude_prune", "models", "no_grad", "optim", "prune", "quantize",
+    "quantize_weights_inplace", "schedules", "sparsity_report",
+]

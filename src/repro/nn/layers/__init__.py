@@ -1,0 +1,16 @@
+"""Neural-network layers built on the autodiff tensor."""
+
+from .activation import GELU, ReLU, Sigmoid, Tanh
+from .attention import AdditiveAttention, MultiHeadAttention
+from .conv import Conv2d
+from .dropout import Dropout
+from .embedding import Embedding
+from .linear import Linear
+from .norm import BatchNorm2d, LayerNorm
+from .recurrent import LSTM, LSTMCell
+
+__all__ = [
+    "AdditiveAttention", "BatchNorm2d", "Conv2d", "Dropout", "Embedding",
+    "GELU", "LSTM", "LSTMCell", "LayerNorm", "Linear", "MultiHeadAttention",
+    "ReLU", "Sigmoid", "Tanh",
+]

@@ -1,0 +1,29 @@
+"""Activation-function layers (stateless wrappers over functional ops)."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["GELU", "ReLU", "Sigmoid", "Tanh"]
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return self.quant_act(F.relu(x))
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return self.quant_act(F.gelu(x))
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return self.quant_act(F.tanh(x))
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return self.quant_act(F.sigmoid(x))

@@ -1,0 +1,83 @@
+"""Attention mechanisms: scaled-dot-product multi-head and additive.
+
+Multi-head attention drives the Transformer (paper Table 1, "Attention,
+FC layers"); additive (Bahdanau-style) attention drives the seq2seq
+speech model [4].
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+from .linear import Linear
+
+__all__ = ["AdditiveAttention", "MultiHeadAttention"]
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head attention (Vaswani et al. [28])."""
+
+    def __init__(self, d_model: int, num_heads: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if d_model % num_heads:
+            raise ValueError(f"d_model={d_model} not divisible by heads={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.w_q = Linear(d_model, d_model, rng=rng)
+        self.w_k = Linear(d_model, d_model, rng=rng)
+        self.w_v = Linear(d_model, d_model, rng=rng)
+        self.w_o = Linear(d_model, d_model, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(self, query: Tensor, key: Tensor, value: Tensor,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        """``query``: (B, Tq, D); ``key``/``value``: (B, Tk, D).
+
+        ``mask``: boolean array broadcastable to (B, heads, Tq, Tk);
+        True marks *blocked* positions.
+        """
+        batch, tq, _ = query.shape
+        q = self._split_heads(self.w_q(query))
+        k = self._split_heads(self.w_k(key))
+        v = self._split_heads(self.w_v(value))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        if mask is not None:
+            scores = F.masked_fill(scores, mask, -1e9)
+        attn = F.softmax(scores, axis=-1)
+        context = attn @ v  # (B, H, Tq, d_head)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, tq, self.d_model)
+        return self.w_o(merged)
+
+
+class AdditiveAttention(Module):
+    """Bahdanau attention: ``score = v^T tanh(W_q q + W_k k)``."""
+
+    def __init__(self, query_size: int, key_size: int, attn_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.w_query = Linear(query_size, attn_size, bias=False, rng=rng)
+        self.w_key = Linear(key_size, attn_size, bias=False, rng=rng)
+        self.v = Linear(attn_size, 1, bias=False, rng=rng)
+
+    def forward(self, query: Tensor, keys: Tensor,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        """``query``: (B, Q); ``keys``: (B, T, K) -> context (B, K)."""
+        batch, steps, key_size = keys.shape
+        q = self.w_query(query).reshape(batch, 1, -1)
+        k = self.w_key(keys)
+        scores = self.v((q + k).tanh()).reshape(batch, steps)
+        if mask is not None:
+            scores = F.masked_fill(scores, mask, -1e9)
+        weights = F.softmax(scores, axis=-1).reshape(batch, 1, steps)
+        context = weights @ keys  # (B, 1, K)
+        return context.reshape(batch, key_size)

@@ -1,0 +1,69 @@
+"""Normalisation layers.
+
+The paper's Figure 1 observation hinges on the difference between these
+two: BatchNorm reparameterizes weights (keeping CNN weight ranges
+narrow) while LayerNorm does not (letting Transformer weights grow an
+order of magnitude larger).  Both are implemented as autodiff composites
+so quantization-aware retraining differentiates through them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import init
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["BatchNorm2d", "LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)))
+        self.bias = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        inv_std = (var + self.eps) ** -0.5
+        return centered * inv_std * self.weight + self.bias
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation for NCHW feature maps with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1) -> None:
+        super().__init__()
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        # Running statistics are buffers: saved/restored with state_dict
+        # but not trained.
+        self.register_buffer("running_mean", np.zeros(num_features, np.float32))
+        self.register_buffer("running_var", np.ones(num_features, np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mu = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mu
+            var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mu.data.reshape(-1))
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * var.data.reshape(-1))
+        else:
+            mu = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            centered = x - mu
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        inv_std = (var + self.eps) ** -0.5
+        scale = self.weight.reshape(1, -1, 1, 1)
+        shift = self.bias.reshape(1, -1, 1, 1)
+        return centered * inv_std * scale + shift

@@ -1,0 +1,12 @@
+"""The paper's three model families plus an MLP utility model."""
+
+from .mlp import MLP
+from .resnet import ResNet, ResNetConfig
+from .seq2seq import Seq2Seq, Seq2SeqConfig
+from .transformer import (Transformer, TransformerConfig, causal_mask,
+                          padding_mask)
+
+__all__ = [
+    "MLP", "ResNet", "ResNetConfig", "Seq2Seq", "Seq2SeqConfig",
+    "Transformer", "TransformerConfig", "causal_mask", "padding_mask",
+]

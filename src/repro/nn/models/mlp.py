@@ -1,0 +1,34 @@
+"""Plain multi-layer perceptron (used in examples and smoke tests)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import functional as F
+from ..layers import Linear
+from ..module import Module, ModuleList
+from ..tensor import Tensor
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """ReLU MLP: ``sizes = (in, hidden..., out)``."""
+
+    def __init__(self, sizes: Sequence[int],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.layers = ModuleList(
+            [Linear(a, b, rng=rng) for a, b in zip(sizes[:-1], sizes[1:])])
+
+    def forward(self, x) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < len(self.layers) - 1:
+                x = F.relu(x)
+        return x

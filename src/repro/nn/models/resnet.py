@@ -1,0 +1,104 @@
+"""Residual CNN with BatchNorm (He et al. [10], scaled down).
+
+Stands in for the paper's ImageNet ResNet-50 (Table 1): BasicBlock
+residual stages with BatchNorm — the normalization whose weight-
+reparameterization side effect keeps CNN weight ranges narrow (paper
+Fig. 1) — followed by global average pooling and a linear classifier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..layers import BatchNorm2d, Conv2d, Linear
+from ..module import Module, ModuleList
+from ..tensor import Tensor, no_grad
+
+__all__ = ["ResNet", "ResNetConfig"]
+
+
+@dataclasses.dataclass
+class ResNetConfig:
+    """Hyper-parameters for the scaled-down residual CNN."""
+
+    in_channels: int = 3
+    num_classes: int = 10
+    stage_channels: tuple = (16, 32, 64)
+    blocks_per_stage: int = 2
+    image_size: int = 16
+    #: Mild per-filter init gains: converged CNNs are leptokurtic within
+    #: each conv tensor even though their overall range is narrow (paper
+    #: Fig. 1).  BatchNorm absorbs per-channel scale, so this is
+    #: function-preserving at initialization.
+    weight_gain_spread: float = 2.0
+
+
+class _BasicBlock(Module):
+    def __init__(self, in_ch: int, out_ch: int, stride: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.conv2 = Conv2d(out_ch, out_ch, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut_conv = Conv2d(in_ch, out_ch, 1, stride=stride,
+                                        bias=False, rng=rng)
+            self.shortcut_bn = BatchNorm2d(out_ch)
+        else:
+            self.shortcut_conv = None
+            self.shortcut_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        shortcut = x
+        if self.shortcut_conv is not None:
+            shortcut = self.shortcut_bn(self.shortcut_conv(x))
+        return F.relu(out + shortcut)
+
+
+class ResNet(Module):
+    """Small BasicBlock ResNet for NCHW images."""
+
+    def __init__(self, config: Optional[ResNetConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.config = cfg = config or ResNetConfig()
+        first = cfg.stage_channels[0]
+        self.stem_conv = Conv2d(cfg.in_channels, first, 3, stride=1,
+                                padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(first)
+        blocks: List[Module] = []
+        in_ch = first
+        for stage, out_ch in enumerate(cfg.stage_channels):
+            for block in range(cfg.blocks_per_stage):
+                stride = 2 if (stage > 0 and block == 0) else 1
+                blocks.append(_BasicBlock(in_ch, out_ch, stride, rng))
+                in_ch = out_ch
+        self.blocks = ModuleList(blocks)
+        self.head = Linear(in_ch, cfg.num_classes, rng=rng)
+        from .. import init as _init
+        for name, module in self.named_modules():
+            if isinstance(module, Conv2d):
+                module.weight.data = _init.apply_row_gains(
+                    module.weight.data, cfg.weight_gain_spread, rng)
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        """``images``: (B, C, H, W) -> logits (B, num_classes)."""
+        x = images if isinstance(images, Tensor) else Tensor(images)
+        x = F.relu(self.stem_bn(self.stem_conv(x)))
+        for block in self.blocks:
+            x = block(x)
+        return self.head(F.global_avg_pool2d(x))
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class prediction in eval mode (no autograd graph)."""
+        with no_grad():
+            return self.forward(images).data.argmax(axis=-1)

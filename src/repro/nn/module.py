@@ -1,0 +1,196 @@
+"""Module/Parameter system: stateful layers over the autodiff tensors.
+
+Mirrors the familiar torch.nn design at the scale this project needs:
+attribute assignment registers parameters and submodules, modules expose
+``named_parameters`` / ``state_dict`` / ``train`` / ``eval``, and every
+module carries two optional fake-quantization hooks used by
+:mod:`repro.nn.quantize`:
+
+* ``weight_fake_quant`` — applied to weight parameters inside layer
+  forwards (the paper's weight quantization path),
+* ``act_fake_quant``    — applied to layer outputs (the paper's
+  activation quantization path, Table 3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+        object.__setattr__(self, "weight_fake_quant", None)
+        object.__setattr__(self, "act_fake_quant", None)
+
+    # --------------------------------------------------------- registration
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        elif name in getattr(self, "_buffers", {}):
+            self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track non-trainable state (e.g. BatchNorm running statistics)
+        so it travels with ``state_dict`` like torch buffers do."""
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, value in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), value
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_buffers(child_prefix)
+
+    # ----------------------------------------------------------- iteration
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_parameters(child_prefix)
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------ training
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ---------------------------------------------------------- state dict
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: param.data.copy()
+                 for name, param in self.named_parameters()}
+        for name, value in self.named_buffers():
+            state[f"{name}@buffer"] = np.asarray(value).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        buffer_owners = {}
+        for prefix, module in self.named_modules():
+            for bname in module._buffers:
+                key = f"{prefix}.{bname}" if prefix else bname
+                buffer_owners[f"{key}@buffer"] = (module, bname)
+        missing = (set(own) | set(buffer_owners)) - set(state)
+        unexpected = set(state) - set(own) - set(buffer_owners)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{value.shape} vs {param.data.shape}")
+            param.data = value.copy()
+        for key, (module, bname) in buffer_owners.items():
+            value = np.asarray(state[key], dtype=np.float32)
+            setattr(module, bname, value.copy())
+
+    # -------------------------------------------------- quantization hooks
+    def quant_weight(self, weight: Tensor) -> Tensor:
+        """Route a weight parameter through the attached fake-quantizer."""
+        if self.weight_fake_quant is None:
+            return weight
+        return self.weight_fake_quant(weight)
+
+    def quant_act(self, x: Tensor) -> Tensor:
+        """Route a layer output through the attached fake-quantizer."""
+        if self.act_fake_quant is None:
+            return x
+        return self.act_fake_quant(x)
+
+    # ------------------------------------------------------------- calling
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """A list of submodules, registered under their indices."""
+
+    def __init__(self, modules=()) -> None:
+        super().__init__()
+        self._list: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self._modules[str(len(self._list))] = module
+        self._list.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._list[idx]
+
+
+class Sequential(Module):
+    """Apply submodules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._list: List[Module] = []
+        for module in modules:
+            self._modules[str(len(self._list))] = module
+            self._list.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def forward(self, x):
+        for module in self._list:
+            x = module(x)
+        return x

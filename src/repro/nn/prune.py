@@ -1,0 +1,91 @@
+"""Magnitude pruning, composable with AdaptivFloat quantization.
+
+Paper Section 2: "Deep Compression techniques [9] such as pruning and
+weight sharing can be used in combination to this work".  This module
+provides global / per-layer magnitude pruning over the same layer set
+the quantizers target, plus the observation that makes the composition
+free: AdaptivFloat represents zero exactly (the re-purposed bottom
+codepoint), so pruned weights survive quantization bit-exactly — unlike
+IEEE-like float grids where only the subnormal floor guarantees a zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from .module import Module
+from .quantize import DEFAULT_QUANTIZED_LAYERS
+
+__all__ = ["magnitude_prune", "sparsity_report"]
+
+
+def _weight_params(model: Module,
+                   layer_types: Tuple[Type[Module], ...]):
+    for name, module in model.named_modules():
+        if not isinstance(module, layer_types):
+            continue
+        for pname, param in module._parameters.items():
+            if pname == "bias" or pname.startswith("bias"):
+                continue
+            yield f"{name}.{pname}" if name else pname, param
+
+
+def magnitude_prune(model: Module, sparsity: float,
+                    scope: str = "global",
+                    layer_types: Tuple[Type[Module], ...] = DEFAULT_QUANTIZED_LAYERS
+                    ) -> Dict[str, np.ndarray]:
+    """Zero the smallest-magnitude weights in place.
+
+    ``sparsity`` is the target fraction of zeros in [0, 1).  With
+    ``scope="global"`` one threshold is chosen over all layers (larger
+    layers absorb more pruning); ``scope="layer"`` prunes each weight
+    tensor to the target independently.  Returns the boolean keep-masks
+    (True = kept) keyed by parameter name, for mask-respecting
+    fine-tuning.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    if scope not in ("global", "layer"):
+        raise ValueError(f"unknown scope {scope!r}")
+    params = list(_weight_params(model, layer_types))
+    if not params:
+        raise ValueError("no prunable weights found")
+
+    masks: Dict[str, np.ndarray] = {}
+    if scope == "global":
+        magnitudes = np.concatenate([np.abs(p.data).ravel() for _, p in params])
+        k = int(sparsity * magnitudes.size)
+        threshold = np.partition(magnitudes, k)[k] if k > 0 else -1.0
+        for name, param in params:
+            mask = np.abs(param.data) > threshold
+            param.data = param.data * mask
+            masks[name] = mask
+    else:
+        for name, param in params:
+            flat = np.abs(param.data).ravel()
+            k = int(sparsity * flat.size)
+            threshold = np.partition(flat, k)[k] if k > 0 else -1.0
+            mask = np.abs(param.data) > threshold
+            param.data = param.data * mask
+            masks[name] = mask
+    return masks
+
+
+def sparsity_report(model: Module,
+                    layer_types: Tuple[Type[Module], ...] = DEFAULT_QUANTIZED_LAYERS
+                    ) -> Dict[str, float]:
+    """Fraction of exact zeros per weight tensor plus the overall rate."""
+    report: Dict[str, float] = {}
+    zeros = 0
+    total = 0
+    for name, param in _weight_params(model, layer_types):
+        z = int((param.data == 0.0).sum())
+        report[name] = z / param.data.size
+        zeros += z
+        total += param.data.size
+    if total == 0:
+        raise ValueError("no prunable weights found")
+    report["__overall__"] = zeros / total
+    return report

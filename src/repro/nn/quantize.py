@@ -1,0 +1,264 @@
+"""Fake-quantization of weights and activations (PTQ and QAR).
+
+This module wires the number formats of :mod:`repro.formats` into the NN
+framework, following the paper's procedures:
+
+* **Weights** (Tables 2): every weight matrix is routed through a
+  :class:`WeightFakeQuant` that re-derives the adaptive parameter
+  (``exp_bias`` / scale / shared exponent) from the *current* FP32 weight
+  each forward — Algorithm 1's per-layer self-adaptation.  Gradients use
+  the straight-through estimator, so quantization-aware retraining (QAR)
+  keeps updating latent FP32 weights.
+* **Activations** (Table 3): each layer output passes through an
+  :class:`ActFakeQuant` whose adaptive parameter is frozen from max-|x|
+  statistics gathered during offline calibration batches — exactly how
+  the paper's HFINT PE gets its activation ``exp_bias`` ("informed from
+  statistics during offline batch inference", Section 5.2).
+
+Use :func:`attach_weight_quantizers` / :func:`attach_act_quantizers` to
+instrument a model, :func:`calibrate` to fit activation observers, and
+:func:`quantize_weights_inplace` for one-shot PTQ of a frozen model.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
+
+import numpy as np
+
+from ..formats import AdaptiveQuantizer, Quantizer, make_quantizer
+from . import functional as F
+from .layers import Conv2d, Embedding, Linear, LSTMCell
+from .module import Module
+from .tensor import Tensor
+
+__all__ = [
+    "QuantSpec", "WeightFakeQuant", "ActFakeQuant",
+    "attach_weight_quantizers", "attach_act_quantizers",
+    "detach_quantizers", "calibrate", "quantize_weights_inplace",
+    "DEFAULT_QUANTIZED_LAYERS",
+]
+
+#: Layer types whose weights/outputs the paper's experiments quantize.
+#: Norm scale/shift vectors and biases stay in high precision, matching
+#: common accelerator practice (they ride the high-precision accumulator).
+DEFAULT_QUANTIZED_LAYERS: Tuple[Type[Module], ...] = (
+    Linear, Conv2d, Embedding, LSTMCell)
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantSpec:
+    """A (format, bits, overrides) triple; builds fresh quantizers."""
+
+    fmt: str
+    bits: int
+    overrides: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def build(self) -> Quantizer:
+        return make_quantizer(self.fmt, self.bits, **dict(self.overrides))
+
+    @property
+    def label(self) -> str:
+        return f"{self.fmt}{self.bits}"
+
+
+class WeightFakeQuant:
+    """Per-forward weight fake-quantizer with STE gradients."""
+
+    def __init__(self, quantizer: Quantizer) -> None:
+        self.quantizer = quantizer
+
+    def __call__(self, weight: Tensor) -> Tensor:
+        return F.fake_quantize(weight, self.quantizer.quantize)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WeightFakeQuant({self.quantizer!r})"
+
+
+class ActFakeQuant:
+    """Stateful activation fake-quantizer with offline calibration.
+
+    Modes:
+
+    * ``"bypass"``  — identity (fresh instances start here),
+    * ``"observe"`` — record range statistics and pass through,
+    * ``"apply"``   — quantize on the grid frozen by :meth:`freeze`.
+
+    ``calibration`` selects how the adaptive range anchor is derived:
+    ``"max"`` (the paper's rule, Section 5.2) anchors at the observed
+    maximum; ``"percentile"`` anchors at the given percentile of |x|,
+    clipping activation outliers in exchange for finer resolution of the
+    bulk (an extension ablation; cf. TensorRT-style calibration).
+    """
+
+    _SAMPLE_CAP = 65_536
+
+    def __init__(self, quantizer: Quantizer, calibration: str = "max",
+                 percentile: float = 99.9) -> None:
+        if calibration not in ("max", "percentile"):
+            raise ValueError(f"unknown calibration {calibration!r}")
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        self.quantizer = quantizer
+        self.calibration = calibration
+        self.percentile = percentile
+        self.mode = "bypass"
+        self.max_abs = 0.0
+        self._samples: list = []
+        self._sample_count = 0
+        self.params: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------ control
+    def observe(self) -> None:
+        self.mode = "observe"
+
+    def _record(self, data: np.ndarray) -> None:
+        flat = np.abs(data).ravel()
+        if flat.size:
+            self.max_abs = max(self.max_abs, float(flat.max()))
+        if self.calibration == "percentile" and flat.size:
+            # reservoir-ish subsample with a fixed budget
+            budget = self._SAMPLE_CAP - self._sample_count
+            if budget > 0:
+                take = flat if flat.size <= budget else \
+                    flat[:: max(1, flat.size // budget)][:budget]
+                self._samples.append(np.asarray(take, dtype=np.float32))
+                self._sample_count += take.size
+
+    def _range_anchor(self) -> float:
+        if self.calibration == "max":
+            return self.max_abs
+        if not self._samples:
+            return self.max_abs
+        pooled = np.concatenate(self._samples)
+        return float(np.percentile(pooled, self.percentile))
+
+    def freeze(self) -> None:
+        """Fit the adaptive parameter from observed statistics and apply."""
+        if isinstance(self.quantizer, AdaptiveQuantizer):
+            anchor = self._range_anchor()
+            if anchor <= 0.0:
+                raise RuntimeError(
+                    "activation quantizer frozen without calibration data")
+            self.params = self.quantizer.fit(np.asarray([anchor]))
+        self.mode = "apply"
+
+    def bypass(self) -> None:
+        self.mode = "bypass"
+
+    # ------------------------------------------------------------ forward
+    def _quantize_array(self, data: np.ndarray) -> np.ndarray:
+        if isinstance(self.quantizer, AdaptiveQuantizer):
+            return self.quantizer.quantize_with_params(
+                np.asarray(data, dtype=np.float64), self.params)
+        return self.quantizer.quantize(data)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if self.mode == "bypass":
+            return x
+        if self.mode == "observe":
+            self._record(x.data)
+            return x
+        return F.fake_quantize(x, self._quantize_array)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ActFakeQuant({self.quantizer!r}, mode={self.mode!r})"
+
+
+# ---------------------------------------------------------------- attaching
+def _target_modules(model: Module,
+                    layer_types: Tuple[Type[Module], ...]
+                    ) -> Iterator[Tuple[str, Module]]:
+    for name, module in model.named_modules():
+        if isinstance(module, layer_types):
+            yield name, module
+
+
+def attach_weight_quantizers(
+        model: Module, spec: QuantSpec,
+        layer_types: Tuple[Type[Module], ...] = DEFAULT_QUANTIZED_LAYERS
+) -> List[str]:
+    """Attach a fresh weight fake-quantizer to every matching layer.
+
+    Returns the names of instrumented modules.
+    """
+    touched = []
+    for name, module in _target_modules(model, layer_types):
+        module.weight_fake_quant = WeightFakeQuant(spec.build())
+        touched.append(name)
+    if not touched:
+        raise ValueError("no quantizable layers found in model")
+    return touched
+
+
+def attach_act_quantizers(
+        model: Module, spec: QuantSpec,
+        layer_types: Tuple[Type[Module], ...] = DEFAULT_QUANTIZED_LAYERS,
+        calibration: str = "max", percentile: float = 99.9
+) -> Dict[str, ActFakeQuant]:
+    """Attach activation fake-quantizers; returns them keyed by module name."""
+    observers: Dict[str, ActFakeQuant] = {}
+    for name, module in _target_modules(model, layer_types):
+        observer = ActFakeQuant(spec.build(), calibration=calibration,
+                                percentile=percentile)
+        module.act_fake_quant = observer
+        observers[name] = observer
+    if not observers:
+        raise ValueError("no quantizable layers found in model")
+    return observers
+
+
+def detach_quantizers(model: Module) -> None:
+    """Remove every weight/activation fake-quantizer from the model."""
+    for module in model.modules():
+        module.weight_fake_quant = None
+        module.act_fake_quant = None
+
+
+@contextlib.contextmanager
+def calibrate(model: Module):
+    """Context manager: observe activation ranges, then freeze them.
+
+    Run representative batches inside the ``with`` block; on exit every
+    attached :class:`ActFakeQuant` freezes its grid and starts applying.
+    """
+    observers = [m.act_fake_quant for m in model.modules()
+                 if m.act_fake_quant is not None]
+    if not observers:
+        raise ValueError("model has no activation quantizers attached")
+    for obs in observers:
+        obs.observe()
+    yield model
+    for obs in observers:
+        obs.freeze()
+
+
+# --------------------------------------------------------------------- PTQ
+def quantize_weights_inplace(
+        model: Module, spec: QuantSpec,
+        layer_types: Tuple[Type[Module], ...] = DEFAULT_QUANTIZED_LAYERS
+) -> Dict[str, Dict[str, Any]]:
+    """Post-training quantization: overwrite weights with their quantized
+    values (per weight tensor, self-adaptive).  Returns the adaptive
+    parameters per quantized parameter for reporting/bit-packing.
+    """
+    report: Dict[str, Dict[str, Any]] = {}
+    for name, module in _target_modules(model, layer_types):
+        for pname, param in module._parameters.items():
+            if pname.startswith("bias") or pname == "bias":
+                continue
+            quantizer = spec.build()
+            if isinstance(quantizer, AdaptiveQuantizer):
+                params = quantizer.fit(param.data)
+                quantized = quantizer.quantize_with_params(
+                    param.data.astype(np.float64), params)
+            else:
+                params = {}
+                quantized = quantizer.quantize(param.data)
+            param.data = quantized.astype(np.float32)
+            report[f"{name}.{pname}"] = params
+    if not report:
+        raise ValueError("no weights quantized")
+    return report

@@ -1,0 +1,90 @@
+"""Learning-rate schedules.
+
+The QAR fine-tunes of Table 2/3 use a constant small LR, but the FP32
+baselines benefit from warmup (the heavier-tailed inits make early
+optimization noisy); these schedules are standard torch-style callables
+attached to any optimizer via :class:`LRScheduler`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "constant", "linear_warmup", "cosine_decay",
+           "warmup_cosine", "inverse_sqrt"]
+
+Schedule = Callable[[int], float]
+
+
+def constant() -> Schedule:
+    """Multiplier 1.0 forever."""
+    return lambda step: 1.0
+
+
+def linear_warmup(warmup_steps: int) -> Schedule:
+    """Ramp 0 -> 1 over ``warmup_steps``, then hold."""
+    if warmup_steps < 1:
+        raise ValueError("warmup_steps must be >= 1")
+
+    def schedule(step: int) -> float:
+        return min(1.0, (step + 1) / warmup_steps)
+
+    return schedule
+
+
+def cosine_decay(total_steps: int, floor: float = 0.0) -> Schedule:
+    """Cosine from 1 down to ``floor`` over ``total_steps``."""
+    if total_steps < 1:
+        raise ValueError("total_steps must be >= 1")
+
+    def schedule(step: int) -> float:
+        progress = min(1.0, step / total_steps)
+        return floor + (1.0 - floor) * 0.5 * (1.0 + math.cos(math.pi * progress))
+
+    return schedule
+
+
+def warmup_cosine(warmup_steps: int, total_steps: int,
+                  floor: float = 0.0) -> Schedule:
+    """Linear warmup into a cosine decay (the common transformer recipe)."""
+    warm = linear_warmup(warmup_steps)
+    decay = cosine_decay(max(1, total_steps - warmup_steps), floor)
+
+    def schedule(step: int) -> float:
+        if step < warmup_steps:
+            return warm(step)
+        return decay(step - warmup_steps)
+
+    return schedule
+
+
+def inverse_sqrt(warmup_steps: int) -> Schedule:
+    """The original Transformer schedule (scaled to peak 1.0)."""
+    if warmup_steps < 1:
+        raise ValueError("warmup_steps must be >= 1")
+
+    def schedule(step: int) -> float:
+        s = step + 1
+        return min(s / warmup_steps, math.sqrt(warmup_steps / s))
+
+    return schedule
+
+
+class LRScheduler:
+    """Drives an optimizer's learning rate from a schedule multiplier."""
+
+    def __init__(self, optimizer: Optimizer, schedule: Schedule) -> None:
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+        optimizer.lr = self.base_lr * schedule(0)
+
+    def step(self) -> float:
+        """Advance one step; returns the new learning rate."""
+        self.step_count += 1
+        self.optimizer.lr = self.base_lr * self.schedule(self.step_count)
+        return self.optimizer.lr

@@ -1,0 +1,122 @@
+"""A small training loop with history, gradient clipping and callbacks.
+
+The experiment drivers use their own minimal loop
+(:func:`repro.experiments.common._train`) for exact parity with the
+paper's procedure; :class:`Trainer` is the library-grade equivalent for
+downstream users — loss history, periodic evaluation, LR scheduling,
+early stopping and best-checkpoint tracking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from . import clip_grad_norm
+from .module import Module
+from .optim import Optimizer
+from .schedules import LRScheduler, Schedule
+from .tensor import Tensor
+
+__all__ = ["Trainer", "TrainHistory"]
+
+
+@dataclasses.dataclass
+class TrainHistory:
+    """Per-step losses and periodic evaluation scores."""
+
+    losses: List[float] = dataclasses.field(default_factory=list)
+    eval_steps: List[int] = dataclasses.field(default_factory=list)
+    eval_scores: List[float] = dataclasses.field(default_factory=list)
+    learning_rates: List[float] = dataclasses.field(default_factory=list)
+
+    def smoothed_loss(self, window: int = 25) -> float:
+        if not self.losses:
+            raise ValueError("no steps recorded")
+        tail = self.losses[-window:]
+        return float(np.mean(tail))
+
+
+class Trainer:
+    """Drive (model, optimizer) over a batch iterable.
+
+    Parameters
+    ----------
+    loss_fn:
+        ``(model, batch) -> Tensor`` scalar loss.
+    eval_fn:
+        optional ``(model) -> float`` metric, run every ``eval_every``
+        steps; with ``higher_is_better`` it also tracks the best
+        parameters (restored by :meth:`restore_best`).
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer,
+                 loss_fn: Callable[[Module, object], Tensor],
+                 eval_fn: Optional[Callable[[Module], float]] = None,
+                 eval_every: int = 100, higher_is_better: bool = True,
+                 max_grad_norm: Optional[float] = 5.0,
+                 schedule: Optional[Schedule] = None,
+                 patience: Optional[int] = None) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.eval_fn = eval_fn
+        self.eval_every = eval_every
+        self.higher_is_better = higher_is_better
+        self.max_grad_norm = max_grad_norm
+        self.scheduler = LRScheduler(optimizer, schedule) if schedule else None
+        self.patience = patience
+        self.history = TrainHistory()
+        self._best_score: Optional[float] = None
+        self._best_state: Optional[Dict[str, np.ndarray]] = None
+        self._stale_evals = 0
+
+    # ------------------------------------------------------------- running
+    def fit(self, batches: Iterable) -> TrainHistory:
+        self.model.train()
+        for step, batch in enumerate(batches):
+            loss = self.loss_fn(self.model, batch)
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.max_grad_norm is not None:
+                clip_grad_norm(self.model.parameters(), self.max_grad_norm)
+            self.optimizer.step()
+            if self.scheduler is not None:
+                self.scheduler.step()
+            self.history.losses.append(loss.item())
+            self.history.learning_rates.append(self.optimizer.lr)
+            if self.eval_fn and (step + 1) % self.eval_every == 0:
+                if self._evaluate(step + 1):
+                    break  # early stop
+        self.model.eval()
+        return self.history
+
+    def _evaluate(self, step: int) -> bool:
+        score = float(self.eval_fn(self.model))
+        self.history.eval_steps.append(step)
+        self.history.eval_scores.append(score)
+        improved = (self._best_score is None
+                    or (score > self._best_score) == self.higher_is_better
+                    and score != self._best_score)
+        if improved:
+            self._best_score = score
+            self._best_state = self.model.state_dict()
+            self._stale_evals = 0
+        else:
+            self._stale_evals += 1
+        self.model.train()
+        return (self.patience is not None
+                and self._stale_evals >= self.patience)
+
+    # ------------------------------------------------------------ weights
+    @property
+    def best_score(self) -> Optional[float]:
+        return self._best_score
+
+    def restore_best(self) -> None:
+        """Load the best-evaluated parameters back into the model."""
+        if self._best_state is None:
+            raise RuntimeError("no evaluation has run yet")
+        self.model.load_state_dict(self._best_state)

@@ -1,0 +1,213 @@
+"""Tests for analysis utilities: sweeps, stats, emulators, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (PUBLISHED_MODELS, bitwidth_sweep_rms,
+                            exponent_width_search_metric,
+                            exponent_width_search_rms, format_table,
+                            layer_weights, sample_weights, weight_range,
+                            weight_ranges, weight_summary)
+from repro.nn.models import MLP
+
+
+class TestModelZooStats:
+    def test_published_ranges_reproduced_exactly(self):
+        for model in PUBLISHED_MODELS:
+            sample = sample_weights(model, count=50_000)
+            assert sample.min() == pytest.approx(model.w_min)
+            assert sample.max() == pytest.approx(model.w_max)
+
+    def test_bulk_is_narrow(self):
+        model = next(m for m in PUBLISHED_MODELS if m.name == "Transformer")
+        sample = sample_weights(model, count=50_000)
+        # the bulk must sit orders of magnitude inside the extremes
+        assert np.percentile(np.abs(sample), 99) < 0.1 * model.w_max
+
+    def test_fig1_rows_and_families(self):
+        rows = weight_ranges(count=20_000)
+        families = {r["model"]: r["family"] for r in rows}
+        assert families["ResNet-50"] == "cnn"
+        assert families["XLM"] == "nlp"
+        nlp_max = max(r["w_max"] for r in rows if r["family"] == "nlp")
+        cnn_max = max(r["w_max"] for r in rows if r["family"] == "cnn")
+        assert nlp_max > 10 * cnn_max  # the paper's Fig. 1 claim
+
+    def test_deterministic(self):
+        model = PUBLISHED_MODELS[0]
+        np.testing.assert_array_equal(sample_weights(model, 1000, seed=1),
+                                      sample_weights(model, 1000, seed=1))
+
+
+class TestWeightStats:
+    def test_layer_weights_excludes_biases(self):
+        mlp = MLP([4, 8, 2])
+        names = [n for n, _ in layer_weights(mlp)]
+        assert all("bias" not in n for n in names)
+        assert len(names) == 2
+
+    def test_weight_range_and_summary(self):
+        mlp = MLP([4, 8, 2])
+        mlp.layers[0].weight.data[0, 0] = 9.0
+        lo, hi = weight_range(mlp)
+        assert hi == pytest.approx(9.0)
+        summary = weight_summary(mlp)
+        assert summary["layers"] == 2
+        assert summary["w_max"] == pytest.approx(9.0)
+
+    def test_rejects_weightless_model(self):
+        from repro.nn import LayerNorm
+        with pytest.raises(ValueError):
+            layer_weights(LayerNorm(4))
+
+
+class TestSweeps:
+    def test_rms_search_prefers_wide_exponent_for_wide_data(self):
+        rng = np.random.default_rng(0)
+        narrow = [rng.normal(size=2048) * 0.05]
+        wide = [np.concatenate([rng.normal(size=2048) * 0.05,
+                                np.array([8.0, -6.0])])]
+        best_narrow, _ = exponent_width_search_rms(narrow, "adaptivfloat", 8,
+                                                   range(1, 6))
+        best_wide, _ = exponent_width_search_rms(wide, "adaptivfloat", 8,
+                                                 range(1, 6))
+        assert best_wide >= best_narrow
+
+    def test_rms_search_skips_infeasible_widths(self):
+        rng = np.random.default_rng(1)
+        best, scores = exponent_width_search_rms(
+            [rng.normal(size=256)], "adaptivfloat", 4, range(1, 9))
+        assert max(scores) <= 3  # widths >3 don't fit a 4-bit word
+
+    def test_metric_search_direction(self):
+        evaluations = {1: 10.0, 2: 30.0, 3: 20.0}
+        best_hi, _ = exponent_width_search_metric(
+            lambda w: evaluations[w], "adaptivfloat", 8, [1, 2, 3],
+            higher_is_better=True)
+        best_lo, _ = exponent_width_search_metric(
+            lambda w: evaluations[w], "adaptivfloat", 8, [1, 2, 3],
+            higher_is_better=False)
+        assert best_hi == 2 and best_lo == 1
+
+    def test_bitwidth_sweep_monotone(self):
+        rng = np.random.default_rng(2)
+        tensors = [rng.normal(size=2048) * 0.1]
+        sweep = bitwidth_sweep_rms(tensors, "adaptivfloat", [4, 6, 8])
+        assert sweep[8] < sweep[6] < sweep[4]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "30" in lines[4]
+
+    def test_inf_rendering(self):
+        text = format_table(["x"], [[float("inf")]])
+        assert "inf" in text
+
+    def test_save_and_load_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.analysis import load_result, save_result
+        save_result("unit_test", {"a": 1, "b": [1.5, 2.5]})
+        assert load_result("unit_test") == {"a": 1, "b": [1.5, 2.5]}
+        assert load_result("missing") is None
+
+
+class TestMixedPrecision:
+    def _model(self):
+        model = MLP([16, 64, 4], rng=np.random.default_rng(0))
+        # layer 0 gets wide, sensitive weights; layer 1 stays narrow
+        model.layers[0].weight.data *= np.exp(
+            np.random.default_rng(1).uniform(-2, 2, size=(64, 1))
+        ).astype(np.float32)
+        return model
+
+    def test_budget_respected(self):
+        from repro.analysis import assign_mixed_precision, average_bits
+        model = self._model()
+        assignment = assign_mixed_precision(model, budget_avg_bits=6.0)
+        assert average_bits(assignment, model) <= 6.0 + 1e-9
+
+    def test_sensitive_layer_gets_more_bits(self):
+        # Equal-size layers isolate sensitivity from bit cost: the
+        # wide-distribution layer must receive at least as many bits.
+        from repro.analysis import assign_mixed_precision
+        model = MLP([32, 32, 32], rng=np.random.default_rng(0))
+        model.layers[0].weight.data *= np.exp(
+            np.random.default_rng(1).uniform(-2.5, 2.5, size=(32, 1))
+        ).astype(np.float32)
+        assignment = assign_mixed_precision(model, budget_avg_bits=6.0)
+        assert assignment["layers.0.weight"] >= assignment["layers.1.weight"]
+
+    def test_max_budget_promotes_everything(self):
+        from repro.analysis import assign_mixed_precision
+        model = self._model()
+        assignment = assign_mixed_precision(model, budget_avg_bits=8.0)
+        assert set(assignment.values()) == {8}
+
+    def test_infeasible_budget_rejected(self):
+        from repro.analysis import assign_mixed_precision
+        with pytest.raises(ValueError):
+            assign_mixed_precision(self._model(), budget_avg_bits=2.0)
+
+    def test_mixed_beats_uniform_width_on_error(self):
+        """At the same bit budget, the sensitivity-guided assignment has
+        lower total RMS error than a flat mid-width."""
+        from repro.analysis import assign_mixed_precision
+        from repro.formats import make_quantizer
+        from repro.metrics import rms_error
+        model = self._model()
+        assignment = assign_mixed_precision(model, budget_avg_bits=6.0,
+                                            bit_choices=(4, 6, 8))
+
+        def total_error(widths):
+            total = 0.0
+            for name, w in layer_weights(model):
+                q = make_quantizer("adaptivfloat", widths[name])
+                total += rms_error(w, q.quantize(w)) ** 2 * w.size
+            return total
+
+        flat = {name: 6 for name, _ in layer_weights(model)}
+        assert total_error(assignment) <= total_error(flat) * 1.001
+
+
+class TestTextPlots:
+    def test_boxplot_renders_all_rows(self):
+        from repro.analysis import ascii_boxplot
+        stats = {"a": dict(min=0.0, q1=1.0, median=2.0, q3=3.0, max=4.0),
+                 "bb": dict(min=1.0, q1=1.5, median=2.0, q3=2.5, max=3.0)}
+        text = ascii_boxplot(stats, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a ") and "#" in lines[1]
+        assert lines[2].startswith("bb")
+
+    def test_boxplot_median_marker_position(self):
+        from repro.analysis import ascii_boxplot
+        stats = {"x": dict(min=0.0, q1=0.0, median=1.0, q3=1.0, max=1.0)}
+        text = ascii_boxplot(stats, width=11)
+        assert text.splitlines()[0].rstrip().endswith("#]")
+
+    def test_bars(self):
+        from repro.analysis import ascii_bars
+        text = ascii_bars({"big": 10.0, "small": 1.0})
+        big, small = text.splitlines()
+        assert big.count("#") > small.count("#")
+
+    def test_histogram(self):
+        from repro.analysis import ascii_histogram
+        import numpy as np
+        text = ascii_histogram(np.random.default_rng(0).normal(size=500),
+                               bins=5)
+        assert len(text.splitlines()) == 5
+
+    def test_empty_inputs_rejected(self):
+        from repro.analysis import ascii_bars, ascii_boxplot, ascii_histogram
+        with pytest.raises(ValueError):
+            ascii_boxplot({})
+        with pytest.raises(ValueError):
+            ascii_bars({})
+        with pytest.raises(ValueError):
+            ascii_histogram([])

@@ -1,0 +1,28 @@
+"""Shared helpers for format tests: a brute-force nearest-codepoint oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def assert_is_nearest_codepoint(quantized: np.ndarray, x: np.ndarray,
+                                codepoints: np.ndarray, rel_tol: float = 1e-12) -> None:
+    """Assert each quantized value is *a* nearest codepoint of ``x``.
+
+    Ties are allowed to break either way, so we only require the achieved
+    distance to match the minimum distance (within floating-point slack),
+    and the output to be an exact codepoint.
+    """
+    points = np.sort(np.asarray(codepoints, dtype=np.float64))
+    q = np.ravel(np.asarray(quantized, dtype=np.float64))
+    v = np.ravel(np.asarray(x, dtype=np.float64))
+    for qi, vi in zip(q, v):
+        dists = np.abs(points - vi)
+        best = dists.min()
+        achieved = abs(qi - vi)
+        slack = rel_tol * max(1.0, abs(vi), best)
+        assert achieved <= best + slack, (
+            f"quantize({vi!r}) = {qi!r} but nearest codepoint is at distance "
+            f"{best!r} (achieved {achieved!r})")
+        assert np.isclose(points, qi, rtol=1e-12, atol=0.0).any() or qi == 0.0, (
+            f"{qi!r} is not a codepoint")

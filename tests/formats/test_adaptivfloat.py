@@ -1,0 +1,258 @@
+"""Unit and property tests for the AdaptivFloat format (paper Section 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import AdaptivFloat, RoundMode, adaptivfloat_quantize
+
+from .helpers import assert_is_nearest_codepoint
+
+
+PAPER_W = np.array([
+    [-1.17, 2.71, -1.60, 0.43],
+    [-1.14, 2.05, 1.01, 0.07],
+    [0.16, -0.03, -0.89, -0.87],
+    [-0.04, -0.39, 0.64, -2.89],
+])
+
+PAPER_W_QUANTIZED = np.array([
+    [-1.0, 3.0, -1.5, 0.375],
+    [-1.0, 2.0, 1.0, 0.0],
+    [0.0, 0.0, -1.0, -0.75],
+    [0.0, -0.375, 0.75, -3.0],
+])
+
+
+class TestPaperExamples:
+    def test_paper_figure3_example(self):
+        """The worked AdaptivFloat<4,2> example of paper Fig. 3."""
+        quantizer = AdaptivFloat(4, exp_bits=2)
+        assert quantizer.fit(PAPER_W)["exp_bias"] == -2
+        np.testing.assert_allclose(quantizer.quantize(PAPER_W), PAPER_W_QUANTIZED)
+
+    def test_paper_figure3_range_params(self):
+        quantizer = AdaptivFloat(4, exp_bits=2)
+        vmin, vmax = quantizer.range_for_bias(-2)
+        assert vmin == pytest.approx(0.375)  # paper: abs min = 0.375
+        assert vmax == pytest.approx(3.0)    # paper: abs max = 3
+
+    def test_paper_figure2_codepoints(self):
+        """Fig. 2: the +/-0.25 slots become +/-0 at exp_bias=-2, m=1."""
+        quantizer = AdaptivFloat(4, exp_bits=2)
+        points = quantizer.codepoints(exp_bias=-2)
+        expected = [-3, -2, -1.5, -1, -0.75, -0.5, -0.375, 0,
+                    0.375, 0.5, 0.75, 1, 1.5, 2, 3]
+        np.testing.assert_allclose(points, expected)
+        assert 0.25 not in points  # sacrificed for the zero encoding
+
+
+class TestStructure:
+    def test_codepoint_count(self):
+        # 2^n patterns, minus one: +0 and -0 collapse to a single zero.
+        for bits, exp_bits in [(4, 2), (6, 3), (8, 3), (8, 4)]:
+            quantizer = AdaptivFloat(bits, exp_bits)
+            assert len(quantizer.codepoints(0)) == 2 ** bits - 1
+
+    def test_codepoints_symmetric(self):
+        quantizer = AdaptivFloat(8, 3)
+        points = quantizer.codepoints(-5)
+        np.testing.assert_allclose(points, -points[::-1])
+
+    def test_value_min_formula(self):
+        # value_min = 2^exp_bias * (1 + 2^-m) is the smallest nonzero point.
+        for bits, exp_bits in [(4, 2), (8, 3), (4, 3)]:  # (4,3) has m=0
+            quantizer = AdaptivFloat(bits, exp_bits)
+            points = quantizer.codepoints(exp_bias=-3)
+            vmin, vmax = quantizer.range_for_bias(-3)
+            positive = points[points > 0]
+            assert positive[0] == pytest.approx(float(vmin))
+            assert positive[-1] == pytest.approx(float(vmax))
+
+    def test_mantissa_zero_width(self):
+        # AdaptivFloat<4,3> (HFINT4 operand) has m=0: pure power-of-two grid.
+        quantizer = AdaptivFloat(4, exp_bits=3)
+        points = quantizer.codepoints(exp_bias=0)
+        positive = points[points > 0]
+        np.testing.assert_allclose(positive, 2.0 ** np.arange(1, 8))
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            AdaptivFloat(4, exp_bits=4)  # no sign bit left
+        with pytest.raises(ValueError):
+            AdaptivFloat(4, exp_bits=0)
+        with pytest.raises(ValueError):
+            AdaptivFloat(8, 3, round_mode="bogus")
+
+
+class TestQuantization:
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=256) * 4.0
+        quantizer = AdaptivFloat(8, 3)
+        once = quantizer.quantize(x)
+        params = quantizer.fit(x)
+        twice = quantizer.quantize_with_params(once, params)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_sign_symmetry(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=256)
+        quantizer = AdaptivFloat(6, 3)
+        np.testing.assert_allclose(quantizer.quantize(-x), -quantizer.quantize(x))
+
+    def test_small_values_round_to_zero_or_min(self):
+        quantizer = AdaptivFloat(4, exp_bits=2)
+        params = {"exp_bias": -2}
+        vmin = 0.375
+        x = np.array([vmin / 2 - 1e-9, vmin / 2 + 1e-9, 1e-12, 0.0])
+        out = quantizer.quantize_with_params(x, params)
+        np.testing.assert_allclose(out, [0.0, vmin, 0.0, 0.0])
+
+    def test_clamp_to_value_max(self):
+        quantizer = AdaptivFloat(4, exp_bits=2)
+        out = quantizer.quantize_with_params(
+            np.array([100.0, -100.0, 3.2]), {"exp_bias": -2})
+        np.testing.assert_allclose(out, [3.0, -3.0, 3.0])
+
+    def test_max_abs_always_within_one_ulp(self):
+        # The fitted grid must cover max|W| up to the clamp at value_max.
+        rng = np.random.default_rng(3)
+        quantizer = AdaptivFloat(8, 3)
+        for _ in range(20):
+            x = rng.normal(size=64) * 10 ** rng.uniform(-6, 6)
+            q = quantizer.quantize(x)
+            _, vmax = quantizer.range_for_bias(quantizer.fit(x)["exp_bias"])
+            assert np.abs(q).max() <= float(vmax) * (1 + 1e-12)
+
+    def test_all_zero_tensor(self):
+        quantizer = AdaptivFloat(8, 3)
+        out = quantizer.quantize(np.zeros(10))
+        np.testing.assert_array_equal(out, np.zeros(10))
+
+    def test_narrower_data_means_more_negative_bias(self):
+        # Paper Section 3.2: "the narrower the datapoints ... the more
+        # negative exp_bias gets".
+        quantizer = AdaptivFloat(8, 3)
+        wide = quantizer.fit(np.array([20.0]))["exp_bias"]
+        narrow = quantizer.fit(np.array([0.01]))["exp_bias"]
+        assert narrow < wide
+
+    def test_rounding_modes_differ_only_at_ties(self):
+        quantizer_even = AdaptivFloat(6, 2, round_mode=RoundMode.NEAREST_EVEN)
+        quantizer_away = AdaptivFloat(6, 2, round_mode=RoundMode.NEAREST_AWAY)
+        # Construct an exact tie: halfway between two mantissa points.
+        params = {"exp_bias": 0}
+        # m = 3; in the exponent-1 binade the grid step is 0.25, so 2.125
+        # ties exactly between 2.0 (even mantissa code) and 2.25.
+        tie = np.array([2.125])
+        even = quantizer_even.quantize_with_params(tie, params)
+        away = quantizer_away.quantize_with_params(tie, params)
+        assert even[0] != away[0]
+        assert {even[0], away[0]} == {2.0, 2.25}
+
+    def test_stochastic_rounding_is_unbiased(self):
+        rng = np.random.default_rng(42)
+        quantizer = AdaptivFloat(6, 2, round_mode=RoundMode.STOCHASTIC, rng=rng)
+        x = np.full(20000, 1.3)  # between grid points 1.25 and 1.375
+        out = quantizer.quantize_with_params(x, {"exp_bias": 0})
+        assert set(np.unique(out)) == {1.25, 1.375}
+        assert abs(out.mean() - 1.3) < 0.005
+
+    def test_functional_form_matches_class(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=128) * 3
+        np.testing.assert_array_equal(
+            adaptivfloat_quantize(x, 8, 3), AdaptivFloat(8, 3).quantize(x))
+
+    def test_functional_form_with_frozen_bias(self):
+        x = np.array([0.3, 0.6, 1.2])
+        out = adaptivfloat_quantize(x, 4, 2, exp_bias=-2)
+        quantizer = AdaptivFloat(4, 2)
+        np.testing.assert_array_equal(
+            out, quantizer.quantize_with_params(x, {"exp_bias": -2}))
+
+
+class TestPerChannel:
+    def test_per_channel_bias_shape(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(4, 16)) * np.array([[0.01], [0.1], [1.0], [10.0]])
+        quantizer = AdaptivFloat(8, 3, channel_axis=0)
+        bias = quantizer.fit(x)["exp_bias"]
+        assert bias.shape == (4, 1)
+        assert np.all(np.diff(bias.ravel()) > 0)
+
+    def test_per_channel_beats_per_layer_on_mixed_scales(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 512)) * np.array([[0.001], [10.0]])
+        per_layer = AdaptivFloat(6, 3)
+        per_channel = AdaptivFloat(6, 3, channel_axis=0)
+        err_layer = np.abs(per_layer.quantize(x) - x).mean()
+        err_channel = np.abs(per_channel.quantize(x) - x).mean()
+        assert err_channel < err_layer
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_codepoints(self):
+        for bits, exp_bits in [(4, 2), (6, 3), (8, 3)]:
+            quantizer = AdaptivFloat(bits, exp_bits)
+            points = quantizer.codepoints(exp_bias=-4)
+            words = quantizer.encode(points, exp_bias=-4)
+            assert words.max() < 2 ** bits
+            np.testing.assert_allclose(quantizer.decode(words, -4), points)
+
+    def test_zero_is_all_zero_word(self):
+        quantizer = AdaptivFloat(8, 3)
+        assert quantizer.encode(np.array([0.0]), exp_bias=-3)[0] == 0
+
+    def test_encode_rejects_off_grid(self):
+        quantizer = AdaptivFloat(4, 2)
+        with pytest.raises(ValueError):
+            quantizer.encode(np.array([0.4]), exp_bias=-2)
+
+    def test_encode_rejects_out_of_range_exponent(self):
+        quantizer = AdaptivFloat(4, 2)
+        with pytest.raises(ValueError):
+            quantizer.encode(np.array([64.0]), exp_bias=-2)
+
+
+def weight_like_floats(min_size=1, max_size=32):
+    """Floats in the DNN-weight magnitude regime (plus exact zeros)."""
+    magnitude = st.floats(min_value=1e-12, max_value=1e4,
+                          allow_nan=False, allow_infinity=False)
+    signed = st.builds(lambda m, s: m * s, magnitude, st.sampled_from([-1.0, 1.0]))
+    return st.lists(st.one_of(st.just(0.0), signed),
+                    min_size=min_size, max_size=max_size)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    weight_like_floats(),
+    st.sampled_from([(4, 2), (5, 3), (6, 3), (8, 3), (8, 4)]),
+)
+def test_quantize_is_nearest_codepoint(values, config):
+    """Property: Algorithm 1 == nearest-representable-value rounding."""
+    bits, exp_bits = config
+    x = np.asarray(values, dtype=np.float64)
+    quantizer = AdaptivFloat(bits, exp_bits)
+    params = quantizer.fit(x)
+    if np.abs(x).max() == 0.0:
+        return
+    q = quantizer.quantize_with_params(x, params)
+    points = quantizer.codepoints(exp_bias=int(params["exp_bias"]))
+    assert_is_nearest_codepoint(q, x, points)
+
+
+@settings(max_examples=100, deadline=None)
+@given(weight_like_floats(max_size=16))
+def test_quantized_values_encode_exactly(values):
+    """Property: everything quantize() emits survives the bit codec."""
+    x = np.asarray(values, dtype=np.float64)
+    if np.abs(x).max() == 0.0:
+        return
+    quantizer = AdaptivFloat(8, 3)
+    params = quantizer.fit(x)
+    q = quantizer.quantize_with_params(x, params)
+    words = quantizer.encode(q, int(params["exp_bias"]))
+    np.testing.assert_allclose(quantizer.decode(words, int(params["exp_bias"])), q)

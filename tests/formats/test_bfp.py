@@ -1,0 +1,100 @@
+"""Tests for the block floating-point baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import BlockFloat
+
+from .helpers import assert_is_nearest_codepoint
+
+
+class TestWholeTensorBlock:
+    def test_shared_exponent_from_max(self):
+        q = BlockFloat(8)
+        assert q.fit(np.array([0.1, 2.9, -1.0]))["shared_exp"] == 1
+        assert q.fit(np.array([0.3]))["shared_exp"] == -2
+
+    def test_grid_is_uniform(self):
+        q = BlockFloat(8)
+        points = q.codepoints(shared_exp=0)
+        np.testing.assert_allclose(np.diff(points), points[1] - points[0])
+
+    def test_small_values_lose_resolution_with_outlier(self):
+        # The paper's Section 2 criticism: one large value coarsens the
+        # grid for every other element in the block.
+        q = BlockFloat(8)
+        x = np.array([100.0, 0.3, -0.2, 0.05])
+        out = q.quantize(x)
+        grid = 2.0 ** (6 - 6)  # shared_exp=6, quantum = 2^(6-(8-2)) = 1.0
+        assert out[1] == pytest.approx(0.0)  # 0.3 rounds to 0 on a 1.0 grid
+        np.testing.assert_allclose(out, np.round(x / grid) * grid, atol=1e-12)
+
+    def test_fine_rendering_without_outlier(self):
+        q = BlockFloat(8)
+        x = np.array([0.3, -0.2, 0.05])
+        out = q.quantize(x)
+        assert np.abs(out - x).max() < 0.005
+
+    def test_symmetric_clamp(self):
+        q = BlockFloat(4)
+        # max_abs = 1.999 -> shared_exp 0, quantum 2^(0-2)=0.25, mant_max 7
+        out = q.quantize(np.array([1.999, -1.999]))
+        np.testing.assert_allclose(out, [1.75, -1.75])
+
+    def test_all_zero(self):
+        q = BlockFloat(8)
+        np.testing.assert_array_equal(q.quantize(np.zeros(5)), np.zeros(5))
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=128)
+        q = BlockFloat(6)
+        once = q.quantize(x)
+        np.testing.assert_array_equal(q.quantize(once), once)
+
+
+class TestBlocked:
+    def test_per_block_exponents(self):
+        q = BlockFloat(8, block_size=4)
+        x = np.array([100.0, 1.0, 2.0, 3.0, 0.1, 0.2, 0.3, 0.4])
+        params = q.fit(x)
+        assert params["shared_exp"].tolist() == [6, -2]
+
+    def test_blocking_preserves_shape(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 5))  # 15 elements, pads to 16
+        q = BlockFloat(8, block_size=4)
+        out = q.quantize(x)
+        assert out.shape == x.shape
+
+    def test_smaller_blocks_reduce_error_on_mixed_scales(self):
+        rng = np.random.default_rng(2)
+        x = np.concatenate([rng.normal(size=256) * 0.01,
+                            rng.normal(size=256) * 10.0])
+        err_whole = BlockFloat(8).quantization_error(x)
+        err_blocked = BlockFloat(8, block_size=64).quantization_error(x)
+        assert err_blocked < err_whole
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            BlockFloat(8, block_size=0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100,
+                       allow_nan=False, allow_infinity=False),
+             min_size=1, max_size=32),
+    st.sampled_from([4, 6, 8]),
+)
+def test_quantize_is_nearest_codepoint(values, bits):
+    x = np.asarray(values, dtype=np.float64)
+    if np.abs(x).max() == 0.0:
+        return
+    q = BlockFloat(bits)
+    params = q.fit(x)
+    out = q.quantize_with_params(x, params)
+    points = q.codepoints(shared_exp=int(params["shared_exp"]))
+    assert_is_nearest_codepoint(out, x, points)

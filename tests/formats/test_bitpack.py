@@ -1,0 +1,58 @@
+"""Tests for bitstream packing of quantized words."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (AdaptivFloat, pack_words, packed_nbytes,
+                           unpack_words)
+
+
+class TestPacking:
+    def test_nbytes(self):
+        assert packed_nbytes(16, 4) == 8
+        assert packed_nbytes(3, 7) == 3   # 21 bits -> 3 bytes
+        assert packed_nbytes(1, 8) == 1
+
+    def test_roundtrip_simple(self):
+        words = np.array([0b1011, 0b0001, 0b1111, 0b0000], dtype=np.uint32)
+        buf = pack_words(words, 4)
+        assert len(buf) == 2
+        np.testing.assert_array_equal(unpack_words(buf, 4, 4), words)
+
+    def test_msb_first_layout(self):
+        buf = pack_words(np.array([0b1011, 0b0001]), 4)
+        assert buf[0] == 0b10110001
+
+    def test_word_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            pack_words(np.array([16]), 4)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_words(b"\x00", 8, 2)
+
+    def test_adaptivfloat_tensor_roundtrip(self):
+        """Full pipeline: quantize -> encode -> pack -> unpack -> decode."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100) * 5
+        q = AdaptivFloat(6, 3)
+        params = q.fit(x)
+        values = q.quantize_with_params(x, params)
+        words = q.encode(values, params["exp_bias"])
+        buf = pack_words(words, 6)
+        assert len(buf) == packed_nbytes(100, 6) == 75
+        back = q.decode(unpack_words(buf, 6, 100), params["exp_bias"])
+        np.testing.assert_allclose(back, values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=16),
+       st.lists(st.integers(min_value=0, max_value=2 ** 16 - 1),
+                min_size=1, max_size=64))
+def test_roundtrip_property(bits, raw):
+    words = np.array([w % (1 << bits) for w in raw], dtype=np.uint32)
+    buf = pack_words(words, bits)
+    assert len(buf) == packed_nbytes(len(words), bits)
+    np.testing.assert_array_equal(unpack_words(buf, bits, len(words)), words)

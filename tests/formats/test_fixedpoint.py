@@ -1,0 +1,53 @@
+"""Tests for the classic fixed-point (Q-format) quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import FixedPoint
+
+from .helpers import assert_is_nearest_codepoint
+
+
+class TestFixedPoint:
+    def test_quantum(self):
+        assert FixedPoint(8, frac_bits=6).quantum == pytest.approx(2 ** -6)
+
+    def test_range_asymmetric_twos_complement(self):
+        q = FixedPoint(4, frac_bits=2)
+        points = q.codepoints()
+        assert points[0] == pytest.approx(-2.0)     # -2^(n-1) * 2^-f
+        assert points[-1] == pytest.approx(1.75)    # (2^(n-1)-1) * 2^-f
+
+    def test_static_grid_misses_wide_values(self):
+        # The intro's criticism of fixed point: a Q2.6-style grid cannot
+        # represent a weight of 20 (wide NLP distribution).
+        q = FixedPoint(8, frac_bits=6)
+        assert q.quantize(np.array([20.0]))[0] == pytest.approx(127 / 64)
+
+    def test_fine_grid_on_narrow_values(self):
+        q = FixedPoint(8, frac_bits=6)
+        x = np.array([0.3, -0.7])
+        assert np.abs(q.quantize(x) - x).max() <= 2 ** -7
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=64)
+        q = FixedPoint(6, frac_bits=3)
+        once = q.quantize(x)
+        np.testing.assert_array_equal(q.quantize(once), once)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-50, max_value=50,
+                       allow_nan=False, allow_infinity=False),
+             min_size=1, max_size=16),
+    st.sampled_from([(4, 2), (6, 3), (8, 6), (8, 0)]),
+)
+def test_quantize_is_nearest_codepoint(values, config):
+    bits, frac_bits = config
+    x = np.asarray(values, dtype=np.float64)
+    q = FixedPoint(bits, frac_bits)
+    assert_is_nearest_codepoint(q.quantize(x), x, q.codepoints())

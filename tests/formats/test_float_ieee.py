@@ -1,0 +1,85 @@
+"""Tests for the non-adaptive IEEE-like float baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import FloatIEEE
+
+from .helpers import assert_is_nearest_codepoint
+
+
+class TestStructure:
+    def test_standard_bias(self):
+        assert FloatIEEE(8, exp_bits=4).exp_bias == 7
+        assert FloatIEEE(4, exp_bits=3).exp_bias == 3
+        assert FloatIEEE(16, exp_bits=5).exp_bias == 15
+
+    def test_fp16_like_max(self):
+        # <16,5> with the top binade usable (no Inf/NaN) tops out at
+        # 2^16 * (2 - 2^-10) = 131008, vs IEEE half's 65504.
+        q = FloatIEEE(16, exp_bits=5)
+        assert q.value_max == pytest.approx(2.0 ** 16 * (2 - 2 ** -10))
+
+    def test_codepoint_count(self):
+        # 2^n patterns minus the duplicated zero (+0/-0).
+        for bits, exp_bits in [(4, 2), (6, 3), (8, 4)]:
+            q = FloatIEEE(bits, exp_bits)
+            assert len(q.codepoints()) == 2 ** bits - 1
+
+    def test_subnormals_present(self):
+        q = FloatIEEE(8, exp_bits=4)
+        points = q.codepoints()
+        positive = points[points > 0]
+        # Smallest subnormal = 2^(min_normal_exp - m)
+        assert positive[0] == pytest.approx(2.0 ** (q.min_normal_exp - q.mant_bits))
+        # Subnormal spacing is uniform.
+        sub = positive[positive < 2.0 ** q.min_normal_exp]
+        np.testing.assert_allclose(np.diff(sub), positive[0])
+
+
+class TestQuantization:
+    def test_saturates_at_value_max(self):
+        q = FloatIEEE(8, exp_bits=4)
+        out = q.quantize(np.array([1e9, -1e9]))
+        np.testing.assert_allclose(out, [q.value_max, -q.value_max])
+
+    def test_zero_maps_to_zero(self):
+        q = FloatIEEE(8, exp_bits=4)
+        assert q.quantize(np.array([0.0]))[0] == 0.0
+
+    def test_non_adaptive(self):
+        # Scaling the input does NOT rescale the grid: relative error of a
+        # fixed grid explodes for tiny inputs once they hit the subnormal
+        # floor, unlike AdaptivFloat.
+        q = FloatIEEE(8, exp_bits=4)
+        tiny = np.array([1e-6])
+        assert q.quantize(tiny)[0] == 0.0  # under the subnormal floor
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=512)
+        q = FloatIEEE(8, 4)
+        once = q.quantize(x)
+        np.testing.assert_array_equal(q.quantize(once), once)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            FloatIEEE(4, exp_bits=4)
+        with pytest.raises(ValueError):
+            FloatIEEE(8, exp_bits=0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-500, max_value=500,
+                       allow_nan=False, allow_infinity=False),
+             min_size=1, max_size=32),
+    st.sampled_from([(4, 3), (5, 3), (6, 4), (8, 4), (8, 5)]),
+)
+def test_quantize_is_nearest_codepoint(values, config):
+    bits, exp_bits = config
+    x = np.asarray(values, dtype=np.float64)
+    q = FloatIEEE(bits, exp_bits)
+    assert_is_nearest_codepoint(q.quantize(x), x, q.codepoints())

@@ -1,0 +1,126 @@
+"""Tests for the posit baseline (type III unum)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import Posit, decode_posit_word
+
+from .helpers import assert_is_nearest_codepoint
+
+
+class TestDecode:
+    """Hand-checked posit<8,1> words."""
+
+    @pytest.mark.parametrize("word,value", [
+        (0x00, 0.0),
+        (0x40, 1.0),     # regime k=0, exp 0
+        (0x50, 2.0),     # regime k=0, exp 1
+        (0x60, 4.0),     # regime k=1 -> useed^1
+        (0x48, 1.5),     # fraction 0.5
+        (0x44, 1.25),    # fraction 0.25
+        (0x7F, 4096.0),  # maxpos = useed^(n-2) = 4^6
+        (0x01, 4.0 ** -6),  # minpos
+        (0x30, 0.5),     # regime k=-1, exp 1 -> 2^-1
+    ])
+    def test_positive_words(self, word, value):
+        assert decode_posit_word(word, 8, 1) == pytest.approx(value)
+
+    def test_negative_is_twos_complement(self):
+        assert decode_posit_word(0xC0, 8, 1) == pytest.approx(-1.0)
+        assert decode_posit_word((-0x50) & 0xFF, 8, 1) == pytest.approx(-2.0)
+
+    def test_nar_rejected(self):
+        with pytest.raises(ValueError):
+            decode_posit_word(0x80, 8, 1)
+
+    def test_es0_useed(self):
+        assert decode_posit_word(0x60, 8, 0) == pytest.approx(2.0)  # useed=2, k=1
+
+
+class TestStructure:
+    def test_extremes(self):
+        q = Posit(8, es=1)
+        assert q.maxpos == pytest.approx(4096.0)
+        assert q.minpos == pytest.approx(4.0 ** -6)
+        q0 = Posit(8, es=0)
+        assert q0.maxpos == pytest.approx(64.0)
+
+    def test_codepoint_count(self):
+        # 2^n patterns minus NaR (zero is a single pattern here).
+        for bits, es in [(4, 0), (6, 1), (8, 1)]:
+            assert len(Posit(bits, es).codepoints()) == 2 ** bits - 1
+
+    def test_codepoints_symmetric_and_sorted(self):
+        points = Posit(8, 1).codepoints()
+        np.testing.assert_allclose(points, -points[::-1])
+        assert np.all(np.diff(points) > 0)
+
+    def test_tapered_precision(self):
+        # Relative spacing is tightest around 1.0 and widens toward maxpos.
+        points = Posit(8, 1).codepoints()
+        pos = points[points > 0]
+        rel_gap = np.diff(pos) / pos[:-1]
+        idx_one = int(np.argmin(np.abs(pos - 1.0)))
+        assert rel_gap[idx_one] < rel_gap[-1]
+        assert rel_gap[idx_one] < rel_gap[0]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            Posit(32, 1)
+        with pytest.raises(ValueError):
+            Posit(8, -1)
+        with pytest.raises(ValueError):
+            Posit(8, 1, underflow="wat")
+
+
+class TestQuantization:
+    def test_saturates_at_maxpos(self):
+        q = Posit(8, 1)
+        np.testing.assert_allclose(q.quantize(np.array([1e9, -1e9])),
+                                   [4096.0, -4096.0])
+
+    def test_underflow_nearest_rounds_to_zero(self):
+        q = Posit(8, 1, underflow="nearest")
+        tiny = q.minpos / 4
+        assert q.quantize(np.array([tiny]))[0] == 0.0
+
+    def test_underflow_saturate_never_zero(self):
+        q = Posit(8, 1, underflow="saturate")
+        tiny = q.minpos / 1e6
+        assert q.quantize(np.array([tiny]))[0] == q.minpos
+        assert q.quantize(np.array([0.0]))[0] == 0.0
+
+    def test_exact_codepoints_fixed(self):
+        q = Posit(8, 1)
+        points = q.codepoints()
+        np.testing.assert_allclose(q.quantize(points), points)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=512) * 3
+        q = Posit(8, 1)
+        once = q.quantize(x)
+        np.testing.assert_array_equal(q.quantize(once), once)
+
+    def test_non_adaptive_grid(self):
+        # Same value quantizes identically regardless of tensor context.
+        q = Posit(8, 1)
+        a = q.quantize(np.array([0.3, 1000.0]))[0]
+        b = q.quantize(np.array([0.3, 0.001]))[0]
+        assert a == b
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-5000, max_value=5000,
+                       allow_nan=False, allow_infinity=False),
+             min_size=1, max_size=32),
+    st.sampled_from([(4, 0), (6, 1), (8, 0), (8, 1), (8, 2)]),
+)
+def test_quantize_is_nearest_codepoint(values, config):
+    bits, es = config
+    x = np.asarray(values, dtype=np.float64)
+    q = Posit(bits, es)
+    assert_is_nearest_codepoint(q.quantize(x), x, q.codepoints())

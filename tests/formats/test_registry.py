@@ -1,0 +1,95 @@
+"""Tests for the format registry and the paper's default field widths."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (FORMAT_NAMES, AdaptivFloat, BlockFloat, FloatIEEE,
+                           Fp32, Posit, Uniform, make_quantizer, paper_formats)
+
+
+class TestDefaults:
+    def test_paper_exponent_defaults(self):
+        # Section 4: 3 exponent bits for AdaptivFloat, 4 for float
+        # (3 at 4-bit), es=1 for posit (es=0 at 4-bit).
+        assert make_quantizer("adaptivfloat", 8).exp_bits == 3
+        assert make_quantizer("adaptivfloat", 4).exp_bits == 3
+        assert make_quantizer("float", 8).exp_bits == 4
+        assert make_quantizer("float", 4).exp_bits == 3
+        assert make_quantizer("posit", 8).es == 1
+        assert make_quantizer("posit", 4).es == 0
+
+    def test_overrides(self):
+        assert make_quantizer("adaptivfloat", 8, exp_bits=5).exp_bits == 5
+        assert make_quantizer("posit", 8, es=2).es == 2
+        assert make_quantizer("bfp", 8, block_size=16).block_size == 16
+
+    def test_paper_formats_order_and_types(self):
+        formats = paper_formats(8)
+        assert [f.name for f in formats] == list(FORMAT_NAMES)
+        assert isinstance(formats[0], FloatIEEE)
+        assert isinstance(formats[1], BlockFloat)
+        assert isinstance(formats[2], Uniform)
+        assert isinstance(formats[3], Posit)
+        assert isinstance(formats[4], AdaptivFloat)
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            make_quantizer("bf16", 16)
+
+    def test_fp32_identity(self):
+        x = np.array([1.2345678, -9.87])
+        np.testing.assert_array_equal(Fp32().quantize(x), x)
+
+
+class TestCrossFormatBehaviour:
+    """The qualitative orderings that motivate the paper."""
+
+    def test_adaptivfloat_best_on_wide_distribution(self):
+        # Heavy-tailed, wide-range weights (NLP-like): AdaptivFloat must
+        # beat every baseline on RMS error at 6 bits (Fig. 4 headline).
+        rng = np.random.default_rng(7)
+        x = rng.standard_t(df=3, size=4096) * 2.0
+        errors = {f.name: f.quantization_error(x) for f in paper_formats(6)}
+        best = min(errors, key=errors.get)
+        assert best == "adaptivfloat", errors
+
+    def test_adaptive_formats_scale_invariant(self):
+        # AdaptivFloat/uniform/BFP auto-adjust to tensor scale; float and
+        # posit do not (their error is scale-dependent).
+        rng = np.random.default_rng(8)
+        base = rng.normal(size=2048)
+        for name in ("adaptivfloat", "uniform", "bfp"):
+            q = make_quantizer(name, 8)
+            e1 = q.quantization_error(base)
+            e2 = q.quantization_error(base * 1024.0)
+            assert e2 == pytest.approx(e1 * 1024.0, rel=1e-6), name
+
+    def test_float_posit_not_scale_invariant(self):
+        rng = np.random.default_rng(9)
+        base = rng.normal(size=2048) * 0.05
+        for name in ("float", "posit"):
+            q = make_quantizer(name, 8)
+            e1 = q.quantization_error(base)
+            e2 = q.quantization_error(base * 1024.0)
+            assert abs(e2 / e1 - 1024.0) > 1.0, name
+
+    def test_posit_beats_float_near_one(self):
+        # Fig. 4 discussion: among non-adaptive types posit generally has
+        # lower RMS error (tapered precision around |x| ~ 1).
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=4096)
+        posit_err = make_quantizer("posit", 8).quantization_error(x)
+        float_err = make_quantizer("float", 8).quantization_error(x)
+        assert posit_err < float_err
+
+
+class TestQuantizedTensor:
+    def test_packed_size_accounting(self):
+        from repro.formats import AdaptivFloat, QuantizedTensor
+        q = AdaptivFloat(6, 3)
+        x = np.linspace(-1, 1, 100)
+        params = q.fit(x)
+        qt = QuantizedTensor(values=q.quantize_with_params(x, params),
+                             format_spec=q.spec(), params=params)
+        assert qt.nbytes_packed == (100 * 6 + 7) // 8
+        assert qt.format_spec["name"] == "adaptivfloat"

@@ -1,0 +1,83 @@
+"""Tests for uniform (integer) quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import Uniform
+
+from .helpers import assert_is_nearest_codepoint
+
+
+class TestSymmetric:
+    def test_scale_from_max_abs(self):
+        q = Uniform(8)
+        params = q.fit(np.array([-3.0, 1.0]))
+        assert params["scale"] == pytest.approx(3.0 / 127)
+
+    def test_max_maps_to_top_level(self):
+        q = Uniform(8)
+        x = np.array([-3.0, 1.0, 3.0])
+        out = q.quantize(x)
+        assert out[0] == pytest.approx(-3.0)
+        assert out[2] == pytest.approx(3.0)
+
+    def test_level_count(self):
+        q = Uniform(4)
+        assert len(q.codepoints()) == 2 ** 4 - 1  # symmetric: -7..7
+
+    def test_grid_uniform(self):
+        points = Uniform(6).codepoints(scale=0.5)
+        np.testing.assert_allclose(np.diff(points), 0.5)
+
+    def test_all_zero(self):
+        q = Uniform(8)
+        np.testing.assert_array_equal(q.quantize(np.zeros(4)), np.zeros(4))
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=128)
+        q = Uniform(5)
+        once = q.quantize(x)
+        np.testing.assert_allclose(q.quantize(once), once)
+
+    def test_outlier_coarsens_grid(self):
+        # Same failure mode as BFP: the scale chases the max.
+        q = Uniform(4)
+        x = np.array([70.0, 0.5])
+        out = q.quantize(x)
+        assert out[1] == 0.0  # 0.5 < scale/2 = 5
+
+
+class TestAffine:
+    def test_asymmetric_range_covered(self):
+        q = Uniform(8, symmetric=False)
+        x = np.array([2.0, 6.0, 10.0])
+        out = q.quantize(x)
+        assert np.abs(out - x).max() < (10 - 2) / 255 + 1e-12
+
+    def test_zero_point_integer(self):
+        q = Uniform(8, symmetric=False)
+        params = q.fit(np.array([-1.0, 3.0]))
+        assert isinstance(params["zero_point"], int)
+        # zero must be exactly representable
+        zero = (params["zero_point"] - params["zero_point"]) * params["scale"]
+        assert zero == 0.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100,
+                       allow_nan=False, allow_infinity=False),
+             min_size=1, max_size=32),
+    st.sampled_from([4, 5, 6, 8]),
+)
+def test_symmetric_is_nearest_codepoint(values, bits):
+    x = np.asarray(values, dtype=np.float64)
+    if np.abs(x).max() == 0.0:
+        return
+    q = Uniform(bits)
+    params = q.fit(x)
+    out = q.quantize_with_params(x, params)
+    assert_is_nearest_codepoint(out, x, q.codepoints(scale=params["scale"]))

@@ -1,0 +1,79 @@
+"""Tests of the 4-PE accelerator system model (paper Fig. 6 / Table 4)."""
+
+import pytest
+
+from repro.hardware import (Accelerator, AcceleratorConfig, LSTMWorkload,
+                            PAPER_WORKLOAD, paper_accelerator)
+
+
+class TestWorkload:
+    def test_paper_workload_counts(self):
+        w = PAPER_WORKLOAD
+        assert w.macs_per_step == 4 * 256 * 512 == 524_288
+        assert w.total_ops == 2 * w.macs_per_step * 100
+        assert w.weight_count * 8 // 8 // 1024 == 512  # 512 KiB at 8-bit
+
+    def test_invalid_workload(self):
+        with pytest.raises(ValueError):
+            LSTMWorkload(timesteps=0)
+
+
+class TestSchedule:
+    def test_compute_cycles_exact(self):
+        acc = paper_accelerator("int")
+        cycles = acc.cycles_per_step(PAPER_WORKLOAD)
+        # 524288 MACs / (4 PEs * 256 MACs/cycle) = 512
+        assert cycles["compute"] == 512
+
+    def test_runtime_matches_paper(self):
+        for kind in ("int", "hfint"):
+            acc = paper_accelerator(kind)
+            assert acc.runtime_us(PAPER_WORKLOAD) == pytest.approx(81.2, rel=0.01)
+
+    def test_identical_latency_across_kinds(self):
+        # Paper Table 4: "both accelerators achieve the same compute time".
+        assert (paper_accelerator("int").total_cycles(PAPER_WORKLOAD)
+                == paper_accelerator("hfint").total_cycles(PAPER_WORKLOAD))
+
+    def test_more_pes_reduce_compute(self):
+        small = Accelerator(AcceleratorConfig(num_pes=2))
+        big = Accelerator(AcceleratorConfig(num_pes=8))
+        assert (big.cycles_per_step(PAPER_WORKLOAD)["compute"]
+                < small.cycles_per_step(PAPER_WORKLOAD)["compute"])
+
+    def test_runtime_scales_with_timesteps(self):
+        acc = paper_accelerator("int")
+        half = LSTMWorkload(timesteps=50, hidden=256, input_dim=256)
+        assert acc.runtime_us(half) == pytest.approx(
+            acc.runtime_us(PAPER_WORKLOAD) / 2)
+
+
+class TestPowerArea:
+    def test_power_near_paper(self):
+        assert paper_accelerator("int").power_mw(PAPER_WORKLOAD) \
+            == pytest.approx(61.38, rel=0.10)
+        assert paper_accelerator("hfint").power_mw(PAPER_WORKLOAD) \
+            == pytest.approx(56.22, rel=0.10)
+
+    def test_hfint_lower_power_higher_area(self):
+        int_acc = paper_accelerator("int")
+        hf_acc = paper_accelerator("hfint")
+        assert hf_acc.power_mw(PAPER_WORKLOAD) < int_acc.power_mw(PAPER_WORKLOAD)
+        assert hf_acc.area_mm2() > int_acc.area_mm2()
+
+    def test_energy_breakdown_positive(self):
+        breakdown = paper_accelerator("int").dynamic_energy_fj(PAPER_WORKLOAD)
+        assert set(breakdown) == {"datapath", "global_buffer", "crossbar",
+                                  "activation_unit"}
+        assert all(v > 0 for v in breakdown.values())
+        # Datapath dominates in a MAC-bound workload.
+        assert breakdown["datapath"] > breakdown["global_buffer"]
+
+    def test_sram_dominates_area(self):
+        acc = paper_accelerator("int")
+        assert acc.sram_area() > acc.logic_area()
+
+    def test_report_contents(self):
+        report = paper_accelerator("hfint").report()
+        assert "HFINT8/30" in report["name"]
+        assert report["power_mw"] > 0 and report["area_mm2"] > 0

@@ -1,0 +1,51 @@
+"""Tests for the primitive component energy/area models."""
+
+import pytest
+
+from repro.hardware import constants
+from repro.hardware import components as comp
+
+
+class TestEnergyModel:
+    def test_multiplier_scales_quadratically(self):
+        assert comp.multiplier_energy(8, 8) == pytest.approx(
+            4 * comp.multiplier_energy(4, 4))
+
+    def test_asymmetric_multiplier(self):
+        # mantissa (5x5) vs full (8x8): the HFINT advantage at 8-bit.
+        assert comp.multiplier_energy(5, 5) < comp.multiplier_energy(8, 8) / 2
+
+    def test_linear_components(self):
+        for fn in (comp.adder_energy, comp.shifter_energy,
+                   comp.register_energy, comp.sram_read_energy):
+            assert fn(16) == pytest.approx(2 * fn(8))
+
+    def test_all_positive(self):
+        coef = constants.ENERGY_16NM
+        assert min(coef.mult_per_bit2, coef.add_per_bit, coef.shift_per_bit,
+                   coef.reg_per_bit, coef.sram_read_per_bit,
+                   coef.ctrl_per_cycle) > 0
+
+
+class TestSramModel:
+    def test_area_scales_with_capacity(self):
+        assert comp.sram_area(1024) == pytest.approx(2 * comp.sram_area(512))
+
+    def test_macro_energies(self):
+        assert comp.sram_write_energy_macro(8) > comp.sram_read_energy_macro(8) * 0.5
+        assert comp.sram_leakage_mw(1024) == pytest.approx(
+            constants.SRAM_16NM.leakage_mw_per_mib)
+
+    def test_1mb_area_plausible(self):
+        # 16nm SRAM macro ~1-2 mm^2 per MiB.
+        assert 1.0 < comp.sram_area(1024) < 2.0
+
+
+class TestCoefficientProvenance:
+    def test_clock_is_1ghz(self):
+        assert constants.CLOCK_HZ == 1e9
+
+    def test_mult_energy_plausible_at_8bit(self):
+        # 16nm 8x8 multiplier: tens of fJ.
+        energy = comp.multiplier_energy(8, 8)
+        assert 10 < energy < 100

@@ -1,0 +1,177 @@
+"""Bit-accurate datapath tests: the PEs must compute what the paper's
+quantization algebra says they compute."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import AdaptivFloat, Uniform
+from repro.hardware import HFIntVectorMac, IntVectorMac, RequantParams
+
+
+class TestRequantParams:
+    def test_encoding_precision(self):
+        for scale in (0.0123, 1.0, 3.7, 1e-4):
+            rq = RequantParams.from_scale(scale, 16)
+            assert rq.value == pytest.approx(scale, rel=2 ** -14)
+            assert rq.multiplier < 2 ** 16
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RequantParams.from_scale(0.0, 16)
+
+
+class TestIntVectorMac:
+    def _quantize(self, x, bits):
+        q = Uniform(bits)
+        params = q.fit(x)
+        levels = np.rint(q.quantize_with_params(x, params) / params["scale"])
+        return levels.astype(np.int64), params["scale"]
+
+    def test_matches_float_reference(self):
+        rng = np.random.default_rng(0)
+        mac = IntVectorMac(bits=8, accum_length=256)
+        w = rng.normal(size=(16, 200))
+        a = rng.normal(size=200)
+        w_lvl, s_w = self._quantize(w, 8)
+        a_lvl, s_a = self._quantize(a, 8)
+        reference = (w_lvl * s_w) @ (a_lvl * s_a)
+        s_out = np.abs(reference).max() / 127
+        rq = RequantParams.from_scale(s_w * s_a / s_out, 16)
+        out = mac.matvec(w_lvl, a_lvl, rq)
+        np.testing.assert_allclose(out * s_out, reference,
+                                   atol=s_out * 0.75)  # <= 1 output LSB
+
+    def test_accumulator_width_never_overflows(self):
+        """The 2n + log2(H) width (paper Section 5.1) is exactly enough:
+        the worst-case sum 256 * 127 * 127 fits without saturation."""
+        mac = IntVectorMac(bits=8, accum_length=256)
+        w = np.full((1, 256), 127, dtype=np.int64)
+        a = np.full(256, 127, dtype=np.int64)
+        acc = mac.accumulate(w, a)
+        assert acc[0] == 256 * 127 * 127 < 2 ** 23 - 1
+
+    def test_rejects_wide_operands(self):
+        mac = IntVectorMac(bits=8)
+        with pytest.raises(ValueError):
+            mac.accumulate(np.array([[300]]), np.array([1]))
+
+    def test_rejects_long_reduction(self):
+        mac = IntVectorMac(bits=8, accum_length=64)
+        with pytest.raises(ValueError):
+            mac.accumulate(np.zeros((1, 65), dtype=np.int64),
+                           np.zeros(65, dtype=np.int64))
+
+    def test_activation_on_integer_grid(self):
+        mac = IntVectorMac(bits=8)
+        w = np.array([[10, -10], [5, 5]], dtype=np.int64)
+        a = np.array([3, 3], dtype=np.int64)
+        rq = RequantParams.from_scale(1.0, 16)
+        out = mac.matvec(w, a, rq, activation=lambda x: np.maximum(x, 0))
+        np.testing.assert_array_equal(out, [0, 30])
+
+
+class TestHFIntVectorMac:
+    def test_width_formula(self):
+        assert HFIntVectorMac(bits=8, exp_bits=3).acc_width == 30
+        assert HFIntVectorMac(bits=4, exp_bits=3).acc_width == 22
+
+    def test_accumulate_matches_exact_dot(self):
+        """Quantized AdaptivFloat dot products are exact in the integer
+        accumulator (before output truncation) when no saturation occurs."""
+        rng = np.random.default_rng(1)
+        mac = HFIntVectorMac(bits=8, exp_bits=3)
+        fmt = AdaptivFloat(8, 3)
+        w = rng.normal(size=(8, 64)) * 0.5
+        a = rng.normal(size=64) * 0.5
+        bw = int(fmt.fit(w)["exp_bias"])
+        ba = int(fmt.fit(a)["exp_bias"])
+        wq = fmt.quantize_with_params(w, {"exp_bias": bw})
+        aq = fmt.quantize_with_params(a, {"exp_bias": ba})
+        acc = mac.accumulate(fmt.encode(wq, bw), fmt.encode(aq, ba))
+        reference = wq @ aq
+        unit = 2.0 ** (bw + ba - 2 * mac.mant_bits)
+        np.testing.assert_allclose(acc * unit, reference, rtol=1e-12)
+
+    def test_zero_words_contribute_nothing(self):
+        mac = HFIntVectorMac(bits=8, exp_bits=3)
+        fmt = AdaptivFloat(8, 3)
+        w = np.array([[2.0, 0.0]])
+        a = np.array([2.0, 2.0])
+        acc = mac.accumulate(fmt.encode(w, 0), fmt.encode(a, 0))
+        assert acc[0] * 2.0 ** (0 + 0 - 8) == pytest.approx(4.0)
+
+    def test_sacrificed_min_rejected_by_encoder(self):
+        # 2**exp_bias would alias the zero codepoint; the encoder must
+        # refuse rather than silently emit zero (paper Fig. 2).
+        fmt = AdaptivFloat(8, 3)
+        with pytest.raises(ValueError):
+            fmt.encode(np.array([1.0]), exp_bias=0)
+
+    def test_full_pipeline_close_to_float(self):
+        rng = np.random.default_rng(2)
+        mac = HFIntVectorMac(bits=8, exp_bits=3)
+        fmt = AdaptivFloat(8, 3)
+        w = rng.normal(size=(32, 128)) * 0.3
+        a = rng.normal(size=128)
+        bw = int(fmt.fit(w)["exp_bias"])
+        ba = int(fmt.fit(a)["exp_bias"])
+        wq = fmt.quantize_with_params(w, {"exp_bias": bw})
+        aq = fmt.quantize_with_params(a, {"exp_bias": ba})
+        reference = np.tanh(wq @ aq)
+        out_bias = int(fmt.fit(reference)["exp_bias"])
+        shift = mac.output_shift_for(np.abs(wq @ aq).max(), bw, ba)
+        _, values = mac.matvec(fmt.encode(wq, bw), bw, fmt.encode(aq, ba), ba,
+                               out_bias, shift, activation=np.tanh)
+        # Error budget: one truncation LSB through tanh (slope <= 1) plus
+        # one output-quantization step.
+        trunc_step = 2.0 ** (bw + ba - 2 * mac.mant_bits + shift)
+        _, vmax = fmt.range_for_bias(out_bias)
+        out_step = float(vmax) * 2.0 ** -mac.mant_bits
+        tol = trunc_step + out_step
+        np.testing.assert_allclose(values, reference, atol=tol)
+
+    def test_output_words_decode_to_values(self):
+        rng = np.random.default_rng(3)
+        mac = HFIntVectorMac(bits=8, exp_bits=3)
+        fmt = AdaptivFloat(8, 3)
+        w = rng.normal(size=(8, 32)) * 0.2
+        a = rng.normal(size=32)
+        bw, ba = -8, -7
+        wq = fmt.quantize_with_params(w, {"exp_bias": bw})
+        aq = fmt.quantize_with_params(a, {"exp_bias": ba})
+        words, values = mac.matvec(fmt.encode(wq, bw), bw,
+                                   fmt.encode(aq, ba), ba,
+                                   out_bias=-8, shift=0)
+        np.testing.assert_allclose(fmt.decode(words, -8), values)
+
+    def test_saturation_on_adversarial_input(self):
+        mac = HFIntVectorMac(bits=8, exp_bits=3)
+        fmt = AdaptivFloat(8, 3)
+        big = np.full(256, 1.9)         # near value_max for bias -7... scaled
+        bw = int(fmt.fit(big)["exp_bias"])
+        q = fmt.quantize_with_params(big, {"exp_bias": bw})
+        words = fmt.encode(q, bw)
+        acc = mac.accumulate(words.reshape(1, -1), words)
+        assert acc[0] == 2 ** (mac.acc_width - 1) - 1  # clipped, not wrapped
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=2, max_value=64),
+       st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_hfint_dot_product_exactness_property(length, seed):
+    """Property: for in-range data the HFINT accumulator is *exact* —
+    the co-design's numerical guarantee."""
+    rng = np.random.default_rng(seed)
+    mac = HFIntVectorMac(bits=8, exp_bits=3)
+    fmt = AdaptivFloat(8, 3)
+    w = rng.normal(size=(4, length))
+    a = rng.normal(size=length)
+    bw = int(fmt.fit(w)["exp_bias"])
+    ba = int(fmt.fit(a)["exp_bias"])
+    wq = fmt.quantize_with_params(w, {"exp_bias": bw})
+    aq = fmt.quantize_with_params(a, {"exp_bias": ba})
+    acc = mac.accumulate(fmt.encode(wq, bw), fmt.encode(aq, ba))
+    unit = 2.0 ** (bw + ba - 2 * mac.mant_bits)
+    np.testing.assert_allclose(acc * unit, wq @ aq, rtol=1e-10, atol=1e-300)

@@ -1,0 +1,94 @@
+"""Algorithm/hardware consistency: quantized inference through the
+bit-accurate HFINT datapath must match the software fake-quant model.
+
+This is the co-design contract of the paper: the AdaptivFloat quantizer
+used at training time (Algorithm 1) and the HFINT PE pipeline (Fig. 5b)
+describe the *same* arithmetic.  We run a two-layer ReLU network
+end-to-end both ways and require agreement up to the PE's documented
+truncation error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import AdaptivFloat
+from repro.hardware import HFIntVectorMac
+
+
+BITS, EXP_BITS = 8, 3
+
+
+def software_reference(x, weights, fmt, biases):
+    """Fake-quant inference: AF weights, AF activations between layers."""
+    act = fmt.quantize_with_params(x, {"exp_bias": biases["x"]})
+    for i, w in enumerate(weights):
+        w_q = fmt.quantize_with_params(w, {"exp_bias": biases[f"w{i}"]})
+        pre = w_q @ act
+        if i < len(weights) - 1:
+            pre = np.maximum(pre, 0.0)
+        act = fmt.quantize_with_params(pre, {"exp_bias": biases[f"a{i}"]})
+    return act
+
+
+def hardware_pipeline(x, weights, fmt, biases, mac):
+    """The same network through the bit-accurate HFINT MAC pipeline."""
+    act_q = fmt.quantize_with_params(x, {"exp_bias": biases["x"]})
+    act_words = fmt.encode(act_q, biases["x"])
+    act_bias = biases["x"]
+    values = None
+    for i, w in enumerate(weights):
+        w_q = fmt.quantize_with_params(w, {"exp_bias": biases[f"w{i}"]})
+        w_words = fmt.encode(w_q, biases[f"w{i}"])
+        pre_max = np.abs(w_q @ fmt.decode(act_words, act_bias)).max()
+        shift = mac.output_shift_for(pre_max, biases[f"w{i}"], act_bias)
+        activation = (lambda v: np.maximum(v, 0.0)) \
+            if i < len(weights) - 1 else None
+        words, values = mac.matvec(w_words, biases[f"w{i}"],
+                                   act_words, act_bias,
+                                   out_bias=biases[f"a{i}"], shift=shift,
+                                   activation=activation)
+        act_words, act_bias = words, biases[f"a{i}"]
+    return values, [
+        2.0 ** (biases[f"w{i}"] + b - 2 * mac.mant_bits)
+        for i, b in enumerate([biases["x"], biases["a0"]])
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_hfint_pipeline_matches_software_quantization(seed):
+    rng = np.random.default_rng(seed)
+    fmt = AdaptivFloat(BITS, EXP_BITS)
+    mac = HFIntVectorMac(bits=BITS, exp_bits=EXP_BITS)
+
+    w0 = rng.normal(size=(24, 16)) * 0.4
+    w1 = rng.normal(size=(8, 24)) * 0.4
+    x = rng.normal(size=16)
+
+    # Calibrate every tensor's exp_bias offline (paper Section 5.2).
+    h0 = np.maximum(w0 @ x, 0.0)
+    out = w1 @ h0
+    biases = {
+        "x": int(fmt.fit(x)["exp_bias"]),
+        "w0": int(fmt.fit(w0)["exp_bias"]),
+        "w1": int(fmt.fit(w1)["exp_bias"]),
+        "a0": int(fmt.fit(h0)["exp_bias"]),
+        "a1": int(fmt.fit(out)["exp_bias"]),
+    }
+
+    reference = software_reference(x, [w0, w1], fmt, biases)
+    hardware, _ = hardware_pipeline(x, [w0, w1], fmt, mac=mac, biases=biases)
+
+    # Tolerance: one truncation LSB per layer propagated through the
+    # second layer's weights, plus one output quantization step.
+    _, vmax1 = fmt.range_for_bias(biases["a1"])
+    w1_q = fmt.quantize_with_params(w1, {"exp_bias": biases["w1"]})
+    trunc0 = 2.0 ** (biases["w0"] + biases["x"] - 2 * mac.mant_bits)
+    trunc1 = 2.0 ** (biases["w1"] + biases["a0"] - 2 * mac.mant_bits)
+    # shifts enlarge the step; bound generously with the observed shifts
+    tol = (np.abs(w1_q).sum(axis=1) * trunc0 * 2 ** 8
+           + trunc1 * 2 ** 8
+           + float(vmax1) * 2.0 ** -mac.mant_bits)
+    assert np.all(np.abs(hardware - reference) <= tol)
+    # And the result must be strongly correlated with the exact FP path.
+    corr = np.corrcoef(hardware, out)[0, 1]
+    assert corr > 0.98

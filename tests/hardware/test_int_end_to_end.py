@@ -1,0 +1,86 @@
+"""INT-PE counterpart of the HFINT end-to-end test: a two-layer network
+through the NVDLA-like integer pipeline (paper Fig. 5a) must match the
+software uniform-quantized reference within requantization error."""
+
+import numpy as np
+import pytest
+
+from repro.formats import Uniform
+from repro.hardware import IntVectorMac, RequantParams
+
+
+def _levels(x, quantizer):
+    params = quantizer.fit(x)
+    q = quantizer.quantize_with_params(x, params)
+    return np.rint(q / params["scale"]).astype(np.int64), params["scale"]
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_int_pipeline_matches_software_quantization(seed):
+    rng = np.random.default_rng(seed)
+    quantizer = Uniform(8)
+    mac = IntVectorMac(bits=8, accum_length=256)
+
+    w0 = rng.normal(size=(24, 16)) * 0.4
+    w1 = rng.normal(size=(8, 24)) * 0.4
+    x = rng.normal(size=16)
+
+    # --- software reference: uniform weights and activations
+    w0_lvl, s_w0 = _levels(w0, quantizer)
+    w1_lvl, s_w1 = _levels(w1, quantizer)
+    x_lvl, s_x = _levels(x, quantizer)
+    h_ref = np.maximum((w0_lvl * s_w0) @ (x_lvl * s_x), 0.0)
+    s_h = np.abs(h_ref).max() / 127.0
+    h_lvl_ref = np.rint(h_ref / s_h).astype(np.int64)
+    out_ref = (w1_lvl * s_w1) @ (h_lvl_ref * s_h)
+    s_out = np.abs(out_ref).max() / 127.0
+
+    # --- hardware: integer MACs + S-bit requant between layers
+    rq0 = RequantParams.from_scale(s_w0 * s_x / s_h, 16)
+    h_lvl = mac.matvec(w0_lvl, x_lvl, rq0,
+                       activation=lambda v: np.maximum(v, 0))
+    rq1 = RequantParams.from_scale(s_w1 * s_h / s_out, 16)
+    out_lvl = mac.matvec(w1_lvl, h_lvl, rq1)
+
+    # One requant LSB per layer, propagated through |W1| levels.
+    tol = s_out + s_h * np.abs(w1_lvl * s_w1).sum(axis=1)
+    assert np.all(np.abs(out_lvl * s_out - out_ref) <= tol + 1e-9)
+    assert np.corrcoef(out_lvl * s_out, out_ref)[0, 1] > 0.999
+
+
+def test_int_and_hfint_agree_on_the_same_network():
+    """Both datapaths, fed the same FP32 layer, produce outputs that
+    agree with each other at 8-bit — the formats differ, the function
+    does not."""
+    from repro.formats import AdaptivFloat
+    from repro.hardware import HFIntVectorMac
+
+    rng = np.random.default_rng(7)
+    w = rng.normal(size=(16, 32)) * 0.3
+    x = rng.normal(size=32)
+    reference = w @ x
+
+    # INT path
+    uq = Uniform(8)
+    w_lvl, s_w = _levels(w, uq)
+    x_lvl, s_x = _levels(x, uq)
+    s_out = np.abs(reference).max() / 127.0
+    imac = IntVectorMac(bits=8)
+    int_out = imac.matvec(w_lvl, x_lvl,
+                          RequantParams.from_scale(s_w * s_x / s_out, 16))
+
+    # HFINT path
+    fmt = AdaptivFloat(8, 3)
+    bw = int(fmt.fit(w)["exp_bias"])
+    bx = int(fmt.fit(x)["exp_bias"])
+    w_q = fmt.quantize_with_params(w, {"exp_bias": bw})
+    x_q = fmt.quantize_with_params(x, {"exp_bias": bx})
+    hmac = HFIntVectorMac(bits=8, exp_bits=3)
+    out_bias = int(fmt.fit(reference)["exp_bias"])
+    shift = hmac.output_shift_for(np.abs(w_q @ x_q).max(), bw, bx)
+    _, hf_out = hmac.matvec(fmt.encode(w_q, bw), bw, fmt.encode(x_q, bx), bx,
+                            out_bias, shift)
+
+    assert np.corrcoef(int_out * s_out, hf_out)[0, 1] > 0.995
+    np.testing.assert_allclose(int_out * s_out, hf_out,
+                               atol=0.08 * np.abs(reference).max())

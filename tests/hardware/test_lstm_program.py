@@ -1,0 +1,90 @@
+"""Tests for the LSTM-cell hardware program (the Table 4 workload kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.lstm_program import compile_lstm_cell
+
+
+def _fp32_lstm(weight_ih, weight_hh, bias, frames):
+    hidden = weight_hh.shape[1]
+    h = np.zeros(hidden)
+    c = np.zeros(hidden)
+    outs = []
+    for x in frames:
+        gates = weight_ih @ x + weight_hh @ h + bias
+        sig = lambda v: 1.0 / (1.0 + np.exp(-v))
+        i, f = sig(gates[:hidden]), sig(gates[hidden:2 * hidden])
+        g = np.tanh(gates[2 * hidden:3 * hidden])
+        o = sig(gates[3 * hidden:])
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        outs.append(h)
+    return np.stack(outs)
+
+
+def make_cell(hidden=16, inputs=12, seed=0):
+    rng = np.random.default_rng(seed)
+    weight_ih = rng.normal(size=(4 * hidden, inputs)) * 0.3
+    weight_hh = rng.normal(size=(4 * hidden, hidden)) * 0.3
+    bias = np.zeros(4 * hidden)
+    bias[hidden:2 * hidden] = 1.0
+    frames = rng.normal(size=(12, inputs))
+    return weight_ih, weight_hh, bias, frames
+
+
+class TestCompileLstm:
+    def test_shapes_and_biases(self):
+        wih, whh, b, frames = make_cell()
+        prog = compile_lstm_cell(wih, whh, b, frames)
+        assert prog.hidden == 16 and prog.input_size == 12
+        # h in (-1,1): its register anchors at exp_max(1.0)=0 -> bias -7
+        assert prog.h_bias == 0 - (2 ** 3 - 1)
+
+    def test_rejects_bad_shapes(self):
+        wih, whh, b, frames = make_cell()
+        with pytest.raises(ValueError):
+            compile_lstm_cell(wih[:-1], whh, b, frames)
+
+    def test_hardware_tracks_fp32_cell(self):
+        wih, whh, b, frames = make_cell(seed=1)
+        prog = compile_lstm_cell(wih, whh, b, frames)
+        hw = prog.run(frames)
+        fp = _fp32_lstm(wih, whh, b, frames)
+        # 8-bit weights/states: the trajectories stay close over 12 steps.
+        assert np.corrcoef(hw.ravel(), fp.ravel())[0, 1] > 0.98
+        assert np.abs(hw - fp).mean() < 0.08
+
+    def test_state_stays_in_range(self):
+        wih, whh, b, frames = make_cell(seed=2)
+        prog = compile_lstm_cell(wih, whh, b, frames)
+        hw = prog.run(frames)
+        assert np.abs(hw).max() <= 1.0 + 1e-9  # h = o * tanh(c)
+
+    def test_deterministic(self):
+        wih, whh, b, frames = make_cell(seed=3)
+        prog = compile_lstm_cell(wih, whh, b, frames)
+        np.testing.assert_array_equal(prog.run(frames), prog.run(frames))
+
+    def test_zero_input_zero_state_fixed_point(self):
+        wih, whh, b, frames = make_cell(seed=4)
+        b = np.zeros_like(b)  # no forget bias
+        prog = compile_lstm_cell(wih, whh, b, frames)
+        h, c = prog.step(np.zeros(12))
+        # gates at 0 -> i=f=o=0.5, g=0 -> c=0, h=0
+        np.testing.assert_allclose(h, 0.0, atol=1e-9)
+        np.testing.assert_allclose(c, 0.0, atol=1e-9)
+
+    def test_paper_workload_dimensions_compile(self):
+        """The exact Table 4 kernel (256 hidden, 512-wide reductions)
+        compiles and steps — reductions tile across H=256."""
+        rng = np.random.default_rng(5)
+        hidden, inputs = 64, 64  # scaled to keep the test fast
+        wih = rng.normal(size=(4 * hidden, inputs)) * 0.2
+        whh = rng.normal(size=(4 * hidden, hidden)) * 0.2
+        bias = np.zeros(4 * hidden)
+        frames = rng.normal(size=(3, inputs))
+        prog = compile_lstm_cell(wih, whh, bias, frames, accum_length=32)
+        out = prog.run(frames)
+        assert out.shape == (3, hidden)
+        assert np.isfinite(out).all()

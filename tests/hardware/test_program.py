@@ -1,0 +1,112 @@
+"""Tests for the hardware-program compiler + interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.formats import AdaptivFloat
+from repro.hardware.program import HardwareProgram, compile_linear_stack
+from repro.nn.models import MLP
+
+
+def small_stack(seed=0):
+    rng = np.random.default_rng(seed)
+    w0 = rng.normal(size=(24, 16)) * 0.4
+    b0 = rng.normal(size=24) * 0.1
+    w1 = rng.normal(size=(10, 24)) * 0.4
+    calib = rng.normal(size=(64, 16))
+    return [w0, w1], [b0, None], ["relu", "identity"], calib
+
+
+class TestCompile:
+    def test_compiles_and_runs(self):
+        weights, biases, acts, calib = small_stack()
+        prog = compile_linear_stack(weights, biases, acts, calib)
+        out = prog.run(calib[0])
+        assert out.shape == (10,)
+
+    def test_batch_execution(self):
+        weights, biases, acts, calib = small_stack()
+        prog = compile_linear_stack(weights, biases, acts, calib)
+        out = prog.run(calib[:5])
+        assert out.shape == (5, 10)
+        np.testing.assert_array_equal(out[0], prog.run(calib[0]))
+
+    def test_matches_software_quantized_reference(self):
+        """The compiled program on the bit-accurate datapath must track
+        the software AdaptivFloat fake-quant inference closely."""
+        weights, biases, acts, calib = small_stack()
+        prog = compile_linear_stack(weights, biases, acts, calib,
+                                    bits=8, exp_bits=3)
+        fmt = AdaptivFloat(8, 3)
+
+        def software(x):
+            act = fmt.quantize(x)
+            for w, b, name in zip(weights, biases, acts):
+                w_q = fmt.quantize(w)
+                pre = w_q @ act + (b if b is not None else 0.0)
+                if name == "relu":
+                    pre = np.maximum(pre, 0.0)
+                act = fmt.quantize(pre)
+            return act
+
+        x = calib[7]
+        hw = prog.run(x)
+        sw = software(x)
+        # Correlated within truncation noise (both live on 8-bit grids
+        # with independently-derived per-tensor biases).
+        assert np.corrcoef(hw, sw)[0, 1] > 0.99
+        assert np.abs(hw - sw).max() < 0.35 * np.abs(sw).max() + 0.1
+
+    def test_classification_agreement_on_mlp(self):
+        """Hardware-program argmax matches software fake-quant argmax on
+        most inputs — deployable quantized inference."""
+        rng = np.random.default_rng(3)
+        model = MLP([16, 32, 4], rng=rng)
+        weights = [model.layers[0].weight.data, model.layers[1].weight.data]
+        biases = [model.layers[0].bias.data, model.layers[1].bias.data]
+        calib = rng.normal(size=(128, 16)).astype(np.float32)
+        prog = compile_linear_stack(weights, biases, ["relu", "identity"],
+                                    calib)
+        test = rng.normal(size=(64, 16)).astype(np.float32)
+        hw_pred = prog.run(test).argmax(axis=-1)
+        sw_pred = model(test).data.argmax(axis=-1)
+        assert (hw_pred == sw_pred).mean() > 0.85
+
+    def test_validation(self):
+        weights, biases, acts, calib = small_stack()
+        with pytest.raises(ValueError):
+            compile_linear_stack(weights, biases[:1], acts, calib)
+        with pytest.raises(ValueError):
+            compile_linear_stack(weights, biases, ["relu", "softplus"], calib)
+
+
+class TestSerialization:
+    def test_manifest_roundtrip(self):
+        weights, biases, acts, calib = small_stack()
+        prog = compile_linear_stack(weights, biases, acts, calib)
+        manifest, blob = prog.to_manifest()
+        import json
+        manifest = json.loads(json.dumps(manifest))  # must be JSON-able
+        restored = HardwareProgram.from_manifest(manifest, blob)
+        x = calib[3]
+        np.testing.assert_array_equal(prog.run(x), restored.run(x))
+
+    def test_weight_stream_is_n_bits(self):
+        weights, biases, acts, calib = small_stack()
+        prog = compile_linear_stack(weights, biases, acts, calib, bits=6)
+        layer = prog.layers[0]
+        expected = (24 * 16 * 6 + 7) // 8
+        assert len(layer.weight_stream) == expected
+
+
+class TestTiling:
+    def test_wide_layer_tiles(self):
+        rng = np.random.default_rng(4)
+        w = rng.normal(size=(8, 600)) * 0.1  # wider than H=256
+        calib = rng.normal(size=(16, 600))
+        prog = compile_linear_stack([w], [None], ["identity"], calib)
+        out = prog.run(calib[0])
+        w_q = AdaptivFloat(8, 3).quantize(w)
+        x_q = AdaptivFloat(8, 3).quantize(calib[0])
+        reference = w_q @ x_q
+        assert np.corrcoef(out, reference)[0, 1] > 0.99

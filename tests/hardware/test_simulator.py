@@ -1,0 +1,56 @@
+"""Cross-validation: the event simulator must agree with the analytical
+schedule model (and therefore with Table 4's latency)."""
+
+import pytest
+
+from repro.hardware import AcceleratorConfig, LSTMWorkload, PAPER_WORKLOAD
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.simulator import EventSimulator
+
+
+class TestCrossValidation:
+    def test_matches_analytical_cycle_counts(self):
+        config = AcceleratorConfig()
+        sim = EventSimulator(config).run(PAPER_WORKLOAD)
+        analytical = Accelerator(config).cycles_per_step(PAPER_WORKLOAD)
+        simulated = {phase: total // PAPER_WORKLOAD.timesteps
+                     for phase, total in sim.cycles_by_phase().items()}
+        assert simulated == analytical
+
+    def test_runtime_is_paper_latency(self):
+        trace = EventSimulator().run(PAPER_WORKLOAD)
+        assert trace.runtime_us == pytest.approx(81.2, rel=0.01)
+
+    @pytest.mark.parametrize("num_pes,vector", [(2, 8), (4, 16), (8, 16)])
+    def test_agreement_across_configs(self, num_pes, vector):
+        config = AcceleratorConfig(num_pes=num_pes, vector_size=vector)
+        workload = LSTMWorkload(timesteps=7, hidden=128, input_dim=64)
+        sim = EventSimulator(config).run(workload)
+        analytical = Accelerator(config).total_cycles(workload)
+        assert sim.total_cycles == analytical
+
+
+class TestTraceStructure:
+    def test_phases_are_contiguous(self):
+        trace = EventSimulator().run(LSTMWorkload(timesteps=3))
+        for prev, nxt in zip(trace.phases, trace.phases[1:]):
+            assert prev.end_cycle == nxt.start_cycle
+
+    def test_phase_sequence_per_step(self):
+        trace = EventSimulator().run(LSTMWorkload(timesteps=2))
+        names = [p.phase for p in trace.phases if p.step == 0]
+        assert names == ["compute", "activation", "collect", "broadcast",
+                         "pipeline"]
+
+    def test_mac_utilization_matches_schedule(self):
+        # 512 of 812 cycles per step are MAC-busy on all 4 PEs.
+        trace = EventSimulator().run(PAPER_WORKLOAD)
+        assert trace.mac_utilization() == pytest.approx(4 * 512 / 812, rel=1e-3)
+
+    def test_wider_crossbar_shrinks_transfers(self):
+        fast = EventSimulator(AcceleratorConfig(crossbar_lanes=16)).run(
+            LSTMWorkload(timesteps=2))
+        slow = EventSimulator(AcceleratorConfig(crossbar_lanes=4)).run(
+            LSTMWorkload(timesteps=2))
+        assert fast.cycles_by_phase()["collect"] \
+            < slow.cycles_by_phase()["collect"]

@@ -1,0 +1,137 @@
+"""Tests for BLEU, WER, accuracy and RMS-error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (bleu_score, boxplot_stats, edit_distance,
+                           ngram_precisions, rms_error, top1_accuracy,
+                           top_k_accuracy, wer_score)
+
+
+class TestBleu:
+    def test_perfect_match_is_100(self):
+        refs = [[1, 2, 3, 4, 5], [6, 7, 8, 9]]
+        assert bleu_score(refs, refs) == pytest.approx(100.0)
+
+    def test_disjoint_is_zero(self):
+        refs = [[1, 2, 3, 4, 5]]
+        hyps = [[6, 7, 8, 9, 10]]
+        assert bleu_score(refs, hyps) < 1e-6
+
+    def test_empty_hypotheses(self):
+        assert bleu_score([[1, 2, 3]], [[]]) == 0.0
+
+    def test_brevity_penalty(self):
+        refs = [[1, 2, 3, 4, 5, 6, 7, 8]]
+        full = bleu_score(refs, [[1, 2, 3, 4, 5, 6, 7, 8]])
+        short = bleu_score(refs, [[1, 2, 3, 4]])
+        assert short < full
+
+    def test_no_reward_for_repeating_ngrams(self):
+        # Clipping: repeating a matched token must not inflate precision.
+        refs = [[1, 2, 3, 4]]
+        spam = bleu_score(refs, [[1, 1, 1, 1]])
+        honest = bleu_score(refs, [[1, 2, 3, 4]])
+        assert spam < honest
+
+    def test_corpus_pooling(self):
+        refs = [[1, 2, 3], [4, 5, 6]]
+        hyps = [[1, 2, 3], [7, 8, 9]]
+        pooled = bleu_score(refs, hyps)
+        assert 0 < pooled < 100
+
+    def test_precisions_counts(self):
+        precisions, ref_len, hyp_len = ngram_precisions([[1, 2, 3]], [[1, 2, 4]])
+        assert ref_len == hyp_len == 3
+        assert precisions[0] == pytest.approx(2 / 3)
+        assert precisions[1] == pytest.approx(1 / 2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bleu_score([[1]], [[1], [2]])
+
+
+class TestWer:
+    def test_edit_distance_known_cases(self):
+        assert edit_distance([1, 2, 3], [1, 2, 3]) == 0
+        assert edit_distance([1, 2, 3], [1, 3]) == 1        # deletion
+        assert edit_distance([1, 2], [1, 9, 2]) == 1        # insertion
+        assert edit_distance([1, 2, 3], [1, 9, 3]) == 1     # substitution
+        assert edit_distance([], [1, 2]) == 2
+        assert edit_distance([1, 2], []) == 2
+
+    def test_perfect_is_zero(self):
+        refs = [[1, 2, 3], [4, 5]]
+        assert wer_score(refs, refs) == 0.0
+
+    def test_wer_can_exceed_100(self):
+        # Hallucinating models can have WER > 100 (paper prints 'inf').
+        assert wer_score([[1]], [[2, 3, 4, 5]]) > 100.0
+
+    def test_corpus_weighting(self):
+        refs = [[1] * 9, [2]]
+        hyps = [[1] * 9, [3]]
+        assert wer_score(refs, hyps) == pytest.approx(10.0)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            wer_score([[]], [[]])
+
+
+class TestAccuracy:
+    def test_top1(self):
+        logits = np.array([[1.0, 3.0], [2.0, 0.0], [0.0, 5.0]])
+        labels = np.array([1, 0, 0])
+        assert top1_accuracy(logits, labels) == pytest.approx(100 * 2 / 3)
+
+    def test_topk(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert top_k_accuracy(logits, np.array([2]), k=3) == 100.0
+        assert top_k_accuracy(logits, np.array([3]), k=3) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestErrorMetrics:
+    def test_rms_error_known(self):
+        a = np.array([0.0, 0.0])
+        b = np.array([3.0, 4.0])
+        assert rms_error(a, b) == pytest.approx(np.sqrt(12.5))
+
+    def test_rms_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rms_error(np.zeros(3), np.zeros(4))
+
+    def test_boxplot_stats(self):
+        stats = boxplot_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats["median"] == 3.0
+        assert stats["min"] == 1.0 and stats["max"] == 5.0
+        assert stats["mean"] == 3.0
+
+    def test_boxplot_empty_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 5), max_size=12),
+       st.lists(st.integers(0, 5), max_size=12))
+def test_edit_distance_properties(a, b):
+    d = edit_distance(a, b)
+    assert d == edit_distance(b, a)                 # symmetry
+    assert d >= abs(len(a) - len(b))                # length lower bound
+    assert d <= max(len(a), len(b))                 # replacement upper bound
+    assert (d == 0) == (a == b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.lists(st.integers(0, 9), min_size=1, max_size=10),
+                min_size=1, max_size=8))
+def test_bleu_identity_property(corpus):
+    assert bleu_score(corpus, corpus) == pytest.approx(100.0)

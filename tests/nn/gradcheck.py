@@ -1,0 +1,41 @@
+"""Central-difference gradient checking for the autodiff engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_grad(fn: Callable[..., Tensor], tensors: Sequence[Tensor],
+                 index: int, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of ``float(fn(*tensors))`` w.r.t. one input."""
+    target = tensors[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = float(fn(*tensors).data.sum())
+        flat[i] = orig - eps
+        lo = float(fn(*tensors).data.sum())
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[..., Tensor], tensors: Sequence[Tensor],
+                    atol: float = 2e-2, rtol: float = 5e-2) -> None:
+    """Assert autodiff gradients match central differences for all inputs."""
+    for t in tensors:
+        t.zero_grad()
+    out = fn(*tensors)
+    out.backward(np.ones_like(out.data))
+    for i, t in enumerate(tensors):
+        expected = numeric_grad(fn, tensors, i)
+        actual = t.grad if t.grad is not None else np.zeros_like(t.data)
+        np.testing.assert_allclose(actual, expected, atol=atol, rtol=rtol,
+                                   err_msg=f"gradient mismatch on input {i}")

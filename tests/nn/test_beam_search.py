@@ -1,0 +1,90 @@
+"""Tests for beam-search decoding on both sequence models."""
+
+import numpy as np
+import pytest
+
+from repro.data import SpeechTask, TranslationTask
+from repro.metrics import bleu_score, wer_score
+from repro.nn.models import Seq2Seq, Seq2SeqConfig, Transformer, TransformerConfig
+
+
+@pytest.fixture(scope="module")
+def transformer():
+    model = Transformer(TransformerConfig(), rng=np.random.default_rng(0))
+    return model.eval()  # decoding comparisons need dropout off
+
+
+@pytest.fixture(scope="module")
+def seq2seq():
+    model = Seq2Seq(Seq2SeqConfig(), rng=np.random.default_rng(0))
+    return model.eval()
+
+
+class TestTransformerBeam:
+    def test_beam1_matches_greedy(self, transformer):
+        """Beam size 1 with no length penalty is greedy decoding."""
+        task = TranslationTask()
+        batch = next(task.batches(3, 1))
+        greedy = task.strip(transformer.greedy_decode(batch.src, max_len=10))
+        beam = task.strip(transformer.beam_decode(batch.src, beam_size=1,
+                                                  max_len=10,
+                                                  length_penalty=0.0))
+        assert greedy == beam
+
+    def test_beam_output_shape(self, transformer):
+        task = TranslationTask()
+        batch = next(task.batches(4, 1))
+        out = transformer.beam_decode(batch.src, beam_size=3, max_len=8)
+        assert out.shape[0] == 4
+        assert out.shape[1] <= 8
+
+    def test_invalid_beam_size(self, transformer):
+        with pytest.raises(ValueError):
+            transformer.beam_decode(np.array([[5, 2]]), beam_size=0)
+
+
+class TestSeq2SeqBeam:
+    def test_beam1_matches_greedy(self, seq2seq):
+        task = SpeechTask()
+        batch = next(task.batches(3, 1))
+        greedy = task.strip(seq2seq.greedy_decode(batch.frames, max_len=8))
+        beam = task.strip(seq2seq.beam_decode(batch.frames, beam_size=1,
+                                              max_len=8, length_penalty=0.0))
+        assert greedy == beam
+
+    def test_beam_shape(self, seq2seq):
+        task = SpeechTask()
+        batch = next(task.batches(2, 1))
+        out = seq2seq.beam_decode(batch.frames, beam_size=3, max_len=6)
+        assert out.shape[0] == 2
+
+    def test_invalid_beam_size(self, seq2seq):
+        with pytest.raises(ValueError):
+            seq2seq.beam_decode(np.zeros((1, 4, 16), dtype=np.float32),
+                                beam_size=-2)
+
+
+class TestBeamQuality:
+    def test_beam_at_least_greedy_on_trained_model(self):
+        """On a briefly-trained model beam search should not lose to
+        greedy by a meaningful margin (corpus BLEU)."""
+        import repro.nn as nn
+        from repro.nn import functional as F
+        rng = np.random.default_rng(2)
+        model = Transformer(TransformerConfig(), rng=rng)
+        task = TranslationTask()
+        opt = nn.Adam(model.parameters(), lr=2e-3)
+        for batch in task.batches(16, 120):
+            loss = F.cross_entropy(model(batch.src, batch.tgt_in),
+                                   batch.tgt_out, ignore_index=0)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        model.eval()
+        batch = task.eval_set(24)
+        refs = task.strip(batch.tgt_out)
+        greedy = bleu_score(refs, task.strip(
+            model.greedy_decode(batch.src, max_len=14)))
+        beam = bleu_score(refs, task.strip(
+            model.beam_decode(batch.src, beam_size=4, max_len=14)))
+        assert beam >= greedy - 3.0

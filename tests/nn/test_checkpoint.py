@@ -1,0 +1,61 @@
+"""Tests for bit-packed quantized checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.nn import QuantSpec
+from repro.nn.checkpoint import (load_quantized, quantized_size_bytes,
+                                 save_quantized)
+from repro.nn.models import MLP, ResNet, ResNetConfig
+
+
+def build(seed=0):
+    return MLP([16, 32, 8], rng=np.random.default_rng(seed))
+
+
+@pytest.mark.parametrize("fmt", ["adaptivfloat", "uniform", "bfp"])
+def test_roundtrip_bit_exact(fmt, tmp_path):
+    model = build()
+    save_quantized(model, QuantSpec(fmt, 6), tmp_path / "ckpt")
+    quantized = {n: p.data.copy() for n, p in model.named_parameters()}
+
+    fresh = build(seed=99)  # different weights before loading
+    load_quantized(fresh, tmp_path / "ckpt")
+    for name, param in fresh.named_parameters():
+        np.testing.assert_array_equal(param.data, quantized[name], err_msg=name)
+
+
+def test_size_reduction(tmp_path):
+    model = build()
+    fp32_bytes = sum(p.data.nbytes for n, p in model.named_parameters()
+                     if "weight" in n)
+    save_quantized(model, QuantSpec("adaptivfloat", 4), tmp_path / "ckpt")
+    sizes = quantized_size_bytes(tmp_path / "ckpt")
+    assert sizes["packed_weights"] <= fp32_bytes / 8 + 8  # 4 vs 32 bits
+
+
+def test_unpackable_format_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        save_quantized(build(), QuantSpec("posit", 8), tmp_path / "ckpt")
+
+
+def test_buffers_roundtrip(tmp_path):
+    model = ResNet(ResNetConfig(blocks_per_stage=1),
+                   rng=np.random.default_rng(0))
+    model.blocks[0].bn1.running_mean += 7.0
+    save_quantized(model, QuantSpec("adaptivfloat", 8), tmp_path / "ckpt")
+    fresh = ResNet(ResNetConfig(blocks_per_stage=1),
+                   rng=np.random.default_rng(5))
+    load_quantized(fresh, tmp_path / "ckpt")
+    assert fresh.blocks[0].bn1.running_mean[0] == pytest.approx(7.0)
+
+
+def test_inference_identical_after_roundtrip(tmp_path):
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(4, 16)).astype(np.float32)
+    model = build()
+    save_quantized(model, QuantSpec("adaptivfloat", 6), tmp_path / "ckpt")
+    expected = model(x).data.copy()
+    fresh = build(seed=42)
+    load_quantized(fresh, tmp_path / "ckpt")
+    np.testing.assert_array_equal(fresh(x).data, expected)

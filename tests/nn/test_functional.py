@@ -1,0 +1,213 @@
+"""Gradient and behaviour tests for functional NN ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, functional as F
+
+from .gradcheck import check_gradients
+
+
+def rand(*shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape).astype(np.float32) * scale,
+                  requires_grad=True)
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        out = F.softmax(rand(4, 7), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), rtol=1e-6)
+
+    def test_softmax_gradient(self):
+        check_gradients(lambda t: F.softmax(t, axis=-1) * rand(3, 5, seed=9).data,
+                        [rand(3, 5)])
+
+    def test_log_softmax_gradient(self):
+        check_gradients(lambda t: F.log_softmax(t, axis=-1) * rand(3, 5, seed=9).data,
+                        [rand(3, 5)])
+
+    def test_softmax_stable_for_large_logits(self):
+        big = Tensor(np.array([[1000.0, 1000.0, 0.0]], dtype=np.float32))
+        out = F.softmax(big, axis=-1)
+        assert np.isfinite(out.data).all()
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = rand(4, 6)
+        targets = np.array([0, 3, 5, 1])
+        loss = F.cross_entropy(logits, targets)
+        logp = F.log_softmax(logits, axis=-1).data
+        expected = -logp[np.arange(4), targets].mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_ignore_index(self):
+        logits = rand(4, 6)
+        targets = np.array([0, 3, -1, -1])
+        loss = F.cross_entropy(logits, targets, ignore_index=-1)
+        logp = F.log_softmax(logits, axis=-1).data
+        expected = -logp[np.arange(2), targets[:2]].mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_gradient(self):
+        targets = np.array([1, 0, 2])
+        check_gradients(lambda t: F.cross_entropy(t, targets), [rand(3, 4)])
+
+    def test_label_smoothing_increases_loss_on_confident_model(self):
+        logits = Tensor(np.eye(3, dtype=np.float32) * 20.0)
+        targets = np.arange(3)
+        plain = F.cross_entropy(logits, targets).item()
+        smooth = F.cross_entropy(logits, targets, label_smoothing=0.1).item()
+        assert smooth > plain
+
+    def test_3d_logits(self):
+        logits = rand(2, 5, 7)
+        targets = np.zeros((2, 5), dtype=np.int64)
+        loss = F.cross_entropy(logits, targets)
+        assert np.isfinite(loss.item())
+
+
+class TestEmbeddingAndMask:
+    def test_embedding_gradient_scatter(self):
+        w = rand(5, 3)
+        ids = np.array([1, 1, 4])
+        out = F.embedding(w, ids)
+        out.backward(np.ones_like(out.data))
+        expected = np.zeros((5, 3), dtype=np.float32)
+        expected[1] = 2.0
+        expected[4] = 1.0
+        np.testing.assert_allclose(w.grad, expected)
+
+    def test_masked_fill(self):
+        x = rand(2, 3)
+        mask = np.array([[True, False, False], [False, True, False]])
+        out = F.masked_fill(x, mask, -1e9)
+        assert out.data[0, 0] == np.float32(-1e9)
+        out.backward(np.ones_like(out.data))
+        assert x.grad[0, 0] == 0.0 and x.grad[0, 1] == 1.0
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = rand(10, 10)
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_training_scales_kept_values(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200), dtype=np.float32), requires_grad=True)
+        out = F.dropout(x, 0.25, training=True, rng=rng)
+        kept = out.data[out.data != 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.75, rtol=1e-6)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+
+class TestConcat:
+    def test_cat_gradient(self):
+        check_gradients(lambda a, b: F.cat([a, b], axis=1) * 2.0,
+                        [rand(2, 3), rand(2, 4, seed=1)])
+
+
+class TestConv:
+    def test_conv2d_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)).astype(np.float32))
+        b = Tensor(rng.normal(size=(4,)).astype(np.float32))
+        out = F.conv2d(x, w, b, stride=1, padding=1).data
+
+        xp = np.pad(x.data, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros_like(out)
+        for n in range(2):
+            for f in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        patch = xp[n, :, i:i + 3, j:j + 3]
+                        naive[n, f, i, j] = (patch * w.data[f]).sum() + b.data[f]
+        np.testing.assert_allclose(out, naive, rtol=1e-4, atol=1e-4)
+
+    def test_conv2d_stride_shape(self):
+        x = rand(1, 2, 8, 8)
+        w = rand(5, 2, 3, 3, seed=1)
+        out = F.conv2d(x, w, None, stride=2, padding=1)
+        assert out.shape == (1, 5, 4, 4)
+
+    def test_conv2d_gradients(self):
+        x = rand(2, 2, 5, 5, scale=0.5)
+        w = rand(3, 2, 3, 3, seed=1, scale=0.5)
+        b = rand(3, seed=2)
+        check_gradients(lambda xx, ww, bb: F.conv2d(xx, ww, bb, 1, 1),
+                        [x, w, b])
+
+    def test_conv2d_stride2_gradients(self):
+        x = rand(1, 2, 6, 6, scale=0.5)
+        w = rand(2, 2, 3, 3, seed=1, scale=0.5)
+        check_gradients(lambda xx, ww: F.conv2d(xx, ww, None, 2, 1), [x, w])
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            F.conv2d(rand(1, 3, 4, 4), rand(2, 4, 3, 3, seed=1), None)
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_gradient(self):
+        x = rand(2, 3, 4, 4)
+        check_gradients(lambda t: F.max_pool2d(t, 2), [x])
+
+    def test_avg_pool_forward_and_gradient(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+        check_gradients(lambda t: F.avg_pool2d(t, 2), [rand(2, 2, 4, 4)])
+
+    def test_global_avg_pool(self):
+        x = rand(2, 3, 4, 4)
+        out = F.global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)), rtol=1e-5)
+
+    def test_pool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            F.max_pool2d(rand(1, 1, 5, 5), 2)
+
+
+class TestGelu:
+    def test_gelu_values(self):
+        x = Tensor(np.array([0.0, 1.0, -1.0], dtype=np.float32))
+        out = F.gelu(x).data
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(0.8412, abs=1e-3)
+        assert out[2] == pytest.approx(-0.1588, abs=1e-3)
+
+    def test_gelu_gradient(self):
+        check_gradients(lambda t: F.gelu(t), [rand(4, 4)])
+
+
+class TestFakeQuantize:
+    def test_forward_quantizes(self):
+        from repro.formats import make_quantizer
+        q = make_quantizer("uniform", 4)
+        x = rand(5, 5)
+        out = F.fake_quantize(x, q.quantize)
+        np.testing.assert_allclose(out.data, q.quantize(x.data).astype(np.float32))
+
+    def test_backward_is_straight_through(self):
+        from repro.formats import make_quantizer
+        q = make_quantizer("adaptivfloat", 4)
+        x = rand(5, 5)
+        out = F.fake_quantize(x, q.quantize)
+        out.backward(np.ones_like(out.data))
+        np.testing.assert_allclose(x.grad, np.ones((5, 5)))
+
+    def test_ste_mask(self):
+        x = rand(4)
+        mask = np.array([1.0, 0.0, 1.0, 0.0], dtype=np.float32)
+        out = F.fake_quantize(x, lambda a: a * 2, ste_mask=mask)
+        out.backward(np.ones_like(out.data))
+        np.testing.assert_allclose(x.grad, mask)

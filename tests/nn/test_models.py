@@ -1,0 +1,160 @@
+"""Tests for the three paper model families."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.data import ImageTask, SpeechTask, TranslationTask
+from repro.nn.models import (MLP, ResNet, ResNetConfig, Seq2Seq,
+                             Seq2SeqConfig, Transformer, TransformerConfig,
+                             causal_mask, padding_mask)
+
+
+class TestMasks:
+    def test_causal_mask_blocks_future(self):
+        mask = causal_mask(4)
+        assert mask.shape == (1, 1, 4, 4)
+        assert not mask[0, 0, 2, 2] and mask[0, 0, 2, 3]
+
+    def test_padding_mask(self):
+        ids = np.array([[5, 6, 0, 0]])
+        mask = padding_mask(ids, pad_id=0)
+        assert mask.shape == (1, 1, 1, 4)
+        np.testing.assert_array_equal(mask[0, 0, 0], [False, False, True, True])
+
+
+class TestTransformer:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return Transformer(TransformerConfig(), rng=np.random.default_rng(0))
+
+    def test_forward_shape(self, model):
+        task = TranslationTask()
+        batch = next(task.batches(4, 1))
+        logits = model(batch.src, batch.tgt_in)
+        assert logits.shape == (4, batch.tgt_in.shape[1],
+                                model.config.tgt_vocab)
+
+    def test_greedy_decode_terminates(self, model):
+        task = TranslationTask()
+        batch = next(task.batches(4, 1))
+        out = model.greedy_decode(batch.src, max_len=12)
+        assert out.shape[0] == 4 and out.shape[1] <= 12
+
+    def test_padding_invariance(self, model):
+        """Extra PAD columns on the source must not change the output."""
+        model.eval()
+        src = np.array([[5, 6, 7, 2]])
+        padded = np.array([[5, 6, 7, 2, 0, 0, 0]])
+        a = model.greedy_decode(src, max_len=8)
+        b = model.greedy_decode(padded, max_len=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_causality_of_training_logits(self, model):
+        """Changing target token t must not affect logits before t."""
+        model.eval()
+        src = np.array([[5, 6, 7, 2]])
+        tgt = np.array([[1, 10, 11, 12]])
+        with nn.no_grad():
+            base = model(src, tgt).data.copy()
+            tgt2 = tgt.copy()
+            tgt2[0, 3] = 40
+            changed = model(src, tgt2).data
+        np.testing.assert_allclose(base[0, :3], changed[0, :3], atol=1e-5)
+
+    def test_heavy_tailed_init_spread(self):
+        wide = Transformer(TransformerConfig(),
+                           rng=np.random.default_rng(0))
+        narrow = Transformer(TransformerConfig(embedding_gain_spread=1.0,
+                                               generator_gain_spread=1.0),
+                             rng=np.random.default_rng(0))
+        ratio_wide = (np.abs(wide.src_embed.weight.data).max()
+                      / wide.src_embed.weight.data.std())
+        ratio_narrow = (np.abs(narrow.src_embed.weight.data).max()
+                        / narrow.src_embed.weight.data.std())
+        assert ratio_wide > 1.5 * ratio_narrow
+
+
+class TestSeq2Seq:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return Seq2Seq(Seq2SeqConfig(), rng=np.random.default_rng(0))
+
+    def test_forward_shape(self, model):
+        task = SpeechTask()
+        batch = next(task.batches(4, 1))
+        logits = model(batch.frames, batch.tgt_in)
+        assert logits.shape == (4, batch.tgt_in.shape[1], model.config.vocab)
+
+    def test_greedy_decode_shapes(self, model):
+        task = SpeechTask()
+        batch = next(task.batches(3, 1))
+        out = model.greedy_decode(batch.frames)
+        assert out.shape[0] == 3
+        assert out.shape[1] <= model.config.max_len
+
+    def test_gradients_reach_all_parameters(self, model):
+        task = SpeechTask()
+        batch = next(task.batches(2, 1))
+        model.train()
+        loss = nn.functional.cross_entropy(
+            model(batch.frames, batch.tgt_in), batch.tgt_out, ignore_index=0)
+        model.zero_grad()
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+
+class TestResNet:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ResNet(ResNetConfig(blocks_per_stage=1),
+                      rng=np.random.default_rng(0))
+
+    def test_forward_shape(self, model):
+        task = ImageTask()
+        batch = task.sample(4, np.random.default_rng(0))
+        logits = model(batch.images)
+        assert logits.shape == (4, 10)
+
+    def test_spatial_downsampling(self, model):
+        # 3 stages with stride-2 at stage boundaries: 16 -> 8 -> 4.
+        import repro.nn.functional as F
+        from repro.nn import Tensor
+        x = Tensor(np.zeros((1, 3, 16, 16), dtype=np.float32))
+        x = F.relu(model.stem_bn(model.stem_conv(x)))
+        for block in model.blocks:
+            x = block(x)
+        assert x.shape == (1, 64, 4, 4)
+
+    def test_predict_eval_mode(self, model):
+        task = ImageTask()
+        batch = task.sample(4, np.random.default_rng(0))
+        model.eval()
+        pred = model.predict(batch.images)
+        assert pred.shape == (4,)
+        assert pred.dtype == np.int64
+
+    def test_batchnorm_stats_survive_state_dict(self, model):
+        task = ImageTask()
+        batch = task.sample(8, np.random.default_rng(0))
+        model.train()
+        model(batch.images)  # updates running stats
+        state = model.state_dict()
+        clone = ResNet(ResNetConfig(blocks_per_stage=1))
+        clone.load_state_dict(state)
+        model.eval(), clone.eval()
+        with nn.no_grad():
+            np.testing.assert_allclose(model(batch.images).data,
+                                       clone(batch.images).data, atol=1e-5)
+
+
+class TestMLP:
+    def test_forward(self):
+        mlp = MLP([4, 8, 2])
+        out = mlp(np.zeros((3, 4), dtype=np.float32))
+        assert out.shape == (3, 2)
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])

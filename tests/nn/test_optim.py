@@ -1,0 +1,86 @@
+"""Tests for optimizers and gradient utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, Parameter, Tensor, clip_grad_norm
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start], dtype=np.float32))
+
+
+def run_steps(optimizer, param, steps=200):
+    for _ in range(steps):
+        loss = (param * param).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(run_steps(SGD([p], lr=0.1), p)) < 1e-3
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        plain = abs(run_steps(SGD([p1], lr=0.01), p1, steps=50))
+        momentum = abs(run_steps(SGD([p2], lr=0.01, momentum=0.9), p2, steps=50))
+        assert momentum < plain
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        # zero gradient: only decay acts
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_gradless_params(self):
+        p = quadratic_param()
+        SGD([p], lr=0.1).step()  # no grad: must not crash or move
+        assert p.data[0] == 5.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(run_steps(Adam([p], lr=0.1), p, steps=300)) < 1e-2
+
+    def test_bias_correction_first_step(self):
+        # After one step from a constant gradient, Adam moves ~lr.
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(0.9, abs=1e-3)
+
+    def test_per_parameter_scaling(self):
+        # Adam normalizes per-coordinate: both coordinates move equally
+        # despite a 100x gradient-scale difference.
+        p = Parameter(np.array([1.0, 1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([0.01, 1.0], dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(p.data[1], abs=1e-4)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        total = clip_grad_norm([p], max_norm=1.0)
+        assert total == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.array([0.3, 0.4], dtype=np.float32)
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])

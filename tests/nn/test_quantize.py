@@ -1,0 +1,236 @@
+"""Tests for the fake-quantization machinery (PTQ / QAR plumbing)."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.formats import AdaptivFloat
+from repro.nn import (ActFakeQuant, QuantSpec, Tensor, WeightFakeQuant,
+                      attach_act_quantizers, attach_weight_quantizers,
+                      calibrate, detach_quantizers, quantize_weights_inplace)
+from repro.nn.models import MLP
+
+
+def small_model(seed=0):
+    return MLP([8, 16, 4], rng=np.random.default_rng(seed))
+
+
+def data(*shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape).astype(np.float32))
+
+
+class TestQuantSpec:
+    def test_build_uses_paper_defaults(self):
+        q = QuantSpec("adaptivfloat", 8).build()
+        assert q.exp_bits == 3
+        assert QuantSpec("posit", 4).build().es == 0
+
+    def test_overrides(self):
+        q = QuantSpec("adaptivfloat", 8, {"exp_bits": 4}).build()
+        assert q.exp_bits == 4
+
+    def test_label(self):
+        assert QuantSpec("bfp", 6).label == "bfp6"
+
+
+class TestWeightQuantization:
+    def test_attach_reports_layers(self):
+        model = small_model()
+        touched = attach_weight_quantizers(model, QuantSpec("adaptivfloat", 8))
+        assert touched == ["layers.0", "layers.1"]
+
+    def test_forward_sees_quantized_weights(self):
+        model = small_model()
+        x = data(4, 8)
+        baseline = model(x).data.copy()
+        attach_weight_quantizers(model, QuantSpec("uniform", 3))
+        coarse = model(x).data
+        assert not np.allclose(baseline, coarse)
+
+    def test_latent_weights_unchanged_by_forward(self):
+        model = small_model()
+        before = model.layers[0].weight.data.copy()
+        attach_weight_quantizers(model, QuantSpec("uniform", 3))
+        model(data(4, 8))
+        np.testing.assert_array_equal(model.layers[0].weight.data, before)
+
+    def test_ste_gradients_reach_latent_weights(self):
+        model = small_model()
+        attach_weight_quantizers(model, QuantSpec("adaptivfloat", 6))
+        out = model(data(4, 8))
+        out.sum().backward()
+        for _, p in model.named_parameters():
+            assert p.grad is not None
+
+    def test_qat_training_reduces_loss(self):
+        """End-to-end QAR: quantized-forward training must still learn."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 8)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        model = small_model()
+        attach_weight_quantizers(model, QuantSpec("adaptivfloat", 6))
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+        losses = []
+        for _ in range(60):
+            logits = model(Tensor(x))
+            loss = nn.functional.cross_entropy(logits, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_inplace_ptq_changes_weights_and_reports(self):
+        model = small_model()
+        report = quantize_weights_inplace(model, QuantSpec("adaptivfloat", 8))
+        assert set(report) == {"layers.0.weight", "layers.1.weight"}
+        assert all("exp_bias" in params for params in report.values())
+        fmt = AdaptivFloat(8, 3)
+        w = model.layers[0].weight.data
+        params = report["layers.0.weight"]
+        np.testing.assert_allclose(
+            fmt.quantize_with_params(w.astype(np.float64), params), w,
+            rtol=1e-6)
+
+    def test_inplace_ptq_preserves_biases(self):
+        model = small_model()
+        before = model.layers[0].bias.data.copy()
+        quantize_weights_inplace(model, QuantSpec("uniform", 4))
+        np.testing.assert_array_equal(model.layers[0].bias.data, before)
+
+    def test_detach_restores_fp_behaviour(self):
+        model = small_model()
+        x = data(4, 8)
+        baseline = model(x).data.copy()
+        attach_weight_quantizers(model, QuantSpec("uniform", 3))
+        detach_quantizers(model)
+        np.testing.assert_array_equal(model(x).data, baseline)
+
+    def test_attach_rejects_model_without_targets(self):
+        with pytest.raises(ValueError):
+            attach_weight_quantizers(nn.LayerNorm(4), QuantSpec("bfp", 8))
+
+
+class TestActivationQuantization:
+    def test_calibration_freezes_grid(self):
+        model = small_model()
+        observers = attach_act_quantizers(model, QuantSpec("adaptivfloat", 8))
+        with calibrate(model):
+            model(data(16, 8))
+            model(data(16, 8, seed=1))
+        for obs in observers.values():
+            assert obs.mode == "apply"
+            assert obs.params is not None and "exp_bias" in obs.params
+
+    def test_observe_tracks_running_max(self):
+        obs = ActFakeQuant(QuantSpec("adaptivfloat", 8).build())
+        obs.observe()
+        obs(Tensor(np.array([1.0, -3.0], dtype=np.float32)))
+        obs(Tensor(np.array([0.5], dtype=np.float32)))
+        assert obs.max_abs == 3.0
+
+    def test_frozen_grid_is_static(self):
+        """After calibration the grid must NOT adapt to new data — the
+        hardware's exp_bias register is programmed offline (Section 5.2)."""
+        obs = ActFakeQuant(AdaptivFloat(8, 3))
+        obs.observe()
+        obs(Tensor(np.array([1.0], dtype=np.float32)))
+        obs.freeze()
+        bias = obs.params["exp_bias"]
+        # Much larger activations now clamp rather than rescale the grid.
+        out = obs(Tensor(np.array([1000.0], dtype=np.float32)))
+        fmt = AdaptivFloat(8, 3)
+        _, vmax = fmt.range_for_bias(bias)
+        assert out.data[0] == np.float32(vmax)
+
+    def test_freeze_without_data_raises(self):
+        obs = ActFakeQuant(QuantSpec("adaptivfloat", 8).build())
+        obs.observe()
+        with pytest.raises(RuntimeError):
+            obs.freeze()
+
+    def test_nonadaptive_act_quant_needs_no_params(self):
+        model = small_model()
+        attach_act_quantizers(model, QuantSpec("float", 8))
+        with calibrate(model):
+            model(data(4, 8))
+        out = model(data(4, 8, seed=3))
+        assert np.isfinite(out.data).all()
+
+    def test_bypass_is_identity(self):
+        obs = ActFakeQuant(QuantSpec("uniform", 4).build())
+        x = data(5)
+        assert obs(x) is x
+
+    def test_calibrate_without_observers_raises(self):
+        model = small_model()
+        with pytest.raises(ValueError):
+            with calibrate(model):
+                pass
+
+
+class TestWeightQuantizerGranularity:
+    def test_adaptive_params_differ_across_layers(self):
+        """Per-layer self-adaptation: two layers with different weight
+        scales must get different exp_bias values."""
+        model = small_model()
+        model.layers[0].weight.data *= 100.0
+        report = quantize_weights_inplace(model, QuantSpec("adaptivfloat", 8))
+        assert (report["layers.0.weight"]["exp_bias"]
+                != report["layers.1.weight"]["exp_bias"])
+
+    def test_lstm_weights_quantized(self):
+        lstm = nn.LSTM(4, 8)
+        report = quantize_weights_inplace(lstm, QuantSpec("adaptivfloat", 8))
+        assert "cells.0.weight_ih" in report
+        assert "cells.0.weight_hh" in report
+
+
+class TestPercentileCalibration:
+    def test_percentile_clips_outliers(self):
+        obs = ActFakeQuant(AdaptivFloat(8, 3), calibration="percentile",
+                           percentile=99.0)
+        obs.observe()
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=20000).astype(np.float32)
+        data[0] = 1000.0  # a single huge outlier
+        obs(Tensor(data))
+        obs.freeze()
+        max_obs = ActFakeQuant(AdaptivFloat(8, 3))
+        max_obs.observe()
+        max_obs(Tensor(data))
+        max_obs.freeze()
+        # percentile anchor ignores the outlier -> more negative exp_bias
+        assert obs.params["exp_bias"] < max_obs.params["exp_bias"]
+
+    def test_percentile_reduces_bulk_error(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=20000).astype(np.float32)
+        data[:3] = [500.0, -400.0, 300.0]
+        bulk = data[np.abs(data) < 4.0]
+
+        def frozen(calibration):
+            obs = ActFakeQuant(AdaptivFloat(6, 3), calibration=calibration,
+                               percentile=99.5)
+            obs.observe()
+            obs(Tensor(data))
+            obs.freeze()
+            return obs
+
+        err_pct = np.abs(frozen("percentile")(Tensor(bulk)).data - bulk).mean()
+        err_max = np.abs(frozen("max")(Tensor(bulk)).data - bulk).mean()
+        assert err_pct < err_max
+
+    def test_attach_with_percentile(self):
+        model = small_model()
+        observers = attach_act_quantizers(
+            model, QuantSpec("adaptivfloat", 8),
+            calibration="percentile", percentile=99.5)
+        assert all(o.calibration == "percentile" for o in observers.values())
+
+    def test_invalid_calibration_args(self):
+        with pytest.raises(ValueError):
+            ActFakeQuant(AdaptivFloat(8, 3), calibration="median")
+        with pytest.raises(ValueError):
+            ActFakeQuant(AdaptivFloat(8, 3), calibration="percentile",
+                         percentile=0.0)

@@ -1,0 +1,160 @@
+"""Gradient and semantics tests for the autodiff tensor engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+
+from .gradcheck import check_gradients
+
+
+def rand(*shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape).astype(np.float32) * scale,
+                  requires_grad=True)
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_gradients(lambda a, b: a + b, [rand(3, 4), rand(3, 4, seed=1)])
+
+    def test_add_broadcast(self):
+        check_gradients(lambda a, b: a + b, [rand(3, 4), rand(4, seed=1)])
+
+    def test_mul(self):
+        check_gradients(lambda a, b: a * b, [rand(3, 4), rand(3, 4, seed=1)])
+
+    def test_mul_broadcast_scalar_tensor(self):
+        check_gradients(lambda a, b: a * b, [rand(3, 4), rand(1, seed=1)])
+
+    def test_sub_div(self):
+        b = rand(3, 4, seed=1)
+        b.data = b.data + np.float32(3.0)  # keep denominators away from 0
+        check_gradients(lambda a, bb: a / bb - bb, [rand(3, 4), b])
+
+    def test_pow(self):
+        a = rand(3, 4)
+        a.data = np.abs(a.data) + np.float32(0.5)
+        check_gradients(lambda t: t ** 1.5, [a])
+
+    def test_matmul_2d(self):
+        check_gradients(lambda a, b: a @ b, [rand(3, 4), rand(4, 5, seed=1)])
+
+    def test_matmul_batched(self):
+        check_gradients(lambda a, b: a @ b,
+                        [rand(2, 3, 4), rand(2, 4, 5, seed=1)])
+
+    def test_matmul_broadcast_batch(self):
+        check_gradients(lambda a, b: a @ b, [rand(2, 3, 4), rand(4, 5, seed=1)])
+
+    def test_matmul_1d_mixed_rejected(self):
+        with pytest.raises(NotImplementedError):
+            rand(3, 4) @ rand(4, seed=1)
+
+
+class TestUnaryGradients:
+    def test_exp_log(self):
+        a = rand(4, 3)
+        a.data = np.abs(a.data) + np.float32(0.5)
+        check_gradients(lambda t: (t.log() + t.exp()), [a])
+
+    def test_tanh_sigmoid_relu(self):
+        check_gradients(lambda t: t.tanh() + t.sigmoid(), [rand(5, 5)])
+        a = rand(5, 5, seed=3)
+        a.data = a.data + np.float32(0.1)  # avoid the ReLU kink at 0
+        check_gradients(lambda t: t.relu(), [a])
+
+    def test_sqrt_abs(self):
+        a = rand(4, 4)
+        a.data = np.abs(a.data) + np.float32(0.5)
+        check_gradients(lambda t: t.sqrt() + t.abs(), [a])
+
+
+class TestShapeGradients:
+    def test_reshape_transpose(self):
+        check_gradients(lambda t: (t.reshape(4, 6) @ rand(6, 2, seed=9)),
+                        [rand(2, 3, 4)])
+        check_gradients(lambda t: t.transpose(1, 0, 2) * 2.0, [rand(2, 3, 4)])
+
+    def test_swapaxes(self):
+        check_gradients(lambda t: t.swapaxes(0, 1) * 3.0, [rand(3, 4)])
+
+    def test_getitem_slice(self):
+        check_gradients(lambda t: t[:, 1:3] * 2.0, [rand(3, 4)])
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        check_gradients(lambda t: t[idx] * 1.5, [rand(4, 3)])
+
+
+class TestReductionGradients:
+    def test_sum_axes(self):
+        check_gradients(lambda t: t.sum(), [rand(3, 4)])
+        check_gradients(lambda t: t.sum(axis=1), [rand(3, 4)])
+        check_gradients(lambda t: t.sum(axis=(0, 2), keepdims=True),
+                        [rand(2, 3, 4)])
+
+    def test_mean_axes(self):
+        check_gradients(lambda t: t.mean(), [rand(3, 4)])
+        check_gradients(lambda t: t.mean(axis=-1), [rand(3, 4)])
+
+    def test_max(self):
+        a = rand(3, 4)
+        check_gradients(lambda t: t.max(axis=1), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]], dtype=np.float32),
+                   requires_grad=True)
+        out = a.max(axis=1)
+        out.backward(np.ones_like(out.data))
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestAutogradMechanics:
+    def test_grad_accumulates_on_reuse(self):
+        a = rand(3)
+        out = a * a  # `a` used twice
+        out.backward(np.ones_like(out.data))
+        np.testing.assert_allclose(a.grad, 2 * a.data, rtol=1e-6)
+
+    def test_diamond_graph(self):
+        a = rand(3)
+        b = a * 2.0
+        c = a * 3.0
+        out = (b + c).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 5.0), rtol=1e-6)
+
+    def test_deep_chain_no_recursion_error(self):
+        a = rand(2)
+        x = a
+        for _ in range(3000):
+            x = x + 1.0
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(2))
+
+    def test_no_grad_blocks_graph(self):
+        a = rand(3)
+        with no_grad():
+            out = a * 2.0
+        assert out._parents == ()
+        out2 = a * 2.0
+        assert out2._parents != ()
+
+    def test_detach(self):
+        a = rand(3)
+        b = a.detach() * 2.0
+        b.sum().backward()
+        assert a.grad is None
+
+    def test_clip_values_gradient_mask(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0], dtype=np.float32),
+                   requires_grad=True)
+        out = a.clip_values(-1.0, 1.0)
+        out.backward(np.ones_like(out.data))
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+
+    def test_dtype_is_float32(self):
+        assert rand(2, 2).data.dtype == np.float32
+        assert (rand(2) + rand(2, seed=1)).data.dtype == np.float32

@@ -1,0 +1,119 @@
+"""Tests for the Trainer and LR schedules."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import functional as F
+from repro.nn.models import MLP
+from repro.nn.schedules import (LRScheduler, constant, cosine_decay,
+                                inverse_sqrt, linear_warmup, warmup_cosine)
+from repro.nn.trainer import Trainer
+
+
+def toy_batches(n, batch=32, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        x = rng.normal(size=(batch, 8)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        yield x, y
+
+
+def loss_fn(model, batch):
+    x, y = batch
+    return F.cross_entropy(model(x), y)
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert constant()(0) == constant()(1000) == 1.0
+
+    def test_linear_warmup(self):
+        s = linear_warmup(10)
+        assert s(0) == pytest.approx(0.1)
+        assert s(9) == pytest.approx(1.0)
+        assert s(500) == 1.0
+
+    def test_cosine_decay_endpoints(self):
+        s = cosine_decay(100, floor=0.1)
+        assert s(0) == pytest.approx(1.0)
+        assert s(100) == pytest.approx(0.1)
+        assert s(50) == pytest.approx(0.55, abs=1e-6)
+
+    def test_warmup_cosine_peak_at_warmup_end(self):
+        s = warmup_cosine(10, 110)
+        values = [s(i) for i in range(110)]
+        assert max(values) == pytest.approx(1.0)
+        assert int(np.argmax(values)) in (9, 10)
+
+    def test_inverse_sqrt_shape(self):
+        s = inverse_sqrt(16)
+        assert s(15) == pytest.approx(1.0)
+        assert s(63) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_warmup(0)
+        with pytest.raises(ValueError):
+            cosine_decay(0)
+
+    def test_scheduler_drives_optimizer(self):
+        model = MLP([8, 4, 2])
+        opt = nn.Adam(model.parameters(), lr=1.0)
+        sched = LRScheduler(opt, linear_warmup(4))
+        assert opt.lr == pytest.approx(0.25)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        model = MLP([8, 16, 2], rng=np.random.default_rng(0))
+        trainer = Trainer(model, nn.Adam(model.parameters(), lr=1e-2),
+                          loss_fn)
+        history = trainer.fit(toy_batches(80))
+        assert history.smoothed_loss() < history.losses[0] * 0.6
+        assert len(history.losses) == 80
+
+    def test_evaluation_and_best_tracking(self):
+        rng = np.random.default_rng(1)
+        x_eval = rng.normal(size=(64, 8)).astype(np.float32)
+        y_eval = (x_eval[:, 0] > 0).astype(np.int64)
+
+        def eval_fn(model):
+            with nn.no_grad():
+                pred = model(x_eval).data.argmax(axis=-1)
+            return float((pred == y_eval).mean())
+
+        model = MLP([8, 16, 2], rng=np.random.default_rng(0))
+        trainer = Trainer(model, nn.Adam(model.parameters(), lr=1e-2),
+                          loss_fn, eval_fn=eval_fn, eval_every=20)
+        history = trainer.fit(toy_batches(100))
+        assert len(history.eval_scores) == 5
+        assert trainer.best_score >= max(history.eval_scores) - 1e-9
+        trainer.restore_best()  # must not raise
+
+    def test_early_stopping(self):
+        model = MLP([8, 4, 2], rng=np.random.default_rng(0))
+        trainer = Trainer(model, nn.SGD(model.parameters(), lr=0.0),
+                          loss_fn, eval_fn=lambda m: 0.5, eval_every=5,
+                          patience=2)
+        history = trainer.fit(toy_batches(200))
+        # constant score: first eval sets best, next 2 are stale -> stop
+        assert len(history.losses) == 15
+
+    def test_schedule_integration(self):
+        model = MLP([8, 4, 2], rng=np.random.default_rng(0))
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+        trainer = Trainer(model, opt, loss_fn,
+                          schedule=warmup_cosine(5, 40))
+        history = trainer.fit(toy_batches(40))
+        assert max(history.learning_rates) <= 1e-2 + 1e-12
+        assert history.learning_rates[-1] < history.learning_rates[6]
+
+    def test_restore_before_eval_raises(self):
+        model = MLP([8, 4, 2])
+        trainer = Trainer(model, nn.Adam(model.parameters(), lr=1e-3),
+                          loss_fn)
+        with pytest.raises(RuntimeError):
+            trainer.restore_best()

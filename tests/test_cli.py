@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_formats_command(self, capsys):
+        assert main(["formats", "--bits", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptivfloat" in out and "posit" in out
+
+    def test_pe_command(self, capsys):
+        assert main(["pe", "--kind", "hfint", "--bits", "8",
+                     "--vector-size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "HFINT8/30" in out and "fJ" in out
+
+    def test_quantize_command(self, tmp_path, capsys):
+        src = tmp_path / "w.npy"
+        dst = tmp_path / "wq.npy"
+        rng = np.random.default_rng(0)
+        np.save(src, rng.normal(size=64).astype(np.float32))
+        assert main(["quantize", "--fmt", "adaptivfloat", "--bits", "8",
+                     str(src), str(dst)]) == 0
+        out = np.load(dst)
+        assert out.shape == (64,)
+        assert "RMS error" in capsys.readouterr().out
+
+    def test_experiment_fig7(self, capsys):
+        assert main(["experiment", "fig7"]) == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_experiment_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,48 @@
+"""Public-API integrity: imports, __all__ consistency, example scripts."""
+
+import importlib
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+PACKAGES = [
+    "repro", "repro.formats", "repro.nn", "repro.nn.models",
+    "repro.nn.layers", "repro.data", "repro.metrics", "repro.hardware",
+    "repro.analysis", "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), name
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_docstrings_present(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), name
+
+
+def test_version():
+    import repro
+    assert repro.__version__
+
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "exponent_search.py"])
+def test_light_examples_run(script, tmp_path):
+    """The non-training examples must run end to end."""
+    result = subprocess.run(
+        [sys.executable, str(REPO / "examples" / script)],
+        capture_output=True, text=True, timeout=300,
+        env={"PATH": "/usr/bin:/bin", "REPRO_CACHE_DIR": str(tmp_path),
+             "PYTHONPATH": str(REPO / "src")})
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Regenerate the calibrated PPA coefficients in repro/hardware/constants.py.
+
+Fits the linear component model of repro.hardware.pe to the 24 datapoints
+of paper Fig. 7 (12 per-op energies, 12 throughput/area values) using
+bounded least squares, with physically-motivated floors so no component
+coefficient degenerates to zero.  Run:
+
+    python tools/calibrate_hw.py
+
+and copy the printed coefficients into ENERGY_16NM / AREA_16NM.
+Requires scipy (test extra).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import lsq_linear
+
+H = 256
+
+# Paper Fig. 7: per-op energy (fJ/op), top panel.
+PAPER_ENERGY = {
+    ("int", 4): {4: 127.00, 8: 59.75, 16: 30.36},
+    ("hfint", 4): {4: 123.12, 8: 56.39, 16: 27.77},
+    ("int", 8): {4: 227.61, 8: 105.80, 16: 52.21},
+    ("hfint", 8): {4: 205.27, 8: 98.38, 16: 46.88},
+}
+
+# Paper Fig. 7: throughput per area (TOPS/mm²), bottom panel.
+PAPER_PERF_AREA = {
+    ("int", 4): {4: 1.31, 8: 2.28, 16: 3.90},
+    ("hfint", 4): {4: 1.26, 8: 2.10, 16: 3.42},
+    ("int", 8): {4: 1.11, 8: 1.59, 16: 2.25},
+    ("hfint", 8): {4: 1.02, 8: 1.39, 16: 1.86},
+}
+
+
+def _widths(kind: str, n: int):
+    if kind == "int":
+        acc = 2 * n + int(math.log2(H))
+        return acc, 2 * n  # accumulator, scale bits
+    e, m = 3, n - 4
+    acc = 2 * (2 ** e - 1) + 2 * m + int(math.log2(H))
+    return acc, 0
+
+
+def energy_row(kind: str, n: int, K: int) -> np.ndarray:
+    """Coefficient multipliers for [mult, add, shift, reg, sram, ctrl]."""
+    lgk = math.log2(K)
+    acc, S = _widths(kind, n)
+    if kind == "int":
+        e_mac = np.array([n * n, 2 * n + lgk, 0, 0, 0, 0], float)
+        post = np.array([acc * S, 0, acc + S, acc + S, 0, 0], float) / H
+    else:
+        m = n - 4
+        e_mac = np.array([(m + 1) ** 2, 4 + acc, acc, 0, 0, 0], float)
+        post = np.array([0, n, acc, acc, 0, 0], float) / H
+    e_lane = np.array([0, acc, 0, acc, n, 0], float) + post
+    e_fix = np.array([0, 0, 0, 0, 0, 1], float)
+    return e_mac / 2 + e_lane / (2 * K) + e_fix / (2 * K * K)
+
+
+def area_row(kind: str, n: int, K: int) -> np.ndarray:
+    """Coefficient multipliers for [mult, add, shift, reg, ctrl]."""
+    lgk = math.log2(K)
+    acc, S = _widths(kind, n)
+    if kind == "int":
+        a_mac = np.array([n * n, 2 * n + lgk, 0, n, 0], float)
+        a_fix = np.array([acc * S, 0, acc + S, acc + S, 1], float)
+    else:
+        m = n - 4
+        a_mac = np.array([(m + 1) ** 2, 4 + acc, acc, n, 0], float)
+        a_fix = np.array([0, n, acc, acc, 1], float)
+    a_lane = np.array([0, acc, 0, acc + n, 0], float)
+    return a_mac * K * K + a_lane * K + a_fix
+
+
+def fit(rows, targets, lo, hi, labels):
+    A = np.array(rows)
+    b = np.array(targets)
+    result = lsq_linear(A, b, bounds=(lo, hi))
+    pred = A @ result.x
+    err = np.abs(pred / b - 1)
+    print("  coefficients:")
+    for name, value in zip(labels, result.x):
+        print(f"    {name:12s} {value:.6g}")
+    print(f"  max rel error {err.max():.1%}, mean {err.mean():.1%}")
+    return result.x
+
+
+def main() -> None:
+    rows, targets = [], []
+    for (kind, n), per_k in PAPER_ENERGY.items():
+        for K, val in per_k.items():
+            rows.append(energy_row(kind, n, K))
+            targets.append(val)
+    print("Energy fit (fJ):")
+    fit(rows, targets,
+        lo=[0.2, 0.08, 0.04, 0.25, 20.0, 100.0],
+        hi=[1.0, 0.5, 0.3, 1.0, 400.0, 4000.0],
+        labels=["mult/bit^2", "add/bit", "shift/bit", "reg/bit",
+                "sram/bit", "ctrl/cycle"])
+
+    rows, targets = [], []
+    for (kind, n), per_k in PAPER_PERF_AREA.items():
+        for K, tops_mm2 in per_k.items():
+            rows.append(area_row(kind, n, K))
+            targets.append(2 * K * K * 1e-3 / tops_mm2)  # implied area, mm²
+    print("\nArea fit (mm²):")
+    fit(rows, targets,
+        lo=[1e-7, 1e-6, 1e-6, 1e-6, 1e-4],
+        hi=[2e-5, 5e-5, 5e-5, 5e-4, 5e-2],
+        labels=["mult/bit^2", "add/bit", "shift/bit", "reg/bit", "ctrl"])
+
+
+if __name__ == "__main__":
+    main()
