@@ -30,12 +30,18 @@ EXPERIMENTS = {
     "ablations": (ablations, True),
 }
 
+#: Sweeps that accept a worker count (the QAR grids dominate wall clock).
+_PARALLEL = ("table2", "table3")
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", choices=("fast", "full"), default="full")
     parser.add_argument("--only", nargs="*", choices=sorted(EXPERIMENTS),
                         help="subset of experiments to run")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the table2/table3 sweeps "
+                             "(cells are cached, so reruns are incremental)")
     args = parser.parse_args()
 
     reports = cache_dir() / "reports"
@@ -45,8 +51,12 @@ def main() -> None:
     for name in selected:
         driver, takes_profile = EXPERIMENTS[name]
         start = time.time()
-        result = driver.run(profile=args.profile) if takes_profile \
-            else driver.run()
+        if name in _PARALLEL:
+            result = driver.run(profile=args.profile, jobs=args.jobs)
+        elif takes_profile:
+            result = driver.run(profile=args.profile)
+        else:
+            result = driver.run()
         text = driver.render(result)
         path = reports / f"{name}_{args.profile}.txt"
         path.write_text(text + "\n")

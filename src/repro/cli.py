@@ -85,6 +85,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     driver = drivers[args.name]
     if args.name in ("fig7", "table4"):
         result = driver.run()
+    elif args.name in ("table2", "table3"):
+        result = driver.run(profile=args.profile, jobs=args.jobs)
     else:
         result = driver.run(profile=args.profile)
     print(driver.render(result))
@@ -119,6 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
                                     "fig1", "fig4", "fig7", "ablations"))
     p.add_argument("--profile", choices=("tiny", "fast", "full"),
                    default="fast")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the table2/table3 sweeps")
     p.set_defaults(func=_cmd_experiment)
     return parser
 

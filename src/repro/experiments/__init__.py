@@ -8,17 +8,18 @@ zoo and profiles.
 
 from . import (ablations, activation_ranges, common,
                fig1_weight_ranges, fig4_rms_error,
-               fig7_pe_sweep, model_costs, table1_models,
+               fig7_pe_sweep, model_costs, runner, table1_models,
                table2_weight_quant, table3_weight_act_quant,
                table4_accelerator)
 from .common import (MODEL_NAMES, PROFILES, get_bundle, qar_retrain,
                      trained_model)
+from .runner import run_cells
 
 __all__ = [
     "MODEL_NAMES", "PROFILES", "ablations", "activation_ranges",
     "common", "fig1_weight_ranges",
     "fig4_rms_error", "fig7_pe_sweep", "get_bundle", "model_costs",
-    "qar_retrain",
+    "qar_retrain", "run_cells", "runner",
     "table1_models", "table2_weight_quant", "table3_weight_act_quant",
     "table4_accelerator", "trained_model",
 ]

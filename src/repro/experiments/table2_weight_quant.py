@@ -26,10 +26,14 @@ from ..formats import FORMAT_NAMES
 from ..nn import QuantSpec, attach_weight_quantizers, quantize_weights_inplace
 from .common import (MODEL_NAMES, PROFILES, get_bundle, qar_retrain,
                      trained_model)
+from .runner import run_cells
 
-__all__ = ["run", "render", "DEFAULT_BITS"]
+__all__ = ["run", "run_cell", "render", "DEFAULT_BITS"]
 
 DEFAULT_BITS = (16, 8, 7, 6, 5, 4)
+
+#: Bump when the cell computation changes, to invalidate cached cells.
+_CACHE_SALT = "table2-v1"
 
 
 def _clone_into(bundle, base_state):
@@ -38,39 +42,60 @@ def _clone_into(bundle, base_state):
     return model, task
 
 
+def run_cell(cell: Dict) -> Dict:
+    """Compute one (model, bits, format) cell: ``{"ptq": .., "qar": ..}``.
+
+    Deterministic function of the descriptor (all training and data
+    streams are seeded), and module-level so the parallel runner can
+    pickle it.  The FP32 checkpoint comes from the on-disk cache, which
+    :func:`run` warms before dispatching.
+    """
+    prof = PROFILES[cell["profile"]]
+    bundle = get_bundle(cell["model"])
+    base_model, task, _ = trained_model(cell["model"], cell["profile"])
+    base_state = base_model.state_dict()
+    spec = QuantSpec(cell["format"], int(cell["bits"]))
+    # --- PTQ
+    model, _ = _clone_into(bundle, base_state)
+    quantize_weights_inplace(model, spec)
+    model.eval()
+    ptq = bundle.evaluate(model, task, prof.eval_size)
+    # --- QAR
+    if cell["include_qar"]:
+        model, _ = _clone_into(bundle, base_state)
+        attach_weight_quantizers(model, spec)
+        qar_retrain(model, task, bundle, prof)
+        qar = bundle.evaluate(model, task, prof.eval_size)
+    else:
+        qar = None
+    return {"ptq": ptq, "qar": qar}
+
+
 def run(profile: str = "full", bits_list: Sequence[int] = DEFAULT_BITS,
         formats: Sequence[str] = FORMAT_NAMES,
         models: Sequence[str] = MODEL_NAMES,
-        include_qar: bool = True) -> Dict:
-    prof = PROFILES[profile]
+        include_qar: bool = True, jobs: int = 1) -> Dict:
+    prof = PROFILES[profile]  # validate the profile before any work
     result: Dict = {"models": {}, "bits": list(map(int, bits_list)),
                     "formats": list(formats)}
+    # Warm the FP32 checkpoints serially (and collect baselines) so
+    # parallel workers only ever *load* them.
+    baselines = {name: trained_model(name, profile)[2] for name in models}
+    cells = [
+        {"table": "table2", "profile": profile, "model": name,
+         "bits": int(bits), "format": fmt, "include_qar": bool(include_qar)}
+        for name in models for bits in bits_list for fmt in formats
+    ]
+    scores = iter(run_cells(run_cell, cells, jobs=jobs,
+                            cache_namespace=f"table2_{profile}",
+                            cache_salt=_CACHE_SALT))
     for name in models:
         bundle = get_bundle(name)
-        base_model, task, fp32 = trained_model(name, profile)
-        base_state = base_model.state_dict()
         grid: Dict = {}
         for bits in bits_list:
-            per_fmt: Dict = {}
-            for fmt in formats:
-                spec = QuantSpec(fmt, int(bits))
-                # --- PTQ
-                model, _ = _clone_into(bundle, base_state)
-                quantize_weights_inplace(model, spec)
-                model.eval()
-                ptq = bundle.evaluate(model, task, prof.eval_size)
-                # --- QAR
-                if include_qar:
-                    model, _ = _clone_into(bundle, base_state)
-                    attach_weight_quantizers(model, spec)
-                    qar_retrain(model, task, bundle, prof)
-                    qar = bundle.evaluate(model, task, prof.eval_size)
-                else:
-                    qar = None
-                per_fmt[fmt] = {"ptq": ptq, "qar": qar}
-            grid[int(bits)] = per_fmt
+            grid[int(bits)] = {fmt: next(scores) for fmt in formats}
         result["models"][name] = {
-            "fp32": fp32, "metric": bundle.metric,
+            "fp32": baselines[name], "metric": bundle.metric,
             "higher_is_better": bundle.higher_is_better, "grid": grid,
         }
     save_result(f"table2_{profile}", result)

@@ -20,42 +20,63 @@ from ..nn import (QuantSpec, attach_act_quantizers, attach_weight_quantizers,
                   calibrate)
 from .common import (MODEL_NAMES, PROFILES, get_bundle, qar_retrain,
                      trained_model)
+from .runner import run_cells
 
-__all__ = ["run", "render", "DEFAULT_BITS"]
+__all__ = ["run", "run_cell", "render", "DEFAULT_BITS"]
 
 DEFAULT_BITS = (8, 6, 4)
 _CALIBRATION_BATCHES = 4
 
+#: Bump when the cell computation changes, to invalidate cached cells.
+_CACHE_SALT = "table3-v1"
+
+
+def run_cell(cell: Dict) -> float:
+    """Compute one Wn/An (model, bits, format) cell: the post-QAR score.
+
+    Deterministic function of the descriptor and module-level, so the
+    parallel runner can pickle it; the FP32 checkpoint is expected to be
+    warm in the on-disk cache.
+    """
+    prof = PROFILES[cell["profile"]]
+    bundle = get_bundle(cell["model"])
+    base_model, task, _ = trained_model(cell["model"], cell["profile"])
+    spec = QuantSpec(cell["format"], int(cell["bits"]))
+    model, _ = bundle.build()
+    model.load_state_dict(base_model.state_dict())
+    attach_weight_quantizers(model, spec)
+    attach_act_quantizers(model, spec)
+    model.eval()
+    with calibrate(model):
+        for batch in bundle.batches(
+                task, prof.batch_size, _CALIBRATION_BATCHES, 77):
+            bundle.train_step(model, batch)
+    qar_retrain(model, task, bundle, prof)
+    return bundle.evaluate(model, task, prof.eval_size)
+
 
 def run(profile: str = "full", bits_list: Sequence[int] = DEFAULT_BITS,
         formats: Sequence[str] = FORMAT_NAMES,
-        models: Sequence[str] = MODEL_NAMES) -> Dict:
-    prof = PROFILES[profile]
+        models: Sequence[str] = MODEL_NAMES, jobs: int = 1) -> Dict:
+    PROFILES[profile]  # validate the profile before any work
     result: Dict = {"models": {}, "bits": list(map(int, bits_list)),
                     "formats": list(formats)}
+    baselines = {name: trained_model(name, profile)[2] for name in models}
+    cells = [
+        {"table": "table3", "profile": profile, "model": name,
+         "bits": int(bits), "format": fmt}
+        for name in models for bits in bits_list for fmt in formats
+    ]
+    scores = iter(run_cells(run_cell, cells, jobs=jobs,
+                            cache_namespace=f"table3_{profile}",
+                            cache_salt=_CACHE_SALT))
     for name in models:
         bundle = get_bundle(name)
-        base_model, task, fp32 = trained_model(name, profile)
-        base_state = base_model.state_dict()
         grid: Dict = {}
         for bits in bits_list:
-            per_fmt: Dict = {}
-            for fmt in formats:
-                spec = QuantSpec(fmt, int(bits))
-                model, _ = bundle.build()
-                model.load_state_dict(base_state)
-                attach_weight_quantizers(model, spec)
-                attach_act_quantizers(model, spec)
-                model.eval()
-                with calibrate(model):
-                    for batch in bundle.batches(
-                            task, prof.batch_size, _CALIBRATION_BATCHES, 77):
-                        bundle.train_step(model, batch)
-                qar_retrain(model, task, bundle, prof)
-                per_fmt[fmt] = bundle.evaluate(model, task, prof.eval_size)
-            grid[int(bits)] = per_fmt
+            grid[int(bits)] = {fmt: next(scores) for fmt in formats}
         result["models"][name] = {
-            "fp32": fp32, "metric": bundle.metric,
+            "fp32": baselines[name], "metric": bundle.metric,
             "higher_is_better": bundle.higher_is_better, "grid": grid,
         }
     save_result(f"table3_{profile}", result)

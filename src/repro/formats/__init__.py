@@ -10,12 +10,15 @@ Public entry points:
 * :func:`adaptivfloat_quantize` — one-shot functional quantization.
 """
 
+from . import kernels
 from .adaptivfloat import AdaptivFloat, adaptivfloat_quantize, exponent_bias_for
 from .base import AdaptiveQuantizer, Quantizer, QuantizedTensor, RoundMode
 from .bfp import BlockFloat
 from .bitpack import pack_words, packed_nbytes, unpack_words
 from .fixedpoint import FixedPoint
 from .float_ieee import FloatIEEE
+from .kernels import (analytic_only, clear_codebook_cache, codebook_cache_stats,
+                      get_codebook, max_table_bits, set_max_table_bits)
 from .logquant import LogQuant
 from .numerics import (adaptivfloat_product_bits, decades_covered,
                        dynamic_range_db, format_summary,
@@ -47,9 +50,16 @@ __all__ = [
     "RoundMode",
     "Uniform",
     "adaptivfloat_quantize",
+    "analytic_only",
+    "clear_codebook_cache",
+    "codebook_cache_stats",
     "decode_posit_word",
     "exponent_bias_for",
+    "get_codebook",
+    "kernels",
     "make_quantizer",
+    "max_table_bits",
+    "set_max_table_bits",
     "pack_words",
     "packed_nbytes",
     "paper_formats",

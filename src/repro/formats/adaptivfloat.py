@@ -23,6 +23,7 @@ grid ``2**(exp - m)``.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -128,7 +129,8 @@ class AdaptivFloat(AdaptiveQuantizer):
         return {"exp_bias": exponent_bias_for(x, self.exp_bits, self.channel_axis)}
 
     # ---------------------------------------------------------- quantizing
-    def quantize_with_params(self, x: np.ndarray, params: Dict[str, Any]) -> np.ndarray:
+    def _quantize_with_params_analytic(self, x: np.ndarray,
+                                       params: Dict[str, Any]) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         exp_bias = params["exp_bias"]
         value_min, value_max = self.range_for_bias(exp_bias)
@@ -170,13 +172,44 @@ class AdaptivFloat(AdaptiveQuantizer):
         values = np.concatenate([-mags, [0.0], mags])
         return np.sort(values)
 
+    def _codebook_key(self, params):
+        if self.channel_axis is not None:
+            return None
+        return super()._codebook_key(params)
+
     # ---------------------------------------------------------- bit codec
     def encode(self, values: np.ndarray, exp_bias: int) -> np.ndarray:
         """Encode already-quantized ``values`` into raw bit words (uint32).
 
         Layout (MSB to LSB): sign | exponent (e bits) | mantissa (m bits).
-        The all-zero exponent+mantissa pattern is the zero codepoint.
+        For n <= 8 bits the hot path is table-driven: the shared codebook
+        resolves each magnitude to its codepoint index and a cached
+        index->word table supplies the bit pattern; values that fail the
+        exact-codepoint check fall back to the analytic encoder, which
+        raises the usual errors.
         """
+        from . import kernels
+        v = np.asarray(values, dtype=np.float64)
+        if (self.channel_axis is None
+                and isinstance(exp_bias, (int, np.integer))
+                and self.bits <= kernels.max_table_bits()):
+            codebook = kernels.get_codebook(
+                self, {"exp_bias": int(exp_bias)})
+            if isinstance(codebook, kernels.LutCodebook):
+                mag_words, _ = _codec_tables(
+                    self.bits, self.exp_bits, int(exp_bias))
+                flat = np.ascontiguousarray(v).reshape(-1)
+                idx = codebook.magnitude_indices(flat)
+                if np.array_equal(codebook.mag_table[idx], np.abs(flat)):
+                    word = mag_words[idx]
+                    word = word | ((flat < 0).astype(np.uint32)
+                                   << np.uint32(self.bits - 1))
+                    return word.reshape(v.shape)
+                # off-grid values: analytic path raises the right error
+        return self._encode_analytic(v, exp_bias)
+
+    def _encode_analytic(self, values: np.ndarray, exp_bias: int) -> np.ndarray:
+        """Reference bit encoder (exact field extraction + validation)."""
         v = np.asarray(values, dtype=np.float64)
         sign = (v < 0).astype(np.uint32)
         a = np.abs(v)
@@ -204,7 +237,22 @@ class AdaptivFloat(AdaptiveQuantizer):
         return np.where(nonzero, word, np.uint32(0)).astype(np.uint32)
 
     def decode(self, words: np.ndarray, exp_bias: int) -> np.ndarray:
-        """Decode raw bit words back to float values."""
+        """Decode raw bit words back to float values.
+
+        For n <= 8 bits this is a single gather from a cached
+        ``2**n``-entry word->value table.
+        """
+        from . import kernels
+        if (isinstance(exp_bias, (int, np.integer))
+                and self.bits <= kernels.max_table_bits()):
+            _, decode_lut = _codec_tables(
+                self.bits, self.exp_bits, int(exp_bias))
+            w = np.asarray(words, dtype=np.uint32)
+            return decode_lut[w & np.uint32(2 ** self.bits - 1)]
+        return self._decode_analytic(words, exp_bias)
+
+    def _decode_analytic(self, words: np.ndarray, exp_bias: int) -> np.ndarray:
+        """Reference bit decoder (exact field extraction)."""
         w = np.asarray(words, dtype=np.uint32)
         mant_mask = np.uint32(2 ** self.mant_bits - 1)
         exp_mask = np.uint32(self.exp_levels - 1)
@@ -222,6 +270,26 @@ class AdaptivFloat(AdaptiveQuantizer):
         spec.update(exp_bits=self.exp_bits, mant_bits=self.mant_bits,
                     round_mode=self.round_mode)
         return spec
+
+
+@lru_cache(maxsize=64)
+def _codec_tables(bits: int, exp_bits: int,
+                  exp_bias: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached codec tables for ``AdaptivFloat<bits, exp_bits>`` at a bias.
+
+    Returns ``(mag_words, decode_lut)``: the bit word of every
+    non-negative codepoint (aligned with the codebook's magnitude table)
+    and the decoded value of every possible ``bits``-wide word.
+    """
+    fmt = AdaptivFloat(bits, exp_bits)
+    table = fmt.codepoints(exp_bias)
+    mag_table = table[table.size // 2:]  # 0 and the positive magnitudes
+    mag_words = fmt._encode_analytic(mag_table, exp_bias)
+    decode_lut = fmt._decode_analytic(
+        np.arange(2 ** bits, dtype=np.uint32), exp_bias)
+    mag_words.flags.writeable = False
+    decode_lut.flags.writeable = False
+    return mag_words, decode_lut
 
 
 def adaptivfloat_quantize(x: np.ndarray, bits: int, exp_bits: int = 3,

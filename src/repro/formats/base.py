@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
@@ -76,7 +76,11 @@ class Quantizer(abc.ABC):
     """Abstract n-bit number format.
 
     Subclasses must set :attr:`name` and :attr:`bits` and implement
-    :meth:`quantize` and :meth:`codepoints`.
+    :meth:`_quantize_analytic` and :meth:`codepoints`.  The public
+    :meth:`quantize` first tries the shared codebook fast path
+    (:mod:`repro.formats.kernels`); the analytic implementation is the
+    bit-exact reference it falls back to (and is bisected against when a
+    codebook is built).
     """
 
     #: short format identifier, e.g. ``"adaptivfloat"``
@@ -88,13 +92,60 @@ class Quantizer(abc.ABC):
         self.bits = int(bits)
 
     # ------------------------------------------------------------------ API
-    @abc.abstractmethod
     def quantize(self, x: np.ndarray) -> np.ndarray:
         """Return ``x`` rounded to the nearest representable value."""
+        from . import kernels
+        x = np.asarray(x, dtype=np.float64)
+        codebook = kernels.get_codebook(self, None)
+        if codebook is not None:
+            return codebook.quantize(x)
+        return self._quantize_analytic(x)
+
+    @abc.abstractmethod
+    def _quantize_analytic(self, x: np.ndarray) -> np.ndarray:
+        """Reference implementation of :meth:`quantize` (elementwise math)."""
 
     @abc.abstractmethod
     def codepoints(self, **params: Any) -> np.ndarray:
         """Return a sorted 1-D array of every representable value."""
+
+    # ------------------------------------------------- codebook fast path
+    def _codebook_key(self, params: Optional[Dict[str, Any]]) -> Optional[Any]:
+        """Hashable cache key for the codebook fast path, or ``None``.
+
+        ``None`` marks the combination ineligible: word sizes above the
+        table cap, stochastic rounding, or non-scalar adaptive params.
+        Subclasses with extra gating (per-channel / per-block modes)
+        extend this.
+        """
+        from . import kernels
+        if self.bits > kernels.max_table_bits():
+            return None
+        round_mode = getattr(self, "round_mode", RoundMode.NEAREST_EVEN)
+        if round_mode == RoundMode.STOCHASTIC:
+            return None
+        normalized = []
+        for key in sorted(params or {}):
+            value = params[key]
+            if isinstance(value, (int, np.integer)):
+                normalized.append((key, int(value)))
+            elif isinstance(value, (float, np.floating)):
+                normalized.append((key, float(value)))
+            else:
+                return None  # vector (per-channel/per-block) parameters
+        spec_items = tuple(sorted(self.spec().items()))
+        return (type(self).__name__, spec_items, round_mode,
+                tuple(normalized))
+
+    def _codebook_reference(
+            self, params: Optional[Dict[str, Any]]
+    ) -> "Callable[[np.ndarray], np.ndarray]":
+        """The analytic callable the codebook builder bisects against."""
+        return self._quantize_analytic
+
+    def _affine_grid(self, params: Optional[Dict[str, Any]]):
+        """Uniform-grid description for the fused affine kernel, if any."""
+        return None
 
     # -------------------------------------------------------------- helpers
     def spec(self) -> Dict[str, Any]:
@@ -116,9 +167,12 @@ class AdaptiveQuantizer(Quantizer):
     """A quantizer whose grid depends on a per-tensor parameter.
 
     Subclasses implement :meth:`fit` (derive the adaptive parameter from
-    data) and :meth:`quantize_with_params`.  The default :meth:`quantize`
-    composes the two, which is the per-layer self-adaptive behaviour used
-    for weights throughout the paper.
+    data) and :meth:`_quantize_with_params_analytic`.  The default
+    :meth:`quantize` composes the two, which is the per-layer
+    self-adaptive behaviour used for weights throughout the paper.
+    Because the codebook fast path is keyed on the fitted parameters, the
+    (cheap) fit runs every call while the (expensive) grid is memoized —
+    and a parameter change simply selects a different cache entry.
     """
 
     @abc.abstractmethod
@@ -126,8 +180,28 @@ class AdaptiveQuantizer(Quantizer):
         """Derive the adaptive parameter(s) (e.g. ``exp_bias``) from ``x``."""
 
     @abc.abstractmethod
+    def _quantize_with_params_analytic(self, x: np.ndarray,
+                                       params: Dict[str, Any]) -> np.ndarray:
+        """Reference grid quantization (elementwise math)."""
+
     def quantize_with_params(self, x: np.ndarray, params: Dict[str, Any]) -> np.ndarray:
         """Quantize ``x`` on the grid described by ``params``."""
+        from . import kernels
+        x = np.asarray(x, dtype=np.float64)
+        codebook = kernels.get_codebook(self, params)
+        if codebook is not None:
+            return codebook.quantize(x)
+        return self._quantize_with_params_analytic(x, params)
+
+    def _quantize_analytic(self, x: np.ndarray) -> np.ndarray:
+        return self._quantize_with_params_analytic(x, self.fit(x))
+
+    def _codebook_reference(
+            self, params: Optional[Dict[str, Any]]
+    ) -> "Callable[[np.ndarray], np.ndarray]":
+        if params is None:
+            return self._quantize_analytic
+        return lambda values: self._quantize_with_params_analytic(values, params)
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)

@@ -58,15 +58,33 @@ class BlockFloat(AdaptiveQuantizer):
 
     # ------------------------------------------------------------- fitting
     def fit(self, x: np.ndarray) -> Dict[str, Any]:
-        a = np.abs(np.asarray(x, dtype=np.float64))
+        x = np.asarray(x, dtype=np.float64)
         if self.block_size is None:
-            max_abs = a.max() if a.size else 0.0
+            # abs-max via two reductions: no |x| temporary.
+            max_abs = max(float(x.max()), float(-x.min()), 0.0) if x.size else 0.0
             return {"shared_exp": int(self._shared_exp(np.asarray(max_abs)))}
-        blocks = self._to_blocks(a)
+        blocks = self._to_blocks(np.abs(x))
         return {"shared_exp": self._shared_exp(blocks.max(axis=1)).astype(np.int64)}
 
+    def _codebook_key(self, params):
+        if self.block_size is not None:
+            return None  # per-block shared exponents are vector params
+        return super()._codebook_key(params)
+
+    def _affine_grid(self, params):
+        if self.block_size is not None or params is None:
+            return None
+        shared_exp = params.get("shared_exp")
+        if not isinstance(shared_exp, (int, np.integer)):
+            return None
+        from .kernels import AffineGrid
+        step = 2.0 ** (int(shared_exp) - (self.bits - 2))
+        return AffineGrid(step=step, lo_level=-self.mant_max,
+                          hi_level=self.mant_max)
+
     # ---------------------------------------------------------- quantizing
-    def quantize_with_params(self, x: np.ndarray, params: Dict[str, Any]) -> np.ndarray:
+    def _quantize_with_params_analytic(self, x: np.ndarray,
+                                       params: Dict[str, Any]) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         shared_exp = params["shared_exp"]
         if self.block_size is None:

@@ -46,7 +46,12 @@ class FixedPoint(Quantizer):
     def level_max(self) -> int:
         return 2 ** (self.bits - 1) - 1
 
-    def quantize(self, x: np.ndarray) -> np.ndarray:
+    def _affine_grid(self, params):
+        from .kernels import AffineGrid
+        return AffineGrid(step=self.quantum, lo_level=self.level_min,
+                          hi_level=self.level_max)
+
+    def _quantize_analytic(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         levels = ulp_round(x / self.quantum, self.round_mode, self._rng)
         return np.clip(levels, self.level_min, self.level_max) * self.quantum

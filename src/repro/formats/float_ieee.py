@@ -65,7 +65,7 @@ class FloatIEEE(Quantizer):
         return 2.0 ** self.max_exp * (2.0 - 2.0 ** (-self.mant_bits))
 
     # ---------------------------------------------------------- quantizing
-    def quantize(self, x: np.ndarray) -> np.ndarray:
+    def _quantize_analytic(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         sign = np.sign(x)
         a = np.minimum(np.abs(x), self.value_max)

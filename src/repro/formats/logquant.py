@@ -46,7 +46,8 @@ class LogQuant(AdaptiveQuantizer):
         return {"exp_max": exp_max}
 
     # ---------------------------------------------------------- quantizing
-    def quantize_with_params(self, x: np.ndarray, params: Dict[str, Any]) -> np.ndarray:
+    def _quantize_with_params_analytic(self, x: np.ndarray,
+                                       params: Dict[str, Any]) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         exp_max = int(params["exp_max"])
         exp_min = exp_max - (self.exp_levels - 1)

@@ -73,10 +73,32 @@ def decode_posit_word(word: int, bits: int, es: int) -> float:
 
 
 @lru_cache(maxsize=None)
-def _positive_codepoints(bits: int, es: int) -> Tuple[float, ...]:
-    values = [decode_posit_word(w, bits, es) for w in range(1, 2 ** (bits - 1))]
-    values.sort()
-    return tuple(values)
+def _positive_codepoints(bits: int, es: int) -> np.ndarray:
+    """Sorted positive posit magnitudes as a read-only float64 array."""
+    values = np.array(
+        sorted(decode_posit_word(w, bits, es) for w in range(1, 2 ** (bits - 1))),
+        dtype=np.float64)
+    values.setflags(write=False)
+    return values
+
+
+@lru_cache(maxsize=None)
+def _lookup_tables(bits: int, es: int,
+                   underflow: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached ``(table, midpoints)`` pair for nearest-codepoint search.
+
+    Building these per call dominated :meth:`Posit.quantize` for small
+    tensors; they only depend on ``(bits, es, underflow)``.
+    """
+    mags = _positive_codepoints(bits, es)
+    if underflow == "saturate":
+        table = mags
+    else:
+        table = np.concatenate([[0.0], mags])
+        table.setflags(write=False)
+    mids = 0.5 * (table[:-1] + table[1:])
+    mids.setflags(write=False)
+    return table, mids
 
 
 class Posit(Quantizer):
@@ -109,19 +131,15 @@ class Posit(Quantizer):
         return self.useed ** -(self.bits - 2)
 
     # ---------------------------------------------------------- quantizing
-    def quantize(self, x: np.ndarray) -> np.ndarray:
+    def _quantize_analytic(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        mags = np.asarray(_positive_codepoints(self.bits, self.es))
         sign = np.sign(x)
         a = np.minimum(np.abs(x), self.maxpos)
 
         if self.underflow == "saturate":
             a = np.where((a > 0.0) & (a < self.minpos), self.minpos, a)
-            table = mags
-        else:
-            table = np.concatenate([[0.0], mags])
 
-        mids = 0.5 * (table[:-1] + table[1:])
+        table, mids = _lookup_tables(self.bits, self.es, self.underflow)
         idx = np.searchsorted(mids, a, side="right")
         out = table[idx]
         # Exact zeros are representable (word 0) in both modes.
@@ -130,7 +148,7 @@ class Posit(Quantizer):
 
     # -------------------------------------------------------- enumeration
     def codepoints(self) -> np.ndarray:
-        mags = np.asarray(_positive_codepoints(self.bits, self.es))
+        mags = _positive_codepoints(self.bits, self.es)
         return np.sort(np.concatenate([-mags, [0.0], mags]))
 
     def spec(self) -> Dict[str, Any]:

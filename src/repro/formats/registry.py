@@ -40,6 +40,12 @@ class Fp32(Quantizer):
     def quantize(self, x: np.ndarray) -> np.ndarray:
         return np.asarray(x, dtype=np.float64)
 
+    def _quantize_analytic(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def _codebook_key(self, params):
+        return None  # identity format; nothing to tabulate
+
     def codepoints(self) -> np.ndarray:
         raise NotImplementedError("FP32 codepoints are not enumerable")
 

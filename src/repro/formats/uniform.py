@@ -51,7 +51,8 @@ class Uniform(AdaptiveQuantizer):
     def fit(self, x: np.ndarray) -> Dict[str, Any]:
         x = np.asarray(x, dtype=np.float64)
         if self.symmetric:
-            max_abs = float(np.abs(x).max()) if x.size else 0.0
+            # abs-max via two reductions: no |x| temporary.
+            max_abs = max(float(x.max()), float(-x.min()), 0.0) if x.size else 0.0
             scale = max_abs / self.level_max
             if scale <= 0.0:  # all-zero or underflowed-to-zero tensor
                 scale = 1.0
@@ -64,8 +65,29 @@ class Uniform(AdaptiveQuantizer):
         zero_point = int(np.rint(-lo / scale)) if span > 0.0 else 0
         return {"scale": scale, "zero_point": zero_point}
 
+    def _affine_grid(self, params):
+        if params is None:
+            return None
+        scale = params.get("scale")
+        if not isinstance(scale, (int, float, np.integer, np.floating)):
+            return None
+        scale = float(scale)
+        if not (scale > 0.0 and np.isfinite(scale)):
+            return None
+        from .kernels import AffineGrid
+        if self.symmetric:
+            return AffineGrid(step=scale, lo_level=-self.level_max,
+                              hi_level=self.level_max)
+        # Affine: clamp in the zero-point-shifted level range, which is
+        # exactly clamp-then-shift of the analytic path (integer shifts
+        # of |level| <= 2**bits are exact in float64).
+        zero_point = int(params.get("zero_point", 0))
+        return AffineGrid(step=scale, lo_level=-zero_point,
+                          hi_level=(2 ** self.bits - 1) - zero_point)
+
     # ---------------------------------------------------------- quantizing
-    def quantize_with_params(self, x: np.ndarray, params: Dict[str, Any]) -> np.ndarray:
+    def _quantize_with_params_analytic(self, x: np.ndarray,
+                                       params: Dict[str, Any]) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         scale = float(params["scale"])
         zero_point = int(params.get("zero_point", 0))

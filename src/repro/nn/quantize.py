@@ -96,7 +96,8 @@ class ActFakeQuant:
     _SAMPLE_CAP = 65_536
 
     def __init__(self, quantizer: Quantizer, calibration: str = "max",
-                 percentile: float = 99.9) -> None:
+                 percentile: float = 99.9,
+                 sample_seed: int = 0x5EED) -> None:
         if calibration not in ("max", "percentile"):
             raise ValueError(f"unknown calibration {calibration!r}")
         if not 0.0 < percentile <= 100.0:
@@ -106,7 +107,9 @@ class ActFakeQuant:
         self.percentile = percentile
         self.mode = "bypass"
         self.max_abs = 0.0
-        self._samples: list = []
+        self._sample_rng = np.random.default_rng(sample_seed)
+        self._sample_keys: Optional[np.ndarray] = None
+        self._sample_vals: Optional[np.ndarray] = None
         self._sample_count = 0
         self.params: Optional[Dict[str, Any]] = None
 
@@ -116,24 +119,33 @@ class ActFakeQuant:
 
     def _record(self, data: np.ndarray) -> None:
         flat = np.abs(data).ravel()
-        if flat.size:
-            self.max_abs = max(self.max_abs, float(flat.max()))
-        if self.calibration == "percentile" and flat.size:
-            # reservoir-ish subsample with a fixed budget
-            budget = self._SAMPLE_CAP - self._sample_count
-            if budget > 0:
-                take = flat if flat.size <= budget else \
-                    flat[:: max(1, flat.size // budget)][:budget]
-                self._samples.append(np.asarray(take, dtype=np.float32))
-                self._sample_count += take.size
+        if not flat.size:
+            return
+        self.max_abs = max(self.max_abs, float(flat.max()))
+        if self.calibration != "percentile":
+            return
+        # Bottom-k random-key reservoir: tag every observed element with a
+        # uniform key and keep the _SAMPLE_CAP smallest keys seen so far.
+        # This is a uniform sample *without replacement over the whole
+        # stream*, unlike a strided prefix take, which over-weights early
+        # batches (and, once full, ignores later ones entirely).
+        keys = self._sample_rng.random(flat.size)
+        vals = np.asarray(flat, dtype=np.float32)
+        if self._sample_keys is not None:
+            keys = np.concatenate([self._sample_keys, keys])
+            vals = np.concatenate([self._sample_vals, vals])
+        if keys.size > self._SAMPLE_CAP:
+            keep = np.argpartition(keys, self._SAMPLE_CAP)[: self._SAMPLE_CAP]
+            keys, vals = keys[keep], vals[keep]
+        self._sample_keys, self._sample_vals = keys, vals
+        self._sample_count += flat.size
 
     def _range_anchor(self) -> float:
         if self.calibration == "max":
             return self.max_abs
-        if not self._samples:
+        if self._sample_vals is None:
             return self.max_abs
-        pooled = np.concatenate(self._samples)
-        return float(np.percentile(pooled, self.percentile))
+        return float(np.percentile(self._sample_vals, self.percentile))
 
     def freeze(self) -> None:
         """Fit the adaptive parameter from observed statistics and apply."""

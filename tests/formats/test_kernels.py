@@ -1,0 +1,244 @@
+"""Codebook fast-path tests: bit-exact equivalence, caching, eligibility.
+
+The contract under test (``repro.formats.kernels``): for every eligible
+``(format, bits, round_mode, params)`` combination the table-driven
+quantizer returns *bit-identical* outputs to the analytic reference —
+including at codepoints, at decision thresholds, one ulp either side of
+them, and at extreme/denormal inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import RoundMode, kernels, make_quantizer
+from repro.formats.kernels import (AffineCodebook, LutCodebook,
+                                   SearchCodebook, exact_thresholds)
+
+#: every registered format that quantizes through the codebook machinery
+ALL_FORMATS = ("adaptivfloat", "float", "bfp", "uniform", "posit",
+               "fixedpoint", "logquant")
+TABLE_BITS = (3, 4, 5, 6, 7, 8)
+DETERMINISTIC_MODES = (RoundMode.NEAREST_EVEN, RoundMode.NEAREST_AWAY)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    kernels.clear_codebook_cache()
+    yield
+    kernels.clear_codebook_cache()
+
+
+def _make(fmt: str, bits: int,
+          round_mode: str = RoundMode.NEAREST_EVEN):
+    if fmt in ("logquant", "posit"):  # fixed rounding rule, no knob
+        return make_quantizer(fmt, bits) \
+            if round_mode == RoundMode.NEAREST_EVEN else None
+    kwargs = {"round_mode": round_mode}
+    if fmt in ("adaptivfloat", "float") and bits < 5:
+        kwargs["exp_bits"] = bits - 1 if fmt == "float" else bits - 2
+    return make_quantizer(fmt, bits, **kwargs)
+
+
+def _both_paths(quantizer, params, x):
+    """Quantize ``x`` on a frozen grid via fast path and analytic path."""
+    # errstate: the ±inf probes legitimately trip inf/inf in the
+    # analytic reference; only the outputs matter here.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if params is None:
+            fast = quantizer.quantize(x)
+            with kernels.analytic_only():
+                reference = quantizer.quantize(x)
+        else:
+            fast = quantizer.quantize_with_params(x, params)
+            with kernels.analytic_only():
+                reference = quantizer.quantize_with_params(x, params)
+    return fast, reference
+
+
+def _adversarial_probes(quantizer, params, x: np.ndarray) -> np.ndarray:
+    """Inputs biased toward decision boundaries and extremes."""
+    codebook = kernels.get_codebook(quantizer, params)
+    extras = [x, [0.0, -0.0, 1e300, -1e300, np.inf, -np.inf,
+                  5e-324, -5e-324, 2.0 ** -1022]]
+    if codebook is not None and getattr(codebook, "thresholds", None) \
+            is not None:
+        thr = codebook.thresholds
+        extras += [codebook.table, thr,
+                   np.nextafter(thr, -np.inf), np.nextafter(thr, np.inf)]
+    return np.concatenate([np.ravel(np.asarray(e, dtype=np.float64))
+                           for e in extras])
+
+
+@pytest.mark.parametrize("round_mode", DETERMINISTIC_MODES)
+@pytest.mark.parametrize("bits", TABLE_BITS)
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+def test_codebook_bit_exact_vs_analytic(fmt, bits, round_mode):
+    quantizer = _make(fmt, bits, round_mode)
+    if quantizer is None:
+        pytest.skip("format has a fixed rounding rule")
+    rng = np.random.default_rng(bits * 1000 + len(fmt))
+    x = np.concatenate([rng.standard_normal(4096) * 0.1,
+                        rng.standard_normal(256) * 100.0,
+                        rng.standard_normal(256) * 1e-6])
+    params = quantizer.fit(x) if hasattr(quantizer, "fit") else None
+    probes = _adversarial_probes(quantizer, params, x)
+    fast, reference = _both_paths(quantizer, params, probes)
+    np.testing.assert_array_equal(fast, reference)
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+def test_quantize_idempotent_through_fast_path(fmt):
+    quantizer = make_quantizer(fmt, 6)
+    x = np.random.default_rng(7).standard_normal(2048) * 0.3
+    once = quantizer.quantize(x)
+    twice = quantizer.quantize(once)
+    np.testing.assert_array_equal(once, twice)
+
+
+@given(data=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                               allow_nan=False), min_size=1, max_size=64),
+       bits=st.sampled_from(TABLE_BITS),
+       fmt=st.sampled_from(ALL_FORMATS))
+@settings(max_examples=200, deadline=None)
+def test_codebook_bit_exact_property(data, bits, fmt):
+    quantizer = _make(fmt, bits)
+    x = np.asarray(data, dtype=np.float64)
+    fast = quantizer.quantize(x)
+    with kernels.analytic_only():
+        reference = quantizer.quantize(x)
+    np.testing.assert_array_equal(fast, reference)
+
+
+@given(data=st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                               allow_nan=False), min_size=1, max_size=32),
+       fmt=st.sampled_from(ALL_FORMATS))
+@settings(max_examples=100, deadline=None)
+def test_quantize_idempotence_property(data, fmt):
+    quantizer = _make(fmt, 5)
+    once = quantizer.quantize(np.asarray(data, dtype=np.float64))
+    np.testing.assert_array_equal(once, quantizer.quantize(once))
+
+
+# --------------------------------------------------------------- eligibility
+def test_stochastic_rounding_bypasses_table_path():
+    quantizer = make_quantizer("uniform", 8, round_mode=RoundMode.STOCHASTIC,
+                               rng=np.random.default_rng(0))
+    assert kernels.get_codebook(quantizer, {"scale": 0.5}) is None
+
+
+def test_bits_above_cap_bypass_table_path():
+    quantizer = make_quantizer("uniform", 16)
+    assert quantizer.bits > kernels.max_table_bits()
+    assert kernels.get_codebook(quantizer, {"scale": 0.5}) is None
+
+
+def test_vector_params_bypass_table_path():
+    quantizer = make_quantizer("bfp", 8, block_size=16)
+    params = quantizer.fit(np.linspace(-1, 1, 64))
+    assert kernels.get_codebook(quantizer, params) is None
+    # ... and the analytic path still serves them
+    out = quantizer.quantize(np.linspace(-1, 1, 64))
+    assert out.shape == (64,)
+
+
+def test_table_bits_cap_is_adjustable():
+    quantizer = make_quantizer("fixedpoint", 8)
+    try:
+        kernels.set_max_table_bits(4)
+        assert kernels.get_codebook(quantizer, None) is None
+    finally:
+        kernels.set_max_table_bits(8)
+    assert kernels.get_codebook(quantizer, None) is not None
+
+
+def test_analytic_only_context_restores():
+    quantizer = make_quantizer("fixedpoint", 8)
+    with kernels.analytic_only():
+        assert kernels.get_codebook(quantizer, None) is None
+    assert kernels.get_codebook(quantizer, None) is not None
+
+
+# ------------------------------------------------------------------- caching
+def test_cache_hits_and_param_invalidation():
+    quantizer = make_quantizer("adaptivfloat", 8)
+    x = np.random.default_rng(0).standard_normal(128)
+    quantizer.quantize(x)
+    stats0 = kernels.codebook_cache_stats()
+    quantizer.quantize(x * 1.0001)  # same exp_bias -> cache hit
+    stats1 = kernels.codebook_cache_stats()
+    assert stats1["builds"] == stats0["builds"]
+    assert stats1["hits"] > stats0["hits"]
+    quantizer.quantize(x * 1e4)  # different exp_bias -> new grid
+    stats2 = kernels.codebook_cache_stats()
+    assert stats2["builds"] == stats1["builds"] + 1
+
+
+def test_cache_is_bounded_lru():
+    quantizer = make_quantizer("uniform", 8)
+    try:
+        kernels.set_cache_size(4)
+        for i in range(10):
+            kernels.get_codebook(quantizer, {"scale": 1.0 + i})
+        assert kernels.codebook_cache_stats()["entries"] <= 4
+        assert kernels.codebook_cache_stats()["evictions"] >= 6
+    finally:
+        kernels.set_cache_size(128)
+
+
+def test_distinct_specs_get_distinct_entries():
+    a = make_quantizer("adaptivfloat", 8, exp_bits=3)
+    b = make_quantizer("adaptivfloat", 8, exp_bits=4)
+    ca = kernels.get_codebook(a, {"exp_bias": -7})
+    cb = kernels.get_codebook(b, {"exp_bias": -7})
+    assert ca is not cb
+    assert not np.array_equal(ca.table, cb.table)
+
+
+# ---------------------------------------------------------------- strategies
+def test_strategy_selection():
+    assert isinstance(
+        kernels.get_codebook(make_quantizer("fixedpoint", 8), None),
+        AffineCodebook)
+    assert isinstance(
+        kernels.get_codebook(make_quantizer("bfp", 8), {"shared_exp": 0}),
+        AffineCodebook)
+    assert isinstance(
+        kernels.get_codebook(make_quantizer("adaptivfloat", 8),
+                             {"exp_bias": -10}),
+        LutCodebook)
+    assert isinstance(
+        kernels.get_codebook(make_quantizer("float", 8), None), LutCodebook)
+
+
+def test_search_codebook_agrees_with_lut():
+    quantizer = make_quantizer("float", 8)
+    lut = kernels.get_codebook(quantizer, None)
+    search = SearchCodebook(lut.table, lut.thresholds)
+    x = np.random.default_rng(3).standard_normal(4096) * 3.0
+    np.testing.assert_array_equal(search.quantize(x), lut.quantize(x))
+
+
+def test_exact_thresholds_recovers_tie_breaks():
+    # Round-to-nearest-even on integers: the tie at 0.5 goes DOWN to 0,
+    # at 1.5 UP to 2 - the thresholds must capture that asymmetry.
+    table = np.array([0.0, 1.0, 2.0])
+    thr = exact_thresholds(np.rint, table)
+    assert thr is not None
+    assert np.rint(thr[0]) == 1.0 and np.rint(np.nextafter(thr[0], -1)) == 0.0
+    assert thr[1] == 1.5  # rint(1.5) == 2.0 (even): 1.5 itself maps up
+    assert np.rint(np.nextafter(thr[1], -1)) == 1.0
+
+
+def test_exact_thresholds_rejects_non_idempotent_reference():
+    table = np.array([0.0, 1.0])
+    assert exact_thresholds(lambda v: v + 0.25, table) is None
+
+
+def test_nan_maps_to_largest_codepoint_on_table_path():
+    quantizer = make_quantizer("float", 8)
+    out = quantizer.quantize(np.array([np.nan]))
+    assert out[0] == quantizer.codepoints()[-1]

@@ -124,3 +124,31 @@ def test_quantize_is_nearest_codepoint(values, config):
     x = np.asarray(values, dtype=np.float64)
     q = Posit(bits, es)
     assert_is_nearest_codepoint(q.quantize(x), x, q.codepoints())
+
+
+class TestLookupTableCaching:
+    """quantize() must not rebuild the magnitude/midpoint tables per call."""
+
+    def test_tables_are_cached_per_config(self):
+        from repro.formats.posit import _lookup_tables, _positive_codepoints
+        a = _lookup_tables(8, 1, "saturate")
+        b = _lookup_tables(8, 1, "saturate")
+        assert a[0] is b[0] and a[1] is b[1]
+        assert _positive_codepoints(8, 1) is _positive_codepoints(8, 1)
+        assert _lookup_tables(8, 2, "saturate")[0] is not a[0]
+
+    def test_cached_tables_are_read_only(self):
+        from repro.formats.posit import _lookup_tables, _positive_codepoints
+        table, mids = _lookup_tables(8, 1, "saturate")
+        with pytest.raises(ValueError):
+            table[0] = 1.0
+        with pytest.raises(ValueError):
+            mids[0] = 1.0
+        with pytest.raises(ValueError):
+            _positive_codepoints(8, 1)[0] = 1.0
+
+    def test_codepoints_returns_a_private_copy(self):
+        q = Posit(8, 1)
+        pts = q.codepoints()
+        pts[0] = 123.0  # caller may scribble on the result...
+        assert q.codepoints()[0] != 123.0  # ...without corrupting the cache

@@ -234,3 +234,47 @@ class TestPercentileCalibration:
         with pytest.raises(ValueError):
             ActFakeQuant(AdaptivFloat(8, 3), calibration="percentile",
                          percentile=0.0)
+
+
+class TestCalibrationReservoir:
+    """The percentile sample must be uniform over the *whole* stream."""
+
+    def _observer(self, seed=0x5EED):
+        obs = ActFakeQuant(AdaptivFloat(8, 3), calibration="percentile",
+                           percentile=99.0, sample_seed=seed)
+        obs.observe()
+        return obs
+
+    def test_sample_is_bounded(self):
+        obs = self._observer()
+        obs(Tensor(np.ones(3 * obs._SAMPLE_CAP, dtype=np.float32)))
+        assert obs._sample_vals.size == obs._SAMPLE_CAP
+        assert obs._sample_count == 3 * obs._SAMPLE_CAP
+
+    def test_late_batches_are_represented(self):
+        # Two-phase stream: all-ones then all-twos.  A strided prefix
+        # take fills up on phase one and never sees phase two; a uniform
+        # reservoir holds ~50% from each phase.
+        obs = self._observer()
+        n = 2 * obs._SAMPLE_CAP
+        obs(Tensor(np.ones(n, dtype=np.float32)))
+        obs(Tensor(np.full(n, 2.0, dtype=np.float32)))
+        frac_late = float(np.mean(obs._sample_vals == 2.0))
+        assert 0.45 < frac_late < 0.55
+
+    def test_sample_is_deterministic_per_seed(self):
+        def run(seed):
+            obs = self._observer(seed)
+            rng = np.random.default_rng(9)
+            for _ in range(4):
+                obs(Tensor(rng.normal(size=50_000).astype(np.float32)))
+            return np.sort(obs._sample_vals)
+
+        assert np.array_equal(run(1), run(1))
+        assert not np.array_equal(run(1), run(2))
+
+    def test_small_streams_are_kept_verbatim(self):
+        obs = self._observer()
+        data = np.arange(1, 101, dtype=np.float32)
+        obs(Tensor(data))
+        assert np.array_equal(np.sort(obs._sample_vals), data)

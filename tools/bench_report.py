@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Regenerate BENCH_formats.json, the committed format-kernel benchmark record.
+
+Runs the quantization throughput / codec benchmarks in
+``benchmarks/test_format_kernels.py`` under pytest-benchmark, distills
+the JSON report into a compact per-benchmark summary (median/mean wall
+time, rounds), and writes it to ``BENCH_formats.json`` at the repo root.
+
+Two modes:
+
+* fast-path numbers (default) — the codebook kernels as shipped;
+* ``--with-analytic`` also measures the analytic reference path
+  (``REPRO_NO_CODEBOOK=1``) and records per-benchmark speedup ratios.
+
+Run:  PYTHONPATH=src python tools/bench_report.py [--with-analytic]
+
+Timings are machine-dependent; the committed file records the shape of
+the comparison (which kernels are table-driven, relative speedups), not
+absolute milliseconds to be matched elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+BENCH_FILE = "benchmarks/test_format_kernels.py"
+OUTPUT = REPO / "BENCH_formats.json"
+
+
+def _run_benchmarks(extra_env: dict) -> dict:
+    """Run the benchmark module and return pytest-benchmark's JSON report."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report = pathlib.Path(tmp) / "bench.json"
+        env = dict(os.environ, **extra_env)
+        env["PYTHONPATH"] = str(REPO / "src")
+        cmd = [sys.executable, "-m", "pytest", BENCH_FILE, "-q",
+               "--benchmark-only", f"--benchmark-json={report}",
+               "--benchmark-warmup=on", "--benchmark-warmup-iterations=2",
+               "-p", "no:cacheprovider"]
+        proc = subprocess.run(cmd, cwd=REPO, env=env,
+                              stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout.decode())
+            raise SystemExit(f"benchmark run failed ({proc.returncode})")
+        return json.loads(report.read_text())
+
+
+def _distill(report: dict) -> dict:
+    """Keep one small record per benchmark, keyed by its pytest node name."""
+    out = {}
+    for bench in report["benchmarks"]:
+        stats = bench["stats"]
+        out[bench["name"]] = {
+            "median_ms": round(stats["median"] * 1e3, 4),
+            "mean_ms": round(stats["mean"] * 1e3, 4),
+            "rounds": stats["rounds"],
+        }
+    return dict(sorted(out.items()))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--with-analytic", action="store_true",
+                        help="also time the analytic path "
+                             "(REPRO_NO_CODEBOOK=1) and record speedups")
+    parser.add_argument("--output", type=pathlib.Path, default=OUTPUT)
+    args = parser.parse_args()
+
+    fast = _distill(_run_benchmarks({}))
+    payload = {
+        "machine": {
+            "python": platform.python_version(),
+            "system": f"{platform.system()} {platform.machine()}",
+        },
+        "benchmarks": fast,
+    }
+    if args.with_analytic:
+        analytic = _distill(_run_benchmarks({"REPRO_NO_CODEBOOK": "1"}))
+        for name, record in payload["benchmarks"].items():
+            if name in analytic:
+                record["analytic_median_ms"] = analytic[name]["median_ms"]
+                record["speedup"] = round(
+                    analytic[name]["median_ms"] / record["median_ms"], 2)
+
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output} ({len(fast)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
