@@ -30,12 +30,12 @@ Quick start::
     w_q = q.quantize(w)
 """
 
-from . import analysis, data, formats, hardware, metrics, nn
+from . import analysis, data, formats, hardware, metrics, nn, rng
 from .formats import AdaptivFloat, adaptivfloat_quantize, make_quantizer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdaptivFloat", "adaptivfloat_quantize", "analysis", "data", "formats",
-    "hardware", "make_quantizer", "metrics", "nn", "__version__",
+    "hardware", "make_quantizer", "metrics", "nn", "rng", "__version__",
 ]

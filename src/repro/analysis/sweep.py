@@ -9,7 +9,7 @@ weight tensors) and its exact form (over a model-evaluation callable).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 
 def _cmd_formats(args: argparse.Namespace) -> int:

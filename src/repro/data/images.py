@@ -16,7 +16,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-__all__ = ["ImageTask"]
+__all__ = ["ImageBatch", "ImageTask"]
 
 
 @dataclasses.dataclass

@@ -17,7 +17,7 @@ from typing import Iterator, List, Tuple
 
 import numpy as np
 
-__all__ = ["TranslationTask", "PAD_ID", "BOS_ID", "EOS_ID"]
+__all__ = ["TranslationBatch", "TranslationTask", "PAD_ID", "BOS_ID", "EOS_ID"]
 
 PAD_ID, BOS_ID, EOS_ID = 0, 1, 2
 _CONTENT_START = 3

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from ..analysis import format_table, layer_weights, save_result
-from ..formats import AdaptivFloat, BlockFloat, FloatIEEE, RoundMode
+from ..formats import AdaptivFloat, BlockFloat, RoundMode
 from ..metrics import rms_error
 from ..nn import QuantSpec, quantize_weights_inplace
 from .common import PROFILES, get_bundle, trained_model

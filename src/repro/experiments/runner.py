@@ -27,11 +27,11 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from ..cache import content_key, load_cached_json, store_cached_json
 
-__all__ = ["run_cells", "cell_cache_enabled"]
+__all__ = ["run_cells", "cell_cache_enabled", "store_and_reload"]
 
 
 def cell_cache_enabled() -> bool:

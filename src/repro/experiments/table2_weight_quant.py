@@ -75,7 +75,7 @@ def run(profile: str = "full", bits_list: Sequence[int] = DEFAULT_BITS,
         formats: Sequence[str] = FORMAT_NAMES,
         models: Sequence[str] = MODEL_NAMES,
         include_qar: bool = True, jobs: int = 1) -> Dict:
-    prof = PROFILES[profile]  # validate the profile before any work
+    PROFILES[profile]  # validate the profile before any work
     result: Dict = {"models": {}, "bits": list(map(int, bits_list)),
                     "formats": list(formats)}
     # Warm the FP32 checkpoints serially (and collect baselines) so

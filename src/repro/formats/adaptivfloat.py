@@ -38,6 +38,13 @@ __all__ = [
 
 _BiasLike = Union[int, np.ndarray]
 
+#: Floor for the fitted ``exp_bias``.  Below roughly 2**-1000 the grid
+#: arithmetic (``2**exp_bias``, the mantissa quantum) underflows float64
+#: and quantization would manufacture Inf/NaN from finite subnormal
+#: inputs.  Clamping only affects tensors whose max |value| is below
+#: ~1e-301 — far outside any real weight/activation distribution.
+_MIN_EXP_BIAS = -1000
+
 
 def _frexp_exponent(a: np.ndarray) -> np.ndarray:
     """Exact floor(log2(a)) for positive ``a`` via frexp (no log rounding)."""
@@ -62,13 +69,14 @@ def exponent_bias_for(x: np.ndarray, exp_bits: int,
         if max_abs == 0.0:
             return -(2 ** exp_bits - 1)
         exp_max = int(_frexp_exponent(np.asarray(max_abs)))
-        return exp_max - (2 ** exp_bits - 1)
+        return max(exp_max - (2 ** exp_bits - 1), _MIN_EXP_BIAS)
 
     reduce_axes = tuple(i for i in range(a.ndim) if i != (axis % a.ndim))
     max_abs = a.max(axis=reduce_axes, keepdims=True)
     exp_max = np.where(max_abs > 0.0, _frexp_exponent(max_abs),
                        -(2 ** exp_bits - 1))
-    return (exp_max - (2 ** exp_bits - 1)).astype(np.int64)
+    bias = np.maximum(exp_max - (2 ** exp_bits - 1), _MIN_EXP_BIAS)
+    return bias.astype(np.int64)
 
 
 class AdaptivFloat(AdaptiveQuantizer):
@@ -146,7 +154,10 @@ class AdaptivFloat(AdaptiveQuantizer):
         # the exact exponent; rounding a mantissa up to 2.0 lands exactly on
         # the next binade, which is representable because overflow was
         # clamped above.
-        safe = np.where(a > 0.0, a, 1.0)
+        # sub-value_min magnitudes take the `small` branch below; masking
+        # them out of the grid math keeps subnormal inputs from driving
+        # `quantum` to underflow (0 -> inf/NaN intermediates).
+        safe = np.where(a >= value_min, a, 1.0)
         exp = _frexp_exponent(safe)
         quantum = np.exp2(exp.astype(np.float64) - self.mant_bits)
         on_grid = ulp_round(a / quantum, self.round_mode, self._rng) * quantum

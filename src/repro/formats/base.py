@@ -26,10 +26,13 @@ from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
+from ..rng import default_rng
+
 __all__ = [
     "RoundMode",
     "Quantizer",
     "AdaptiveQuantizer",
+    "QuantizedTensor",
     "round_to_grid",
     "ulp_round",
 ]
@@ -57,8 +60,7 @@ def ulp_round(x: np.ndarray, mode: str = RoundMode.NEAREST_EVEN,
     if mode == RoundMode.NEAREST_AWAY:
         return np.trunc(x + np.copysign(0.5, x))
     if mode == RoundMode.STOCHASTIC:
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = default_rng(rng)
         floor = np.floor(x)
         frac = x - floor
         return floor + (rng.random(size=np.shape(x)) < frac)

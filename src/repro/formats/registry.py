@@ -37,9 +37,6 @@ class Fp32(Quantizer):
     def __init__(self, bits: int = 32) -> None:
         super().__init__(bits)
 
-    def quantize(self, x: np.ndarray) -> np.ndarray:
-        return np.asarray(x, dtype=np.float64)
-
     def _quantize_analytic(self, x: np.ndarray) -> np.ndarray:
         return np.asarray(x, dtype=np.float64)
 

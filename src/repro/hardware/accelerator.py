@@ -22,7 +22,7 @@ from typing import Dict
 
 from . import components as comp
 from .constants import CLOCK_HZ
-from .pe import PEConfig, make_pe
+from .pe import make_pe
 from .workload import LSTMWorkload, PAPER_WORKLOAD
 
 __all__ = ["AcceleratorConfig", "Accelerator", "paper_accelerator"]

@@ -14,7 +14,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import math
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 from .constants import CLOCK_HZ
 from .pe import make_pe

@@ -1,0 +1,38 @@
+"""``reprocheck``: numerics-aware static analysis for this repository.
+
+The paper's central comparison — AdaptivFloat's resilience against
+IEEE-like float, BFP, uniform and posit at matched bit widths — only
+means anything if the numerics are bit-exact and deterministic.  This
+package machine-checks the invariants the reproduction depends on
+(seeded RNG everywhere, pinned dtypes in hot paths, no autodiff-state
+mutation outside the sanctioned modules, picklable sweep cells, honest
+``__all__``, no codebook fast-path bypass) instead of leaving them to
+reviewer vigilance.
+
+Usage::
+
+    python -m repro.lint                  # lint src/tools/examples/tests
+    python -m repro.lint --format json    # machine-readable (CI)
+    python -m repro.lint --list-rules     # rule catalogue
+    python -m repro.lint --write-baseline # accept current findings
+
+Suppress a single line with ``# reprocheck: disable=ND001`` (comma
+separate ids, or omit ``=...`` to disable all rules on that line); known
+findings accepted for now live in ``reprocheck-baseline.json`` at the
+repo root.  See ``docs/static-analysis.md``.
+
+The runtime counterpart — trapping NaN/Inf, clamp storms and underflow
+floods with op/layer provenance while a model runs — is
+:mod:`repro.nn.sanitize`.
+"""
+
+from . import rules  # noqa: F401  (rule registration side effect)
+from .core import (DEFAULT_TARGETS, FileContext, Finding, LintReport, Rule,
+                   all_rules, get_rule, lint_file, lint_source, load_baseline,
+                   register, run_lint, save_baseline)
+
+__all__ = [
+    "DEFAULT_TARGETS", "FileContext", "Finding", "LintReport", "Rule",
+    "all_rules", "get_rule", "lint_file", "lint_source", "load_baseline",
+    "register", "rules", "run_lint", "save_baseline",
+]

@@ -1,0 +1,130 @@
+"""Command-line interface for ``reprocheck``.
+
+Run as ``python -m repro.lint`` (or ``tools/reprocheck.py``).  Exit
+status: 0 when the tree is clean (every finding fixed, inline-suppressed
+or baselined), 1 when actionable findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from . import rules  # noqa: F401  (imported for rule registration)
+from .core import (DEFAULT_TARGETS, LintReport, all_rules, run_lint,
+                   save_baseline)
+
+__all__ = ["main", "find_repo_root", "DEFAULT_BASELINE"]
+
+#: Baseline filename looked up relative to the repo root.
+DEFAULT_BASELINE = "reprocheck-baseline.json"
+
+
+def find_repo_root(start: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Walk upwards to the directory holding ``pyproject.toml``.
+
+    Falls back to three levels above this file (the checkout layout
+    ``<root>/src/repro/lint``) so the CLI works from any CWD.
+    """
+    here = (start or pathlib.Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").exists() \
+                and (candidate / "src" / "repro").is_dir():
+            return candidate
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def _render_human(report: LintReport, verbose: bool) -> str:
+    lines: List[str] = [f.render() for f in report.findings]
+    if verbose:
+        lines += [f"{f.render()}  [baselined]" for f in report.baselined]
+        lines += [f"{f.render()}  [suppressed inline]"
+                  for f in report.suppressed]
+    for entry in report.stale_baseline:
+        lines.append(f"stale baseline entry: {entry['rule']} {entry['path']}: "
+                     f"{entry['message']}")
+    for err in report.parse_errors:
+        lines.append(f"parse error: {err}")
+    lines.append(
+        f"reprocheck: {report.files_checked} files, "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed inline")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="reprocheck: numerics-aware static analysis for this repo")
+    parser.add_argument("targets", nargs="*", default=list(DEFAULT_TARGETS),
+                        help="directories/files to lint, relative to the "
+                             f"repo root (default: {' '.join(DEFAULT_TARGETS)})")
+    parser.add_argument("--root", type=pathlib.Path, default=None,
+                        help="repo root (default: auto-detected)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", dest="fmt")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also print baselined and inline-suppressed "
+                             "findings")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    root = (args.root or find_repo_root()).resolve()
+    if not (root / "src").is_dir():
+        print(f"error: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        try:
+            for rid in rule_ids:
+                from .core import get_rule
+                get_rule(rid)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE)
+    report = run_lint(
+        root, targets=tuple(args.targets), rules=rule_ids,
+        baseline_path=None if (args.no_baseline or args.write_baseline)
+        else baseline_path)
+
+    if args.write_baseline:
+        save_baseline(baseline_path, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    if args.fmt == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(_render_human(report, args.verbose))
+    if report.parse_errors:
+        return 2
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,300 @@
+"""Framework core for ``reprocheck`` (:mod:`repro.lint`).
+
+The linter is deliberately small: a :class:`Rule` is a named object with
+a :meth:`Rule.check` method that walks one parsed file
+(:class:`FileContext`) and yields :class:`Finding`\\ s.  Rules register
+themselves in a module-level registry via :func:`register`;
+:func:`run_lint` walks a file tree, parses each Python file once, runs
+every (selected) rule over it, and filters the results through two
+suppression layers:
+
+* **inline** — a ``# reprocheck: disable=ND001,DT001`` (or bare
+  ``# reprocheck: disable``) comment on the flagged line suppresses the
+  named rules (or all rules) for that line only;
+* **baseline** — a committed JSON file of known findings (matched on
+  ``(rule, path, message)``, so unrelated edits moving line numbers do
+  not invalidate it).  The baseline exists to land the linter on a repo
+  with pre-existing findings; the intended steady state is an empty (or
+  near-empty) baseline with true positives fixed at the source.
+
+Nothing here knows about the specific rules; they live in
+:mod:`repro.lint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import pathlib
+import re
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding", "Rule", "FileContext", "LintReport",
+    "register", "all_rules", "get_rule",
+    "run_lint", "lint_file", "lint_source", "iter_python_files",
+    "load_baseline", "save_baseline", "DEFAULT_TARGETS",
+]
+
+#: Directories (relative to the repo root) the linter walks by default.
+DEFAULT_TARGETS = ("src", "tools", "examples", "tests")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprocheck:\s*disable(?:=(?P<rules>[A-Z0-9,\s]+))?")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str          # repo-root-relative, forward slashes
+    line: int          # 1-based
+    col: int           # 0-based
+    message: str
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching (line-number independent)."""
+        return (self.rule, self.path, self.message)
+
+    def to_json(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """One parsed source file handed to every rule.
+
+    ``role`` is the top-level directory the file came from (``"src"``,
+    ``"tests"``, ``"tools"``, ``"examples"``) — rules use it to scope
+    themselves; files outside the known targets get role ``"other"``.
+    """
+
+    def __init__(self, path: str, text: str,
+                 tree: Optional[ast.AST] = None) -> None:
+        self.path = path.replace("\\", "/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = tree if tree is not None else ast.parse(text)
+        first = self.path.split("/", 1)[0]
+        self.role = first if first in DEFAULT_TARGETS else "other"
+
+    def in_package(self, *parts: str) -> bool:
+        """Whether the file lives under ``src/repro/<parts...>/``."""
+        prefix = "/".join(("src", "repro") + parts)
+        return self.path == prefix + ".py" or self.path.startswith(prefix + "/")
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for lint rules.  Subclasses set the class attributes
+    and implement :meth:`check`."""
+
+    id: str = "XX000"
+    title: str = "abstract rule"
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(rule=self.id, path=ctx.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message)
+
+
+_REGISTRY: "Dict[str, Rule]" = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_cls()
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}")
+
+
+# ------------------------------------------------------------- suppression
+def _suppressed_rules_by_line(text: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule ids (``None`` = all rules).
+
+    Comments are found with :mod:`tokenize` so string literals containing
+    the marker do not suppress anything.
+    """
+    out: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(iter(text.splitlines(True)).__next__)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            names = match.group("rules")
+            if names is None:
+                out[tok.start[0]] = None
+            else:
+                ids = {n.strip() for n in names.split(",") if n.strip()}
+                existing = out.get(tok.start[0], set())
+                out[tok.start[0]] = None if existing is None else existing | ids
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _is_suppressed(finding: Finding,
+                   table: Dict[int, Optional[Set[str]]]) -> bool:
+    if finding.line not in table:
+        return False
+    rules = table[finding.line]
+    return rules is None or finding.rule in rules
+
+
+# ---------------------------------------------------------------- baseline
+def load_baseline(path: pathlib.Path) -> List[Dict[str, str]]:
+    """Load the committed baseline; returns ``[]`` if the file is absent."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return []
+    entries = payload.get("findings", []) if isinstance(payload, dict) else payload
+    return [e for e in entries
+            if isinstance(e, dict) and {"rule", "path", "message"} <= set(e)]
+
+
+def save_baseline(path: pathlib.Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "comment": ("reprocheck baseline: known findings tolerated by CI. "
+                    "Fix at the source and shrink this file rather than "
+                    "growing it."),
+        "findings": [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in sorted(findings, key=lambda f: (f.path, f.rule, f.line))
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+# ------------------------------------------------------------------ running
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]                 # actionable (not suppressed)
+    suppressed: List[Finding]               # silenced by inline comments
+    baselined: List[Finding]                # silenced by the baseline file
+    stale_baseline: List[Dict[str, str]]    # baseline entries that no longer fire
+    files_checked: int = 0
+    parse_errors: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+            "baselined": [f.to_json() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+            "files_checked": self.files_checked,
+            "parse_errors": list(self.parse_errors),
+        }
+
+
+def lint_source(text: str, path: str = "<string>",
+                rules: Optional[Sequence[Rule]] = None
+                ) -> Tuple[List[Finding], List[Finding]]:
+    """Lint a source string; returns ``(findings, suppressed)``.
+
+    The unit-test entry point: no filesystem, no baseline.
+    """
+    ctx = FileContext(path, text)
+    table = _suppressed_rules_by_line(text)
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in active:
+        for finding in rule.check(ctx):
+            (suppressed if _is_suppressed(finding, table) else findings) \
+                .append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, suppressed
+
+
+def lint_file(root: pathlib.Path, path: pathlib.Path,
+              rules: Optional[Sequence[Rule]] = None
+              ) -> Tuple[List[Finding], List[Finding]]:
+    rel = path.relative_to(root).as_posix()
+    text = path.read_text(encoding="utf-8")
+    return lint_source(text, rel, rules)
+
+
+def iter_python_files(root: pathlib.Path,
+                      targets: Sequence[str] = DEFAULT_TARGETS
+                      ) -> Iterator[pathlib.Path]:
+    for target in targets:
+        base = root / target
+        if base.is_file() and base.suffix == ".py":
+            yield base
+            continue
+        if not base.is_dir():
+            continue
+        yield from sorted(base.rglob("*.py"))
+
+
+def run_lint(root: pathlib.Path,
+             targets: Sequence[str] = DEFAULT_TARGETS,
+             rules: Optional[Iterable[str]] = None,
+             baseline_path: Optional[pathlib.Path] = None) -> LintReport:
+    """Lint every Python file under ``root``'s target directories."""
+    selected = ([get_rule(r) for r in rules] if rules is not None
+                else all_rules())
+    baseline = load_baseline(baseline_path) if baseline_path else []
+    baseline_keys = {(e["rule"], e["path"], e["message"]) for e in baseline}
+    seen_keys: Set[Tuple[str, str, str]] = set()
+
+    report = LintReport(findings=[], suppressed=[], baselined=[],
+                        stale_baseline=[])
+    for path in iter_python_files(root, targets):
+        try:
+            findings, suppressed = lint_file(root, path, selected)
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{path}: {exc}")
+            continue
+        report.files_checked += 1
+        report.suppressed.extend(suppressed)
+        for finding in findings:
+            if finding.baseline_key in baseline_keys:
+                seen_keys.add(finding.baseline_key)
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    report.stale_baseline = [e for e in baseline
+                             if (e["rule"], e["path"], e["message"])
+                             not in seen_keys]
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

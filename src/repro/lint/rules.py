@@ -1,0 +1,450 @@
+"""The repo-specific ``reprocheck`` rules.
+
+Each rule guards one determinism/correctness invariant this reproduction
+depends on (see ``docs/static-analysis.md`` for the full write-up):
+
+========  ==============================================================
+ND001     unseeded RNG construction outside ``repro.rng`` helpers
+DT001     missing explicit ``dtype=`` in ``formats``/``nn`` hot paths
+AG001     ``Tensor.data`` / ``.grad`` mutation outside autodiff internals
+PK001     non-module-level callable handed to the parallel sweep runner
+API001    ``__all__`` vs actual public exports drift
+CB001     ``Quantizer`` subclass bypassing the codebook fast path
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .core import FileContext, Finding, Rule, register
+
+__all__ = [
+    "UnseededRandomRule", "DtypeDriftRule", "AutogradMutationRule",
+    "PicklabilityRule", "PublicApiDriftRule", "CodebookBypassRule",
+]
+
+
+def _attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted name of an attribute chain (``np.random.rand``) or ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _module_aliases(tree: ast.AST, module: str) -> Set[str]:
+    """Names the given module is imported as (``numpy`` -> {``np``})."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == module:
+                    aliases.add(item.asname or item.name.split(".")[0])
+    return aliases
+
+
+def _from_imports(tree: ast.AST, module: str) -> Dict[str, str]:
+    """Local name -> original name for ``from <module> import ...``."""
+    out: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module \
+                and node.level == 0:
+            for item in node.names:
+                out[item.asname or item.name] = item.name
+    return out
+
+
+# ---------------------------------------------------------------------- ND001
+#: numpy legacy global-state RNG entry points (always nondeterministic or
+#: process-global, both of which break cell-cache byte-identity).
+_NP_LEGACY = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "seed", "get_state", "set_state",
+}
+_STDLIB_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "seed", "betavariate",
+    "expovariate",
+}
+
+
+@register
+class UnseededRandomRule(Rule):
+    """ND001: RNG construction that is unseeded or uses process-global state.
+
+    Cached sweep cells (``repro.experiments.runner``) assume every cell is
+    a deterministic function of its descriptor; one unseeded generator
+    breaks byte-identical re-runs.  Use ``repro.rng.default_rng`` /
+    ``repro.rng.fresh_rng(seed)`` (or pass a ``Generator`` down).
+    """
+
+    id = "ND001"
+    title = "unseeded or global-state RNG"
+    rationale = ("breaks cell-cache byte-identity and run-to-run "
+                 "determinism; route through repro.rng instead")
+
+    #: the sanctioned seeded-RNG helper modules
+    _EXEMPT = (("rng",), ("nn", "init"))
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if any(ctx.in_package(*parts) for parts in self._EXEMPT):
+            return
+        numpy_names = _module_aliases(ctx.tree, "numpy")
+        random_names = _module_aliases(ctx.tree, "random")
+        np_random_from = _from_imports(ctx.tree, "numpy.random")
+        random_from = _from_imports(ctx.tree, "random")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            # numpy.random.* via attribute access
+            if len(parts) >= 3 and parts[0] in numpy_names \
+                    and parts[1] == "random":
+                fn = parts[2]
+            elif len(parts) == 2 and parts[0] in np_random_from \
+                    and np_random_from[parts[0]] == "random":
+                fn = parts[1]  # from numpy import random; random.rand(...)
+            elif len(parts) == 1 and parts[0] in np_random_from:
+                fn = np_random_from[parts[0]]  # from numpy.random import x
+            elif len(parts) >= 2 and parts[0] in random_names:
+                if parts[1] in _STDLIB_RANDOM_FNS:
+                    yield self.finding(
+                        ctx, node,
+                        f"stdlib 'random.{parts[1]}' uses hidden global "
+                        "state; use repro.rng helpers with an explicit seed")
+                continue
+            elif len(parts) == 1 and parts[0] in random_from \
+                    and random_from[parts[0]] in _STDLIB_RANDOM_FNS:
+                yield self.finding(
+                    ctx, node,
+                    f"stdlib 'random.{random_from[parts[0]]}' uses hidden "
+                    "global state; use repro.rng helpers with an explicit seed")
+                continue
+            else:
+                continue
+            if fn == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx, node,
+                        "np.random.default_rng() without a seed is "
+                        "nondeterministic; use repro.rng.default_rng(rng) "
+                        "or fresh_rng(seed)")
+            elif fn in _NP_LEGACY:
+                yield self.finding(
+                    ctx, node,
+                    f"legacy 'np.random.{fn}' uses process-global state; "
+                    "use an explicit np.random.Generator (repro.rng)")
+
+
+# ---------------------------------------------------------------------- DT001
+_CTOR_DTYPE_POS = {
+    "zeros": 1, "ones": 1, "empty": 1,
+    "full": 2, "arange": 3, "eye": 3, "linspace": 5,
+}
+
+
+@register
+class DtypeDriftRule(Rule):
+    """DT001: numpy array construction without an explicit ``dtype=``.
+
+    In the number-format kernels and the NN substrate, implicit float64
+    (or platform-dependent integer) defaults leak into comparisons that
+    the paper's tables treat as format-quality differences.  Hot-path
+    array constructors must pin their dtype.
+    """
+
+    id = "DT001"
+    title = "array construction without explicit dtype"
+    rationale = ("implicit float64<->float32 promotion skews RMS/BLEU/WER "
+                 "comparisons between formats")
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        return ctx.in_package("formats") or ctx.in_package("nn")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        numpy_names = _module_aliases(ctx.tree, "numpy")
+        if not numpy_names:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            if len(parts) != 2 or parts[0] not in numpy_names:
+                continue
+            ctor = parts[1]
+            if ctor not in _CTOR_DTYPE_POS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) > _CTOR_DTYPE_POS[ctor]:
+                continue  # dtype passed positionally
+            yield self.finding(
+                ctx, node,
+                f"np.{ctor}(...) without an explicit dtype in a "
+                "formats/nn hot path; pin the dtype to prevent implicit "
+                "promotion")
+
+
+# ---------------------------------------------------------------------- AG001
+@register
+class AutogradMutationRule(Rule):
+    """AG001: in-place mutation of ``Tensor.data`` / ``Tensor.grad``.
+
+    Writing through ``.data``/``.grad`` outside the autodiff internals
+    silently invalidates gradients of any live graph (QAR depends on
+    them).  Whitelisted modules own those writes by design: the tensor
+    itself, the optimizers, state loading, PTQ, and pruning.
+    """
+
+    id = "AG001"
+    title = "Tensor.data/.grad mutated outside autodiff internals"
+    rationale = "silently breaks reverse-mode gradients used by QAR"
+
+    _WHITELIST = (
+        ("nn", "tensor"), ("nn", "module"), ("nn", "optim"),
+        ("nn", "checkpoint"), ("nn", "quantize"), ("nn", "prune"),
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.role == "tests":  # tests poke internals deliberately
+            return
+        if any(ctx.in_package(*parts) for parts in self._WHITELIST):
+            return
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = self._mutated_attr(target)
+                if attr is not None:
+                    yield self.finding(
+                        ctx, target,
+                        f"assignment through '.{attr}' mutates autodiff "
+                        "state; use the nn APIs (optimizer/quantize/"
+                        "checkpoint) or detach first")
+
+    @staticmethod
+    def _mutated_attr(target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Subscript):
+            target = target.value  # x.data[...] = ...
+        if isinstance(target, ast.Attribute) and target.attr in ("data", "grad"):
+            return target.attr
+        return None
+
+
+# ---------------------------------------------------------------------- PK001
+@register
+class PicklabilityRule(Rule):
+    """PK001: non-module-level callable handed to the parallel runner.
+
+    ``run_cells(fn, ..., jobs=N)`` pickles ``fn`` into worker processes;
+    lambdas, ``functools.partial`` objects over locals, and nested
+    functions fail (or worse, capture unhashed state the cell cache
+    cannot see).
+    """
+
+    id = "PK001"
+    title = "unpicklable cell function passed to run_cells"
+    rationale = "fails under --jobs; captured state bypasses the cell cache"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module_names = self._module_level_names(ctx.tree)
+        nested_defs = self._nested_def_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None or chain.split(".")[-1] != "run_cells":
+                continue
+            if not node.args:
+                continue
+            fn = node.args[0]
+            if isinstance(fn, ast.Lambda):
+                yield self.finding(
+                    ctx, fn, "lambda passed to run_cells is unpicklable "
+                    "under --jobs; use a module-level function")
+            elif isinstance(fn, ast.Call):
+                yield self.finding(
+                    ctx, fn, "callable built at the call site passed to "
+                    "run_cells; bind arguments into the cell descriptor "
+                    "instead")
+            elif isinstance(fn, ast.Name) and fn.id in nested_defs \
+                    and fn.id not in module_names:
+                yield self.finding(
+                    ctx, fn, f"nested function '{fn.id}' passed to "
+                    "run_cells is unpicklable under --jobs; move it to "
+                    "module level")
+
+    @staticmethod
+    def _module_level_names(tree: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.iter_child_nodes(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for item in node.names:
+                    names.add((item.asname or item.name).split(".")[0])
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _nested_def_names(tree: ast.AST) -> Set[str]:
+        nested: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(node):
+                    if child is not node and isinstance(
+                            child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        nested.add(child.name)
+        return nested
+
+
+# --------------------------------------------------------------------- API001
+@register
+class PublicApiDriftRule(Rule):
+    """API001: ``__all__`` out of sync with the module's actual exports.
+
+    Both directions are drift: an ``__all__`` name that no longer exists
+    breaks ``import *`` and the API tests; a public top-level def/class
+    missing from ``__all__`` ships an undocumented export.
+    """
+
+    id = "API001"
+    title = "__all__ vs public exports drift"
+    rationale = "the public surface and __all__ must agree"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.role != "src":
+            return
+        exported = self._declared_all(ctx.tree)
+        if exported is None:
+            return
+        all_node, names = exported
+        bound = self._bound_names(ctx.tree)
+        has_star = any(isinstance(n, ast.ImportFrom)
+                       and any(a.name == "*" for a in n.names)
+                       for n in ast.iter_child_nodes(ctx.tree))
+        if not has_star:
+            for name in names:
+                if name not in bound:
+                    yield self.finding(
+                        ctx, all_node,
+                        f"__all__ lists {name!r} which is not defined or "
+                        "imported in the module")
+        defs = self._public_defs(ctx.tree)
+        for name, node in defs.items():
+            if name not in names:
+                yield self.finding(
+                    ctx, node,
+                    f"public symbol {name!r} is missing from __all__ "
+                    "(add it or prefix with an underscore)")
+
+    @staticmethod
+    def _declared_all(tree: ast.AST
+                      ) -> Optional[Tuple[ast.AST, List[str]]]:
+        for node in ast.iter_child_nodes(tree):
+            if isinstance(node, ast.Assign) \
+                    and any(isinstance(t, ast.Name) and t.id == "__all__"
+                            for t in node.targets) \
+                    and isinstance(node.value, (ast.List, ast.Tuple)):
+                names = [elt.value for elt in node.value.elts
+                         if isinstance(elt, ast.Constant)
+                         and isinstance(elt.value, str)]
+                return node, names
+        return None
+
+    @staticmethod
+    def _bound_names(tree: ast.AST) -> Set[str]:
+        bound: Set[str] = set()
+        for node in ast.iter_child_nodes(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for item in node.names:
+                    bound.add((item.asname or item.name).split(".")[0])
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name):
+                                bound.add(elt.id)
+            elif isinstance(node, (ast.If, ast.Try)):
+                bound |= PublicApiDriftRule._bound_names(node)
+        return bound
+
+    @staticmethod
+    def _public_defs(tree: ast.AST) -> Dict[str, ast.AST]:
+        return {
+            node.name: node for node in ast.iter_child_nodes(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef))
+            and not node.name.startswith("_")
+        }
+
+
+# --------------------------------------------------------------------- CB001
+@register
+class CodebookBypassRule(Rule):
+    """CB001: a ``Quantizer`` subclass overriding the public quantize entry.
+
+    The public ``quantize`` / ``quantize_with_params`` on the base class
+    are the *only* places that consult the codebook fast path
+    (:mod:`repro.formats.kernels`); a subclass overriding them silently
+    forfeits the fast path and the bit-exactness contract.  Implement
+    ``_quantize_analytic`` / ``_quantize_with_params_analytic`` (and
+    ``codepoints`` / ``_affine_grid``) instead; gate ineligible configs
+    by returning ``None`` from ``_codebook_key``.
+    """
+
+    id = "CB001"
+    title = "Quantizer subclass bypasses the codebook fast path"
+    rationale = ("overriding quantize()/quantize_with_params() skips "
+                 "repro.formats.kernels and its bit-exactness contract")
+
+    _BASES = {"Quantizer", "AdaptiveQuantizer"}
+    _ENTRY_POINTS = {"quantize", "quantize_with_params"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.role == "tests" or ctx.in_package("formats", "base"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = {b.split(".")[-1]
+                          for b in map(_attr_chain, node.bases) if b}
+            if not base_names & self._BASES:
+                continue
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                        and item.name in self._ENTRY_POINTS:
+                    yield self.finding(
+                        ctx, item,
+                        f"{node.name}.{item.name} overrides the codebook "
+                        "fast-path entry point; implement the _analytic "
+                        "hooks (and _codebook_key gating) instead")

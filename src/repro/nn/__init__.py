@@ -6,7 +6,7 @@ optimizers, and the fake-quantization machinery for post-training
 quantization (PTQ) and quantization-aware retraining (QAR).
 """
 
-from . import functional, init, layers, optim
+from . import functional, init, layers, optim, sanitize
 from .layers import (LSTM, AdditiveAttention, BatchNorm2d, Conv2d, Dropout,
                      Embedding, GELU, LayerNorm, Linear, LSTMCell,
                      MultiHeadAttention, ReLU, Sigmoid, Tanh)
@@ -16,6 +16,8 @@ from .tensor import Tensor, is_grad_enabled, no_grad
 from . import models, prune, quantize, schedules
 from .prune import magnitude_prune, sparsity_report
 from .trainer import Trainer, TrainHistory
+from .sanitize import (NumericFault, NumericFinding, SanitizeReport,
+                       Sanitizer)
 from .quantize import (ActFakeQuant, QuantSpec, WeightFakeQuant,
                        attach_act_quantizers, attach_weight_quantizers,
                        calibrate, detach_quantizers,
@@ -24,11 +26,14 @@ from .quantize import (ActFakeQuant, QuantSpec, WeightFakeQuant,
 __all__ = [
     "ActFakeQuant", "Adam", "AdditiveAttention", "BatchNorm2d", "Conv2d",
     "Dropout", "Embedding", "GELU", "LSTM", "LSTMCell", "LayerNorm",
-    "Linear", "Module", "ModuleList", "MultiHeadAttention", "Parameter",
-    "QuantSpec", "ReLU", "SGD", "Sequential", "Sigmoid", "Tanh", "Tensor",
+    "Linear", "Module", "ModuleList", "MultiHeadAttention", "NumericFault",
+    "NumericFinding", "Parameter",
+    "QuantSpec", "ReLU", "SGD", "SanitizeReport", "Sanitizer", "Sequential",
+    "Sigmoid", "Tanh", "Tensor",
     "WeightFakeQuant", "attach_act_quantizers", "attach_weight_quantizers",
     "TrainHistory", "Trainer", "calibrate", "clip_grad_norm",
     "detach_quantizers", "functional", "init", "is_grad_enabled", "layers",
     "magnitude_prune", "models", "no_grad", "optim", "prune", "quantize",
+    "sanitize",
     "quantize_weights_inplace", "schedules", "sparsity_report",
 ]

@@ -11,6 +11,8 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..rng import default_rng
+from . import sanitize as _sanitize
 from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
@@ -25,8 +27,12 @@ def _op(data: np.ndarray, parents: Tuple[Tensor, ...],
     """Build an op-output tensor, skipping the graph when not needed."""
     if not is_grad_enabled() or not any(
             p.requires_grad or p._parents for p in parents):
-        return Tensor(data)
-    return Tensor(data, parents=parents, backward=backward)
+        out = Tensor(data)
+    else:
+        out = Tensor(data, parents=parents, backward=backward)
+    if _sanitize._STATE is not None:
+        _sanitize.on_op(out, out.data, parents, backward)
+    return out
 
 
 # --------------------------------------------------------------- activations
@@ -133,8 +139,7 @@ def dropout(x: Tensor, p: float, training: bool,
             rng: Optional[np.random.Generator] = None) -> Tensor:
     if not training or p <= 0.0:
         return x
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = default_rng(rng)
     keep = (rng.random(x.shape) >= p).astype(np.float32) / np.float32(1.0 - p)
 
     def backward(grad: np.ndarray) -> None:
@@ -271,6 +276,8 @@ def fake_quantize(x: Tensor, quantize_fn: Callable[[np.ndarray], np.ndarray],
     the loss sees quantized values — the paper's QAR procedure.
     """
     out = np.asarray(quantize_fn(x.data), dtype=np.float32)
+    if _sanitize._STATE is not None:
+        _sanitize.on_quantize(x.data, out)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad if ste_mask is None else grad * ste_mask)

@@ -6,25 +6,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..rng import GLOBAL_SEED, default_rng
+
 __all__ = ["GLOBAL_SEED", "apply_row_gains", "default_rng",
            "kaiming_normal", "kaiming_uniform", "normal", "uniform", "xavier_normal", "xavier_uniform",
            "zeros", "ones"]
-
-#: Seed used when a layer is built without an explicit generator, keeping
-#: every experiment reproducible end to end.
-GLOBAL_SEED = 0x5EED
-
-_shared_rng: Optional[np.random.Generator] = None
-
-
-def default_rng(rng: Optional[np.random.Generator] = None) -> np.random.Generator:
-    """Return ``rng`` or the process-wide deterministic generator."""
-    global _shared_rng
-    if rng is not None:
-        return rng
-    if _shared_rng is None:
-        _shared_rng = np.random.default_rng(GLOBAL_SEED)
-    return _shared_rng
 
 
 def zeros(shape: Sequence[int]) -> np.ndarray:

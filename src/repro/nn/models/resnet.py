@@ -85,9 +85,10 @@ class ResNet(Module):
         self.blocks = ModuleList(blocks)
         self.head = Linear(in_ch, cfg.num_classes, rng=rng)
         from .. import init as _init
+        # init-time rescale, before any autodiff graph exists
         for name, module in self.named_modules():
             if isinstance(module, Conv2d):
-                module.weight.data = _init.apply_row_gains(
+                module.weight.data = _init.apply_row_gains(  # reprocheck: disable=AG001
                     module.weight.data, cfg.weight_gain_spread, rng)
 
     def forward(self, images: np.ndarray) -> Tensor:

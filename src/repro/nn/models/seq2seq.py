@@ -60,15 +60,16 @@ class Seq2Seq(Module):
         self.generator = Linear(2 * cfg.hidden, cfg.vocab, rng=rng)
         self.dropout = Dropout(cfg.dropout, rng=rng)
         from .. import init as _init
+        # init-time rescale, before any autodiff graph exists
         for param in (self.embed.weight, self.generator.weight):
-            param.data = _init.apply_row_gains(
+            param.data = _init.apply_row_gains(  # reprocheck: disable=AG001
                 param.data, cfg.embedding_gain_spread, rng)
         for name, module in self.named_modules():
             if isinstance(module, (Linear, LSTMCell)) \
                     and module is not self.generator:
                 for pname, param in module._parameters.items():
                     if pname.startswith("weight"):
-                        param.data = _init.apply_row_gains(
+                        param.data = _init.apply_row_gains(  # reprocheck: disable=AG001
                             param.data, cfg.weight_gain_spread, rng)
 
     # ------------------------------------------------------------- encoder

@@ -64,8 +64,9 @@ class _PositionalEncoding(Module):
 
     def __init__(self, d_model: int, max_len: int) -> None:
         super().__init__()
-        position = np.arange(max_len)[:, None]
-        div = np.exp(np.arange(0, d_model, 2) * (-np.log(10000.0) / d_model))
+        position = np.arange(max_len, dtype=np.float64)[:, None]
+        div = np.exp(np.arange(0, d_model, 2, dtype=np.float64)
+                     * (-np.log(10000.0) / d_model))
         table = np.zeros((max_len, d_model), dtype=np.float32)
         table[:, 0::2] = np.sin(position * div)
         table[:, 1::2] = np.cos(position * div)
@@ -144,10 +145,11 @@ class Transformer(Module):
         for param, spread in ((self.src_embed.weight, cfg.embedding_gain_spread),
                               (self.tgt_embed.weight, cfg.embedding_gain_spread),
                               (self.generator.weight, cfg.generator_gain_spread)):
-            param.data = _init.apply_row_gains(param.data, spread, rng)
+            # init-time rescale, before any autodiff graph exists
+            param.data = _init.apply_row_gains(param.data, spread, rng)  # reprocheck: disable=AG001
         for name, module in self.named_modules():
             if isinstance(module, Linear) and module is not self.generator:
-                module.weight.data = _init.apply_row_gains(
+                module.weight.data = _init.apply_row_gains(  # reprocheck: disable=AG001
                     module.weight.data, cfg.weight_gain_spread, rng)
 
     # ------------------------------------------------------------- encoding

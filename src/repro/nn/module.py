@@ -15,10 +15,11 @@ module carries two optional fake-quantization hooks used by
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from . import sanitize as _sanitize
 from .tensor import Tensor
 
 __all__ = ["Parameter", "Module", "ModuleList", "Sequential"]
@@ -150,7 +151,14 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        state = _sanitize._STATE
+        if state is None:
+            return self.forward(*args, **kwargs)
+        state.push_module(self)
+        try:
+            return self.forward(*args, **kwargs)
+        finally:
+            state.pop_module()
 
 
 class ModuleList(Module):

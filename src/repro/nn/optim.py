@@ -8,7 +8,7 @@ import numpy as np
 
 from .module import Parameter
 
-__all__ = ["SGD", "Adam", "clip_grad_norm"]
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

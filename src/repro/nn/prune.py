@@ -11,7 +11,7 @@ IEEE-like float grids where only the subnormal floor guarantees a zero.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Type
+from typing import Dict, Tuple, Type
 
 import numpy as np
 

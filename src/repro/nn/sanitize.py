@@ -1,0 +1,361 @@
+"""Runtime numeric sanitizer: NaN/Inf/clamp/underflow traps with provenance.
+
+Numeric faults in a quantized network usually surface far from their
+origin — a NaN born in one layer's backward pass trips an assertion three
+modules later, and an overflowing activation quantizer silently clamps a
+quarter of a tensor to ``value_max`` and just degrades BLEU.  This module
+instruments the autodiff core (op outputs, accumulated gradients) and the
+quantize/dequantize boundary (``repro.nn.functional.fake_quantize``) so
+the *first* bad value is reported with op-level provenance: the layer
+name, the op that produced it, and input statistics.
+
+Checks
+------
+* ``forward-nan`` / ``forward-overflow`` — an op output contains NaN (or
+  a fresh Inf) its inputs did not;
+* ``backward-nan`` / ``backward-overflow`` — an accumulated gradient went
+  non-finite (checked just before it propagates further, and on leaf
+  gradients after ``backward()`` finishes);
+* ``quantize-nan`` — a quantizer manufactured NaN from finite input;
+* ``clamp-storm`` — more than ``clamp_storm`` of a tensor's elements were
+  clamped to the format's extreme codepoint (saturated ``value_max``);
+* ``underflow-flood`` — more than ``underflow_flood`` of the *nonzero*
+  input elements quantized to exactly zero.
+
+Usage
+-----
+Opt in with the context manager (findings are collected on the report
+object by default)::
+
+    from repro import nn
+    with nn.Sanitizer(model) as report:
+        loss = step(model)
+        loss.backward()
+    for f in report.findings:
+        print(f.render())
+
+or process-wide via the environment: ``REPRO_SANITIZE=1`` activates the
+sanitizer at import time with ``action="raise"`` (the first fault raises
+:class:`NumericFault`); set ``REPRO_SANITIZE_ACTION=collect`` to log into
+:func:`global_report` instead.  When no sanitizer is active the hooks are
+a single ``is None`` check per op — effectively free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "NumericFinding", "NumericFault", "SanitizeReport", "Sanitizer",
+    "is_active", "global_report",
+    "on_op", "on_grad", "on_quantize",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class NumericFinding:
+    """One detected numeric fault, with provenance."""
+
+    kind: str                  # forward-nan, backward-nan, clamp-storm, ...
+    op: str                    # producing op, e.g. "matmul", "fake_quantize"
+    layer: str                 # innermost module, e.g. "encoder.0.linear1"
+    message: str
+    stats: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def render(self) -> str:
+        return f"[{self.kind}] layer={self.layer} op={self.op}: {self.message}"
+
+
+class NumericFault(FloatingPointError):
+    """Raised in ``action="raise"`` mode on the first detected fault."""
+
+    def __init__(self, finding: NumericFinding) -> None:
+        super().__init__(finding.render())
+        self.finding = finding
+
+
+@dataclasses.dataclass
+class SanitizeReport:
+    """Findings collected while a :class:`Sanitizer` was active."""
+
+    findings: List[NumericFinding] = dataclasses.field(default_factory=list)
+    ops_checked: int = 0
+    truncated: bool = False
+
+    def by_kind(self, kind: str) -> List[NumericFinding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def render(self) -> str:
+        if not self.findings:
+            return f"sanitizer: clean ({self.ops_checked} ops checked)"
+        lines = [f.render() for f in self.findings]
+        if self.truncated:
+            lines.append("... (further findings dropped)")
+        lines.append(f"sanitizer: {len(self.findings)} finding(s) in "
+                     f"{self.ops_checked} ops")
+        return "\n".join(lines)
+
+
+class _State:
+    """Live sanitizer configuration + collection state."""
+
+    def __init__(self, action: str, clamp_storm: float,
+                 underflow_flood: float, ignore_ops: Tuple[str, ...],
+                 max_findings: int) -> None:
+        self.action = action
+        self.clamp_storm = clamp_storm
+        self.underflow_flood = underflow_flood
+        self.ignore_ops = frozenset(ignore_ops)
+        self.max_findings = max_findings
+        self.report = SanitizeReport()
+        self.names: Dict[int, str] = {}
+        self.module_stack: List[str] = []
+
+    # ----------------------------------------------------------- provenance
+    def register_model(self, model: Any) -> None:
+        for name, module in model.named_modules():
+            self.names[id(module)] = name or type(module).__name__
+
+    def push_module(self, module: Any) -> None:
+        self.module_stack.append(
+            self.names.get(id(module)) or type(module).__name__)
+
+    def pop_module(self) -> None:
+        self.module_stack.pop()
+
+    def current_layer(self) -> str:
+        return self.module_stack[-1] if self.module_stack else "<no module>"
+
+    # ------------------------------------------------------------ reporting
+    def emit(self, kind: str, op: str, layer: str, message: str,
+             stats: Dict[str, Any]) -> None:
+        finding = NumericFinding(kind=kind, op=op, layer=layer,
+                                 message=message, stats=stats)
+        if self.action == "raise":
+            raise NumericFault(finding)
+        if len(self.report.findings) < self.max_findings:
+            self.report.findings.append(finding)
+        else:
+            self.report.truncated = True
+
+
+#: the active sanitizer state, or None (hooks check this and bail).
+_STATE: Optional[_State] = None
+
+
+def is_active() -> bool:
+    """Whether a sanitizer (context manager or env knob) is live."""
+    return _STATE is not None
+
+
+def global_report() -> Optional[SanitizeReport]:
+    """The active sanitizer's report (e.g. under ``REPRO_SANITIZE=1``)."""
+    return _STATE.report if _STATE is not None else None
+
+
+class Sanitizer:
+    """Context manager activating the numeric sanitizer.
+
+    Parameters
+    ----------
+    model:
+        Optional root :class:`~repro.nn.module.Module`; when given,
+        findings carry qualified layer names (``encoder.0.linear1``)
+        instead of bare class names.
+    action:
+        ``"collect"`` (default) appends findings to the yielded report;
+        ``"raise"`` raises :class:`NumericFault` on the first fault.
+    clamp_storm:
+        Fraction of a quantized tensor's elements clamped to the extreme
+        codepoint above which a ``clamp-storm`` finding fires.
+    underflow_flood:
+        Fraction of *nonzero* inputs quantizing to exactly zero above
+        which an ``underflow-flood`` finding fires.
+    ignore_ops:
+        Op names exempt from the fresh-Inf forward check.  The default
+        exempts ``masked_fill``, which introduces -inf by design
+        (attention masking) — softmax consumes it finitely.
+    """
+
+    def __init__(self, model: Any = None, action: str = "collect",
+                 clamp_storm: float = 0.25, underflow_flood: float = 0.5,
+                 ignore_ops: Tuple[str, ...] = ("masked_fill",),
+                 max_findings: int = 100) -> None:
+        if action not in ("collect", "raise"):
+            raise ValueError(f"unknown action {action!r}")
+        if not 0.0 < clamp_storm <= 1.0 or not 0.0 < underflow_flood <= 1.0:
+            raise ValueError("clamp_storm/underflow_flood must be in (0, 1]")
+        self._state = _State(action, clamp_storm, underflow_flood,
+                             tuple(ignore_ops), max_findings)
+        if model is not None:
+            self._state.register_model(model)
+        self._previous: Optional[_State] = None
+
+    @property
+    def report(self) -> SanitizeReport:
+        return self._state.report
+
+    def register_model(self, model: Any) -> None:
+        """Add layer names for provenance after construction."""
+        self._state.register_model(model)
+
+    def __enter__(self) -> SanitizeReport:
+        global _STATE
+        self._previous = _STATE
+        _STATE = self._state
+        return self._state.report
+
+    def __exit__(self, *exc: Any) -> None:
+        global _STATE
+        _STATE = self._previous
+
+
+# --------------------------------------------------------------- inspection
+def _extremes_finite(a: np.ndarray) -> bool:
+    """Cheap two-reduction finiteness screen (NaN/Inf both poison min+max)."""
+    if a.size == 0:
+        return True
+    with np.errstate(all="ignore"):
+        s = float(a.min()) + float(a.max())
+    return bool(np.isfinite(s))
+
+
+def _stats(a: np.ndarray) -> Dict[str, Any]:
+    finite = a[np.isfinite(a)]
+    return {
+        "shape": tuple(a.shape),
+        "nan": int(np.isnan(a).sum()),
+        "inf": int(np.isinf(a).sum()),
+        "finite_min": float(finite.min()) if finite.size else None,
+        "finite_max": float(finite.max()) if finite.size else None,
+    }
+
+
+def _op_name(backward: Any) -> str:
+    """Derive the op name from its backward closure's qualname.
+
+    Every autodiff op builds a ``backward`` closure inside the op
+    function, so the enclosing function name *is* the op name
+    (``Tensor.__mul__`` -> ``mul``, ``conv2d`` -> ``conv2d``).
+    """
+    qualname = getattr(backward, "__qualname__", "") or "<op>"
+    enclosing = qualname.split(".<locals>", 1)[0].rsplit(".", 1)[-1]
+    return enclosing.strip("_") or "<op>"
+
+
+# --------------------------------------------------------------------- hooks
+# Called from repro.nn.tensor / repro.nn.functional / Module.__call__.
+# Each caller guards on `_STATE is not None`, so the common (inactive)
+# cost is one global load + identity test per op.
+
+def on_op(out: Any, data: np.ndarray, parents: Tuple[Any, ...],
+          backward: Any) -> None:
+    """Forward check: did this op manufacture NaN/Inf its inputs lacked?"""
+    state = _STATE
+    if state is None:
+        return
+    out._san_layer = state.current_layer()
+    state.report.ops_checked += 1
+    if _extremes_finite(data):
+        return
+    if any(not _extremes_finite(p.data) for p in parents):
+        return  # propagation: the originating op already reported
+    op = _op_name(backward)
+    stats = _stats(data)
+    if stats["nan"]:
+        state.emit("forward-nan", op, state.current_layer(),
+                   f"op produced {stats['nan']} NaN value(s) from finite "
+                   "inputs", stats)
+    elif op not in state.ignore_ops:
+        state.emit("forward-overflow", op, state.current_layer(),
+                   f"op produced {stats['inf']} Inf value(s) from finite "
+                   "inputs (overflow)", stats)
+
+
+def on_grad(node: Any) -> None:
+    """Backward check: is this node's accumulated gradient still finite?
+
+    Runs right before the node's backward closure propagates the gradient
+    to its parents, i.e. at the earliest point the fault is observable.
+    """
+    state = _STATE
+    if state is None:
+        return
+    grad = node.grad
+    state.report.ops_checked += 1
+    if _extremes_finite(grad):
+        return
+    op = _op_name(node._backward) if node._backward is not None else "leaf"
+    layer = getattr(node, "_san_layer", None) or "<no module>"
+    stats = _stats(grad)
+    kind = "backward-nan" if stats["nan"] else "backward-overflow"
+    noun = "NaN" if stats["nan"] else "Inf"
+    state.emit(kind, op, layer,
+               f"gradient flowing into op output carries "
+               f"{stats['nan'] or stats['inf']} {noun} value(s)", stats)
+
+
+def on_quantize(inp: np.ndarray, out: np.ndarray) -> None:
+    """Quantize-boundary check: NaN manufacture, clamp storms, underflow."""
+    state = _STATE
+    if state is None:
+        return
+    state.report.ops_checked += 1
+    layer = state.current_layer()
+    if not _extremes_finite(out):
+        if _extremes_finite(inp):
+            stats = _stats(out)
+            state.emit("quantize-nan", "fake_quantize", layer,
+                       "quantizer produced non-finite output from finite "
+                       "input", stats)
+        return
+    if inp.size == 0:
+        return
+    with np.errstate(invalid="ignore"):
+        abs_in = np.abs(inp)
+        abs_out = np.abs(out)
+        top = abs_out.max()
+        if top > 0.0:
+            clamped = float(((abs_out >= top) & (abs_in > top)).mean())
+            if clamped > state.clamp_storm:
+                state.emit(
+                    "clamp-storm", "fake_quantize", layer,
+                    f"{clamped:.1%} of elements clamped to the extreme "
+                    f"codepoint {float(top):g} (input max "
+                    f"{float(abs_in.max()):g}); the format's value_max is "
+                    "too small for this tensor", {
+                        "clamped_fraction": clamped,
+                        "codepoint_max": float(top),
+                        "input_max": float(abs_in.max()),
+                    })
+        nonzero = int((inp != 0.0).sum())
+        if nonzero:
+            flooded = float(((inp != 0.0) & (out == 0.0)).sum() / nonzero)
+            if flooded > state.underflow_flood:
+                state.emit(
+                    "underflow-flood", "fake_quantize", layer,
+                    f"{flooded:.1%} of nonzero inputs quantized to zero; "
+                    "the format's value_min is too large for this tensor", {
+                        "flooded_fraction": flooded,
+                        "nonzero_inputs": nonzero,
+                    })
+
+
+# ------------------------------------------------------------------ env knob
+def _activate_from_env() -> None:
+    """Honour ``REPRO_SANITIZE=1`` at import time (process-wide opt-in)."""
+    global _STATE
+    if os.environ.get("REPRO_SANITIZE", "") not in ("1", "true", "yes"):
+        return
+    action = os.environ.get("REPRO_SANITIZE_ACTION", "raise")
+    if action not in ("collect", "raise"):
+        action = "raise"
+    _STATE = _State(action=action, clamp_storm=0.25, underflow_flood=0.5,
+                    ignore_ops=("masked_fill",), max_findings=100)
+
+
+_activate_from_env()

@@ -15,13 +15,14 @@ reserved for the number-format code, which is exactness-sensitive).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 from ..hardware.profiler import record_matmul as _record_matmul
+from . import sanitize as _sanitize
 
 _GRAD_ENABLED = [True]
 
@@ -63,7 +64,11 @@ TensorLike = Union["Tensor", np.ndarray, float, int]
 class Tensor:
     """An autodiff-capable ndarray wrapper."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+    # _san_layer is only assigned while the numeric sanitizer is active
+    # (repro.nn.sanitize); it records the module that created this tensor
+    # so backward-pass findings can name the offending layer.
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward",
+                 "_san_layer")
     __array_priority__ = 100  # make ndarray defer to our __radd__ etc.
 
     def __init__(self, data, requires_grad: bool = False,
@@ -124,8 +129,12 @@ class Tensor:
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         if not is_grad_enabled() or not any(
                 p.requires_grad or p._parents for p in parents):
-            return Tensor(data)
-        return Tensor(data, parents=parents, backward=backward)
+            out = Tensor(data)
+        else:
+            out = Tensor(data, parents=parents, backward=backward)
+        if _sanitize._STATE is not None:
+            _sanitize.on_op(out, out.data, parents, backward)
+        return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
@@ -155,7 +164,13 @@ class Tensor:
         self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
+                if _sanitize._STATE is not None:
+                    _sanitize.on_grad(node)
                 node._backward(node.grad)
+        if _sanitize._STATE is not None:
+            for node in topo:  # leaves: parameters and inputs
+                if node._backward is None and node.grad is not None:
+                    _sanitize.on_grad(node)
 
     # ---------------------------------------------------------- arithmetic
     @staticmethod

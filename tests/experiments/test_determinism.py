@@ -1,0 +1,47 @@
+"""Byte-identical determinism of the cached experiment cells.
+
+The cell cache (:mod:`repro.experiments.runner`) stores results keyed by
+a content hash of the descriptor: that is only sound if a cell is a pure
+function of its descriptor.  This regression test recomputes a Table 2
+cell twice with the cell cache disabled (``REPRO_CELL_CACHE=0``) and
+asserts the serialized results are byte-identical — the invariant the
+ND001 lint rule exists to protect.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import table2_weight_quant
+from repro.rng import reset_default_rng
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path_factory, monkeypatch):
+    cache = tmp_path_factory.getbasetemp() / "determinism_cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+    monkeypatch.setenv("REPRO_CELL_CACHE", "0")
+
+
+def canonical(payload):
+    """Stable byte serialization (sorted keys, no float reformatting)."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def run_cell_bytes(cell):
+    reset_default_rng()  # a prior test may have advanced the shared stream
+    return canonical(table2_weight_quant.run_cell(dict(cell)))
+
+
+class TestCellDeterminism:
+    CELL = {"table": "table2", "profile": "tiny", "model": "resnet",
+            "bits": 6, "format": "adaptivfloat", "include_qar": True}
+
+    def test_table2_cell_recomputes_byte_identical(self):
+        first = run_cell_bytes(self.CELL)
+        second = run_cell_bytes(self.CELL)
+        assert first == second
+
+    def test_ptq_only_cell_recomputes_byte_identical(self):
+        cell = dict(self.CELL, include_qar=False, format="float", bits=5)
+        assert run_cell_bytes(cell) == run_cell_bytes(cell)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hardware import HFIntPE, IntPE, PEConfig, make_pe
+from repro.hardware import PEConfig, make_pe
 
 
 class TestWidths:

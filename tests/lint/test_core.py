@@ -1,0 +1,165 @@
+"""Framework tests: suppression, baseline workflow, CLI, and the
+repo-clean invariant (the committed tree lints clean)."""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.lint import (all_rules, lint_source, load_baseline, run_lint,
+                        save_baseline)
+from repro.lint.cli import DEFAULT_BASELINE, find_repo_root, main
+from repro.lint.core import Finding
+
+REPO_ROOT = find_repo_root(pathlib.Path(__file__).resolve().parent)
+
+BAD_SNIPPET = textwrap.dedent("""
+    import numpy as np
+    x = np.random.randn(4)
+""")
+
+
+# -------------------------------------------------------------- suppression
+class TestInlineSuppression:
+    PATH = "src/repro/data/streams.py"
+
+    def test_named_suppression(self):
+        src = ("import numpy as np\n"
+               "x = np.random.randn(4)  # reprocheck: disable=ND001\n")
+        found, suppressed = lint_source(src, self.PATH)
+        assert found == []
+        assert [f.rule for f in suppressed] == ["ND001"]
+
+    def test_bare_suppression_silences_all_rules(self):
+        src = ("import numpy as np\n"
+               "x = np.random.randn(4)  # reprocheck: disable\n")
+        found, suppressed = lint_source(src, self.PATH)
+        assert found == [] and len(suppressed) == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = ("import numpy as np\n"
+               "x = np.random.randn(4)  # reprocheck: disable=DT001\n")
+        found, _ = lint_source(src, self.PATH)
+        assert [f.rule for f in found] == ["ND001"]
+
+    def test_marker_in_string_literal_is_inert(self):
+        src = ("import numpy as np\n"
+               "note = '# reprocheck: disable'\n"
+               "x = np.random.randn(4)\n")
+        found, _ = lint_source(src, self.PATH)
+        assert [f.rule for f in found] == ["ND001"]
+
+
+# ----------------------------------------------------------------- baseline
+@pytest.fixture
+def fake_repo(tmp_path):
+    """A minimal repo tree with one ND001 violation in src/."""
+    pkg = tmp_path / "src" / "repro" / "data"
+    pkg.mkdir(parents=True)
+    (pkg / "streams.py").write_text(BAD_SNIPPET, encoding="utf-8")
+    (tmp_path / "pyproject.toml").write_text("[project]\n", encoding="utf-8")
+    return tmp_path
+
+
+class TestBaseline:
+    def test_roundtrip_and_matching(self, fake_repo):
+        report = run_lint(fake_repo)
+        assert len(report.findings) == 1
+        baseline = fake_repo / DEFAULT_BASELINE
+        save_baseline(baseline, report.findings)
+        assert load_baseline(baseline) != []
+
+        again = run_lint(fake_repo, baseline_path=baseline)
+        assert again.findings == [] and len(again.baselined) == 1
+        assert again.exit_code == 0
+
+    def test_baseline_survives_line_moves(self, fake_repo):
+        baseline = fake_repo / DEFAULT_BASELINE
+        save_baseline(baseline, run_lint(fake_repo).findings)
+        target = fake_repo / "src" / "repro" / "data" / "streams.py"
+        target.write_text("# a new comment shifts every line\n"
+                          + target.read_text(encoding="utf-8"),
+                          encoding="utf-8")
+        report = run_lint(fake_repo, baseline_path=baseline)
+        assert report.findings == [] and len(report.baselined) == 1
+
+    def test_stale_entries_reported(self, fake_repo):
+        baseline = fake_repo / DEFAULT_BASELINE
+        save_baseline(baseline, run_lint(fake_repo).findings)
+        target = fake_repo / "src" / "repro" / "data" / "streams.py"
+        target.write_text("import numpy as np\n", encoding="utf-8")
+        report = run_lint(fake_repo, baseline_path=baseline)
+        assert report.findings == [] and len(report.stale_baseline) == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == []
+
+    def test_new_finding_not_masked_by_baseline(self, fake_repo):
+        baseline = fake_repo / DEFAULT_BASELINE
+        save_baseline(baseline, run_lint(fake_repo).findings)
+        extra = fake_repo / "src" / "repro" / "data" / "extra.py"
+        extra.write_text("import random\nrandom.seed(1)\n", encoding="utf-8")
+        report = run_lint(fake_repo, baseline_path=baseline)
+        assert len(report.findings) == 1
+        assert report.findings[0].path.endswith("extra.py")
+
+
+# ---------------------------------------------------------------------- CLI
+class TestCli:
+    def test_exit_one_on_findings(self, fake_repo, capsys):
+        assert main(["--root", str(fake_repo)]) == 1
+        out = capsys.readouterr().out
+        assert "ND001" in out and "1 finding(s)" in out
+
+    def test_json_format(self, fake_repo, capsys):
+        main(["--root", str(fake_repo), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert payload["findings"][0]["rule"] == "ND001"
+
+    def test_write_baseline_then_clean(self, fake_repo, capsys):
+        assert main(["--root", str(fake_repo), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["--root", str(fake_repo)]) == 0
+
+    def test_rule_selection(self, fake_repo):
+        assert main(["--root", str(fake_repo), "--rules", "DT001"]) == 0
+        assert main(["--root", str(fake_repo), "--rules", "ND001",
+                     "--no-baseline"]) == 1
+
+    def test_unknown_rule_is_usage_error(self, fake_repo, capsys):
+        assert main(["--root", str(fake_repo), "--rules", "XX999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.id in out
+
+    def test_parse_error_is_exit_two(self, fake_repo, capsys):
+        bad = fake_repo / "src" / "broken.py"
+        bad.write_text("def oops(:\n", encoding="utf-8")
+        assert main(["--root", str(fake_repo)]) == 2
+
+
+# --------------------------------------------------------------- invariants
+class TestRepoClean:
+    def test_committed_tree_lints_clean(self):
+        """The acceptance gate: the real repo has zero actionable findings."""
+        report = run_lint(REPO_ROOT,
+                          baseline_path=REPO_ROOT / DEFAULT_BASELINE)
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.findings == [], rendered
+        assert report.parse_errors == []
+        assert report.files_checked > 100
+
+    def test_baseline_within_budget(self):
+        """ISSUE acceptance: committed baseline carries <= 5 suppressions."""
+        entries = load_baseline(REPO_ROOT / DEFAULT_BASELINE)
+        assert len(entries) <= 5
+
+    def test_finding_render_shape(self):
+        f = Finding(rule="ND001", path="src/x.py", line=3, col=4, message="m")
+        assert f.render() == "src/x.py:3:5: ND001 m"
+        assert f.baseline_key == ("ND001", "src/x.py", "m")

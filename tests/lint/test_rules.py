@@ -1,0 +1,270 @@
+"""Per-rule tests: each rule fires on a bad snippet and stays quiet once
+the snippet is fixed (or moved out of the rule's scope)."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def findings(src, path, rule=None):
+    found, _ = lint_source(textwrap.dedent(src), path)
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+# ------------------------------------------------------------------- ND001
+class TestUnseededRandom:
+    PATH = "src/repro/data/streams.py"
+
+    def test_fires_on_unseeded_default_rng(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+        assert [f.rule for f in findings(src, self.PATH)] == ["ND001"]
+
+    def test_fires_on_legacy_numpy_global(self):
+        src = """
+        import numpy as np
+        x = np.random.randn(3)
+        np.random.seed(0)
+        """
+        assert len(findings(src, self.PATH, "ND001")) == 2
+
+    def test_fires_on_stdlib_random(self):
+        src = """
+        import random
+        x = random.random()
+        """
+        assert len(findings(src, self.PATH, "ND001")) == 1
+
+    def test_fires_on_from_import(self):
+        src = """
+        from random import shuffle
+        shuffle([1, 2])
+        """
+        assert len(findings(src, self.PATH, "ND001")) == 1
+
+    def test_quiet_on_seeded_generator(self):
+        src = """
+        import numpy as np
+        from repro.rng import default_rng, fresh_rng
+        a = np.random.default_rng(42)
+        b = default_rng(None)
+        c = fresh_rng(7)
+        """
+        assert findings(src, self.PATH, "ND001") == []
+
+    def test_quiet_inside_rng_helper_module(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+        assert findings(src, "src/repro/rng.py", "ND001") == []
+
+    def test_handles_import_alias(self):
+        src = """
+        import numpy as xp
+        x = xp.random.rand(3)
+        """
+        assert len(findings(src, self.PATH, "ND001")) == 1
+
+
+# ------------------------------------------------------------------- DT001
+class TestDtypeDrift:
+    PATH = "src/repro/formats/newfmt.py"
+
+    def test_fires_without_dtype(self):
+        src = """
+        import numpy as np
+        x = np.zeros(4)
+        y = np.arange(10)
+        """
+        assert len(findings(src, self.PATH, "DT001")) == 2
+
+    def test_quiet_with_dtype_keyword(self):
+        src = """
+        import numpy as np
+        x = np.zeros(4, dtype=np.float64)
+        """
+        assert findings(src, self.PATH, "DT001") == []
+
+    def test_quiet_with_positional_dtype(self):
+        src = """
+        import numpy as np
+        x = np.zeros(4, np.float64)
+        y = np.full((2, 2), 0.5, np.float32)
+        """
+        assert findings(src, self.PATH, "DT001") == []
+
+    def test_quiet_outside_hot_paths(self):
+        src = """
+        import numpy as np
+        x = np.zeros(4)
+        """
+        assert findings(src, "src/repro/analysis/tables.py", "DT001") == []
+
+
+# ------------------------------------------------------------------- AG001
+class TestAutogradMutation:
+    PATH = "src/repro/experiments/table9.py"
+
+    def test_fires_on_data_write(self):
+        src = "w.data = w.data * 2\n"
+        assert len(findings(src, self.PATH, "AG001")) == 1
+
+    def test_fires_on_grad_subscript_and_augassign(self):
+        src = """
+        w.grad[0] = 1.0
+        w.data += 1.0
+        """
+        assert len(findings(src, self.PATH, "AG001")) == 2
+
+    def test_quiet_in_whitelisted_module(self):
+        src = "param.data = value\n"
+        assert findings(src, "src/repro/nn/optim.py", "AG001") == []
+
+    def test_quiet_in_tests(self):
+        src = "w.data = 0\n"
+        assert findings(src, "tests/nn/test_foo.py", "AG001") == []
+
+    def test_quiet_on_reads(self):
+        src = "x = w.data * 2 + w.grad.sum()\n"
+        assert findings(src, self.PATH, "AG001") == []
+
+
+# ------------------------------------------------------------------- PK001
+class TestPicklability:
+    PATH = "src/repro/experiments/tableX.py"
+
+    def test_fires_on_lambda(self):
+        src = "scores = run_cells(lambda c: c, cells, jobs=4)\n"
+        assert len(findings(src, self.PATH, "PK001")) == 1
+
+    def test_fires_on_nested_function(self):
+        src = """
+        def run():
+            def cell_fn(c):
+                return c
+            return run_cells(cell_fn, [])
+        """
+        assert len(findings(src, self.PATH, "PK001")) == 1
+
+    def test_fires_on_callable_built_at_call_site(self):
+        src = "scores = run_cells(make_fn(), cells)\n"
+        assert len(findings(src, self.PATH, "PK001")) == 1
+
+    def test_quiet_on_module_level_function(self):
+        src = """
+        def run_cell(c):
+            return c
+
+        def run():
+            return run_cells(run_cell, [])
+        """
+        assert findings(src, self.PATH, "PK001") == []
+
+
+# ------------------------------------------------------------------ API001
+class TestPublicApiDrift:
+    PATH = "src/repro/widgets.py"
+
+    def test_fires_on_phantom_export(self):
+        src = """
+        __all__ = ["missing_thing"]
+        """
+        found = findings(src, self.PATH, "API001")
+        assert len(found) == 1 and "missing_thing" in found[0].message
+
+    def test_fires_on_undeclared_public_def(self):
+        src = """
+        __all__ = []
+
+        def shiny():
+            pass
+        """
+        found = findings(src, self.PATH, "API001")
+        assert len(found) == 1 and "shiny" in found[0].message
+
+    def test_quiet_when_in_sync(self):
+        src = """
+        __all__ = ["shiny", "CONST"]
+
+        CONST = 1
+
+        def shiny():
+            pass
+
+        def _private():
+            pass
+        """
+        assert findings(src, self.PATH, "API001") == []
+
+    def test_quiet_without_all_declaration(self):
+        src = "def anything():\n    pass\n"
+        assert findings(src, self.PATH, "API001") == []
+
+    def test_quiet_outside_src(self):
+        src = "__all__ = [\"ghost\"]\n"
+        assert findings(src, "tools/helper.py", "API001") == []
+
+    def test_conditional_bindings_count(self):
+        src = """
+        __all__ = ["maybe"]
+
+        try:
+            from fastlib import maybe
+        except ImportError:
+            maybe = None
+        """
+        assert findings(src, self.PATH, "API001") == []
+
+
+# ------------------------------------------------------------------- CB001
+class TestCodebookBypass:
+    PATH = "src/repro/formats/custom.py"
+
+    def test_fires_on_quantize_override(self):
+        src = """
+        from .base import Quantizer
+
+        class MyFormat(Quantizer):
+            def quantize(self, x):
+                return x
+        """
+        assert len(findings(src, self.PATH, "CB001")) == 1
+
+    def test_fires_on_quantize_with_params_override(self):
+        src = """
+        from .base import AdaptiveQuantizer
+
+        class MyFormat(AdaptiveQuantizer):
+            def quantize_with_params(self, x, params):
+                return x
+        """
+        assert len(findings(src, self.PATH, "CB001")) == 1
+
+    def test_quiet_on_analytic_hooks(self):
+        src = """
+        from .base import Quantizer
+
+        class MyFormat(Quantizer):
+            def _quantize_analytic(self, x):
+                return x
+
+            def _codebook_key(self, params):
+                return None
+
+            def codepoints(self):
+                return []
+        """
+        assert findings(src, self.PATH, "CB001") == []
+
+    def test_quiet_on_unrelated_base(self):
+        src = """
+        class MyFormat(SomethingElse):
+            def quantize(self, x):
+                return x
+        """
+        assert findings(src, self.PATH, "CB001") == []

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import Adam, SGD, Parameter, Tensor, clip_grad_norm
+from repro.nn import Adam, SGD, Parameter, clip_grad_norm
 
 
 def quadratic_param(start=5.0):

@@ -5,7 +5,7 @@ import pytest
 
 import repro.nn as nn
 from repro.formats import AdaptivFloat
-from repro.nn import (ActFakeQuant, QuantSpec, Tensor, WeightFakeQuant,
+from repro.nn import (ActFakeQuant, QuantSpec, Tensor,
                       attach_act_quantizers, attach_weight_quantizers,
                       calibrate, detach_quantizers, quantize_weights_inplace)
 from repro.nn.models import MLP

@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Standalone launcher for the repo linter (same as ``python -m repro.lint``).
+
+Exists so the checker can be run without setting PYTHONPATH:
+``python tools/reprocheck.py [args...]``.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
