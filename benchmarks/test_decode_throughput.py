@@ -1,0 +1,86 @@
+"""Decode-throughput benchmarks: KV-cached vs naive autoregressive paths.
+
+The cached/naive pairing is what ``tools/bench_report.py --suite decode``
+distills into ``BENCH_decode.json`` (per-pair speedups).  The speed-gate
+test at the bottom also runs in CI under ``--benchmark-disable`` as a
+regression tripwire: greedy decode must stay at least 2x faster than the
+naive path.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn.models.seq2seq import Seq2Seq, Seq2SeqConfig
+from repro.nn.models.transformer import Transformer, TransformerConfig
+
+MAX_LEN = 64
+BEAM_SIZE = 4
+
+
+@pytest.fixture(scope="module")
+def transformer_setup():
+    # seed 0 decodes to full max_len (no early EOS) — the regime the
+    # paper's Table 1-3 evaluation loops actually spend their time in
+    rng = np.random.default_rng(0)
+    model = Transformer(TransformerConfig(max_len=MAX_LEN), rng=rng)
+    model.eval()
+    src = rng.integers(3, 64, size=(8, 24))
+    return model, src
+
+
+@pytest.fixture(scope="module")
+def seq2seq_setup():
+    rng = np.random.default_rng(0)
+    cfg = Seq2SeqConfig(max_len=32)
+    model = Seq2Seq(cfg, rng=rng)
+    model.eval()
+    frames = rng.standard_normal((4, 16, cfg.input_dim)).astype(np.float32)
+    return model, frames
+
+
+@pytest.mark.parametrize("path", ["cached", "naive"])
+def test_transformer_greedy(benchmark, transformer_setup, path):
+    model, src = transformer_setup
+    out = benchmark(model.greedy_decode, src, use_cache=(path == "cached"))
+    assert out.shape[0] == src.shape[0]
+
+
+@pytest.mark.parametrize("path", ["cached", "naive"])
+def test_transformer_beam(benchmark, transformer_setup, path):
+    model, src = transformer_setup
+    out = benchmark(model.beam_decode, src[:1], beam_size=BEAM_SIZE,
+                    use_cache=(path == "cached"))
+    assert out.shape[0] == 1
+
+
+@pytest.mark.parametrize("path", ["cached", "naive"])
+def test_seq2seq_beam(benchmark, seq2seq_setup, path):
+    model, frames = seq2seq_setup
+    out = benchmark(model.beam_decode, frames[:2], beam_size=BEAM_SIZE,
+                    use_cache=(path == "cached"))
+    assert out.shape[0] == 2
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_greedy_speedup_gate(transformer_setup):
+    """CI tripwire (runs under --benchmark-disable): the cached greedy
+    path must be >=2x the naive path and emit the same token ids."""
+    model, src = transformer_setup
+    t_naive, ids_naive = _best_of(
+        lambda: model.greedy_decode(src, use_cache=False), repeats=2)
+    t_cached, ids_cached = _best_of(
+        lambda: model.greedy_decode(src, use_cache=True), repeats=3)
+    np.testing.assert_array_equal(ids_naive, ids_cached)
+    speedup = t_naive / t_cached
+    assert speedup >= 2.0, f"greedy KV-cache speedup regressed: {speedup:.2f}x"

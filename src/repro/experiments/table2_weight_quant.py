@@ -33,7 +33,7 @@ __all__ = ["run", "run_cell", "render", "DEFAULT_BITS"]
 DEFAULT_BITS = (16, 8, 7, 6, 5, 4)
 
 #: Bump when the cell computation changes, to invalidate cached cells.
-_CACHE_SALT = "table2-v1"
+_CACHE_SALT = "table2-v2"  # v2: KV-cached decode (same tokens, ~1e-6 logit shift)
 
 
 def _clone_into(bundle, base_state):

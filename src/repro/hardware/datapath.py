@@ -39,6 +39,41 @@ def _saturate(x: np.ndarray, width: int) -> np.ndarray:
     return np.clip(x, lo, hi)
 
 
+#: Widest accumulator for which the vectorized cumulative-sum fast path
+#: is exact: partial sums before saturation stay below ``2**acc_width``,
+#: which must fit in int64.
+_FAST_ACC_WIDTH = 62
+
+
+def _saturating_row_sum(terms: np.ndarray, width: int) -> np.ndarray:
+    """Sequential per-cycle saturating accumulation of each row of
+    ``terms`` (rows, H) — bit-exact with the hardware's cycle loop.
+
+    A row whose running sum never leaves the ``width``-bit window is
+    unaffected by saturation, so its result is just the row total; the
+    vectorized fast path computes cumulative sums, detects in-window
+    rows, and falls back to the exact cycle-by-cycle loop only for rows
+    that saturate somewhere.  Callers must ensure ``width`` is at most
+    :data:`_FAST_ACC_WIDTH` so the unsaturated cumulative sums cannot
+    overflow int64.
+    """
+    rows, length = terms.shape
+    if length == 0:
+        return np.zeros(rows, dtype=np.int64)
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    running = np.cumsum(terms, axis=1)
+    out = np.clip(running[:, -1], lo, hi)
+    bad = np.flatnonzero((running.min(axis=1) < lo)
+                         | (running.max(axis=1) > hi))
+    for i in bad:
+        acc = 0
+        for t in terms[i]:
+            acc = min(max(acc + int(t), lo), hi)
+        out[i] = acc
+    return out
+
+
 @dataclasses.dataclass(frozen=True)
 class RequantParams:
     """Fixed-point requantization multiplier ``M / 2**frac_bits``.
@@ -96,6 +131,8 @@ class IntVectorMac:
         if w.shape[1] > self.accum_length:
             raise ValueError(
                 f"reduction length {w.shape[1]} exceeds H={self.accum_length}")
+        if self.acc_width <= _FAST_ACC_WIDTH:
+            return _saturating_row_sum(w * a[None, :], self.acc_width)
         acc = np.zeros(w.shape[0], dtype=np.int64)
         for j in range(w.shape[1]):
             acc = _saturate(acc + w[:, j] * a[j], self.acc_width)
@@ -190,6 +227,12 @@ class HFIntVectorMac:
                 f"reduction length {w_words.shape[1]} exceeds H={self.accum_length}")
         ws, we, wm = self._fields(w_words)
         as_, ae, am = self._fields(a_words)
+        if self.acc_width <= _FAST_ACC_WIDTH:
+            # mantissa multiply, exponent add, alignment shift — all
+            # (out, in) elementwise; per-cycle saturation in the helper
+            products = (ws * wm) * (as_ * am)[None, :]
+            aligned = products << (we + ae[None, :])
+            return _saturating_row_sum(aligned, self.acc_width)
         acc = np.zeros(w_words.shape[0], dtype=np.int64)
         for j in range(w_words.shape[1]):
             # mantissa multiply, exponent add, alignment shift

@@ -126,6 +126,7 @@ def load_quantized(model: Module, directory) -> Module:
         words = unpack_words(blob[offset:offset + nbytes], spec.bits, count)
         values = _decode_words(spec, words, meta["params"])
         own[name].data = values.reshape(meta["shape"]).astype(np.float32)
+        own[name].bump_version()
 
     fp32 = np.load(directory / "fp32.npz")
     buffer_owners = {}
@@ -139,6 +140,7 @@ def load_quantized(model: Module, directory) -> Module:
             setattr(module, bname, fp32[key].copy())
         else:
             own[key].data = fp32[key].copy()
+            own[key].bump_version()
     return model
 
 

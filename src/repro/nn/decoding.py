@@ -1,0 +1,133 @@
+"""Incremental-decoding support: KV caches and shared beam utilities.
+
+Autoregressive evaluation is the repo's dominant cost (every BLEU/WER
+cell in Tables 1-3 is produced by greedy or beam decoding), and the
+naive strategy re-runs the entire token prefix through every decoder
+layer at each step.  This module holds the state that makes decoding
+incremental:
+
+* :class:`AttentionKVCache` — per-attention-module key/value store.  A
+  ``"self"`` cache grows by one position per decode step (append-only);
+  a ``"cross"`` cache projects the encoder memory exactly once and
+  reuses it for every subsequent step.
+* :class:`LayerKVCache` / :class:`DecoderKVCache` — one self+cross pair
+  per decoder layer, with batched reordering so beam search can prune
+  and reorder all live hypotheses in one gather (``reorder``).
+* :func:`pad_hypotheses` — the padding logic shared by
+  ``Transformer.beam_decode`` and ``Seq2Seq.beam_decode`` (with a floor
+  width of 1 so an all-empty-hypothesis batch cannot produce a
+  zero-width column).
+
+Caches hold plain float32 arrays, not autodiff tensors: incremental
+decoding is inference-only and must run under
+:class:`~repro.nn.tensor.no_grad` (the attention layer enforces this).
+The design and its bit-exactness contract are documented in
+docs/inference.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["AttentionKVCache", "DecoderKVCache", "LayerKVCache",
+           "pad_hypotheses"]
+
+
+class AttentionKVCache:
+    """Cached key/value projections for one attention module.
+
+    ``kind`` selects the update discipline:
+
+    * ``"self"`` — :meth:`append` concatenates the new positions' K/V
+      along the sequence axis and returns the full cached arrays;
+    * ``"cross"`` — :meth:`set` stores the one-shot encoder-memory
+      projections, reused verbatim on every later step.
+    """
+
+    def __init__(self, kind: str) -> None:
+        if kind not in ("self", "cross"):
+            raise ValueError(f"unknown cache kind {kind!r}")
+        self.kind = kind
+        self.k: Optional[np.ndarray] = None
+        self.v: Optional[np.ndarray] = None
+
+    @property
+    def length(self) -> int:
+        """Number of cached key positions (0 when empty)."""
+        return 0 if self.k is None else self.k.shape[2]
+
+    def set(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Store one-shot projections (cross-attention memory K/V)."""
+        self.k, self.v = k, v
+
+    def append(self, k_new: np.ndarray,
+               v_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Append ``(B, H, T_new, d)`` K/V and return the full arrays."""
+        if self.kind != "self":
+            raise ValueError("append() is only valid on a 'self' cache")
+        if self.k is None:
+            self.k, self.v = k_new, v_new
+        else:
+            self.k = np.concatenate([self.k, k_new], axis=2)
+            self.v = np.concatenate([self.v, v_new], axis=2)
+        return self.k, self.v
+
+    def reorder(self, indices: np.ndarray) -> None:
+        """Gather cache rows along the batch axis (beam select/prune).
+
+        ``indices`` may repeat rows (a parent hypothesis surviving as
+        several children) or drop rows (pruned hypotheses).
+        """
+        if self.k is not None:
+            self.k = self.k[indices]
+            self.v = self.v[indices]
+
+
+class LayerKVCache:
+    """Self + cross attention caches for one decoder layer."""
+
+    def __init__(self) -> None:
+        self.self_attn = AttentionKVCache("self")
+        self.cross_attn = AttentionKVCache("cross")
+
+    def reorder(self, indices: np.ndarray) -> None:
+        self.self_attn.reorder(indices)
+        self.cross_attn.reorder(indices)
+
+
+class DecoderKVCache:
+    """Per-layer KV caches for a whole decoder stack."""
+
+    def __init__(self, num_layers: int) -> None:
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        self.layers: List[LayerKVCache] = [LayerKVCache()
+                                           for _ in range(num_layers)]
+
+    @property
+    def length(self) -> int:
+        """Number of decoded positions the cache covers."""
+        return self.layers[0].self_attn.length
+
+    def reorder(self, indices: np.ndarray) -> None:
+        """Reorder every layer's caches along the batch axis."""
+        indices = np.asarray(indices, dtype=np.int64)
+        for layer in self.layers:
+            layer.reorder(indices)
+
+
+def pad_hypotheses(hypotheses: Sequence[Sequence[int]],
+                   pad_id: int) -> np.ndarray:
+    """Stack variable-length token-id lists into a padded ``(B, W)`` array.
+
+    ``W`` is the longest hypothesis length with a floor of 1, so a batch
+    whose hypotheses are all empty still yields one (all-padding) column
+    — downstream metric code indexes column 0 unconditionally.
+    """
+    width = max([len(h) for h in hypotheses] + [1])
+    out = np.full((len(hypotheses), width), pad_id, dtype=np.int64)
+    for i, hyp in enumerate(hypotheses):
+        out[i, :len(hyp)] = hyp
+    return out

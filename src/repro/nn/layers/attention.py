@@ -12,8 +12,9 @@ from typing import Optional
 import numpy as np
 
 from .. import functional as F
+from ..decoding import AttentionKVCache
 from ..module import Module
-from ..tensor import Tensor
+from ..tensor import Tensor, is_grad_enabled
 from .linear import Linear
 
 __all__ = ["AdditiveAttention", "MultiHeadAttention"]
@@ -40,16 +41,39 @@ class MultiHeadAttention(Module):
         return x.reshape(batch, seq, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
 
     def forward(self, query: Tensor, key: Tensor, value: Tensor,
-                mask: Optional[np.ndarray] = None) -> Tensor:
+                mask: Optional[np.ndarray] = None,
+                cache: Optional[AttentionKVCache] = None) -> Tensor:
         """``query``: (B, Tq, D); ``key``/``value``: (B, Tk, D).
 
         ``mask``: boolean array broadcastable to (B, heads, Tq, Tk);
         True marks *blocked* positions.
+
+        ``cache`` enables incremental decoding (inference-only, must run
+        under ``no_grad``): a ``"self"`` cache appends the new
+        positions' K/V projections and attends over everything cached so
+        far; a ``"cross"`` cache projects ``key``/``value`` (the encoder
+        memory) on first use and reuses the stored projections — the
+        ``key``/``value`` arguments are ignored afterwards.
         """
+        if cache is not None and is_grad_enabled():
+            raise RuntimeError(
+                "KV-cached attention is inference-only; wrap decoding in "
+                "no_grad() (cached K/V do not join the autodiff graph)")
         batch, tq, _ = query.shape
         q = self._split_heads(self.w_q(query))
-        k = self._split_heads(self.w_k(key))
-        v = self._split_heads(self.w_v(value))
+        if cache is None:
+            k = self._split_heads(self.w_k(key))
+            v = self._split_heads(self.w_v(value))
+        elif cache.kind == "cross":
+            if cache.k is None:
+                cache.set(self._split_heads(self.w_k(key)).data,
+                          self._split_heads(self.w_v(value)).data)
+            k, v = Tensor(cache.k), Tensor(cache.v)
+        else:
+            k_new = self._split_heads(self.w_k(key))
+            v_new = self._split_heads(self.w_v(value))
+            k_full, v_full = cache.append(k_new.data, v_new.data)
+            k, v = Tensor(k_full), Tensor(v_full)
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
         if mask is not None:
             scores = F.masked_fill(scores, mask, -1e9)
@@ -69,12 +93,27 @@ class AdditiveAttention(Module):
         self.w_key = Linear(key_size, attn_size, bias=False, rng=rng)
         self.v = Linear(attn_size, 1, bias=False, rng=rng)
 
+    def project_keys(self, keys: Tensor) -> Tensor:
+        """One-shot ``W_k keys`` projection for incremental decoding.
+
+        The keys (encoder memory) are fixed for a whole decode, so the
+        projection can be computed once and passed back to every
+        :meth:`forward` call as ``keys_proj`` instead of being recomputed
+        each step.
+        """
+        return self.w_key(keys)
+
     def forward(self, query: Tensor, keys: Tensor,
-                mask: Optional[np.ndarray] = None) -> Tensor:
-        """``query``: (B, Q); ``keys``: (B, T, K) -> context (B, K)."""
+                mask: Optional[np.ndarray] = None,
+                keys_proj: Optional[Tensor] = None) -> Tensor:
+        """``query``: (B, Q); ``keys``: (B, T, K) -> context (B, K).
+
+        ``keys_proj`` optionally supplies a precomputed
+        :meth:`project_keys` result (it must match ``keys``).
+        """
         batch, steps, key_size = keys.shape
         q = self.w_query(query).reshape(batch, 1, -1)
-        k = self.w_key(keys)
+        k = self.w_key(keys) if keys_proj is None else keys_proj
         scores = self.v((q + k).tanh()).reshape(batch, steps)
         if mask is not None:
             scores = F.masked_fill(scores, mask, -1e9)

@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from .. import functional as F
+from ..decoding import pad_hypotheses
 from ..layers import (AdditiveAttention, Dropout, Embedding, LSTM, LSTMCell,
                       Linear)
 from ..module import Module
@@ -80,9 +81,10 @@ class Seq2Seq(Module):
         return out
 
     # ------------------------------------------------------------- decoder
-    def _decode_step(self, token_emb: Tensor, state, memory: Tensor):
+    def _decode_step(self, token_emb: Tensor, state, memory: Tensor,
+                     keys_proj: Optional[Tensor] = None):
         h_prev, _ = state
-        context = self.attention(h_prev, memory)
+        context = self.attention(h_prev, memory, keys_proj=keys_proj)
         cell_in = F.cat([token_emb, context], axis=-1)
         h, c = self.decoder_cell(cell_in, state)
         logits = self.generator(F.cat([h, context], axis=-1))
@@ -105,23 +107,26 @@ class Seq2Seq(Module):
 
     def beam_decode(self, frames: np.ndarray, beam_size: int = 4,
                     max_len: Optional[int] = None,
-                    length_penalty: float = 0.6) -> np.ndarray:
-        """Length-normalized beam search over the decoder LSTM."""
+                    length_penalty: float = 0.6,
+                    use_cache: bool = True) -> np.ndarray:
+        """Length-normalized beam search over the decoder LSTM.
+
+        ``use_cache=True`` (the default) advances all live hypotheses in
+        one stacked recurrent step with a one-shot attention-key
+        projection; ``use_cache=False`` is the naive one-candidate-at-a-
+        time reference.  Both select the same candidates.
+        """
         if beam_size < 1:
             raise ValueError(f"beam_size must be >= 1, got {beam_size}")
         cfg = self.config
         max_len = max_len or cfg.max_len
+        step = self._beam_one_cached if use_cache else self._beam_one
         results = []
         with no_grad():
             for i in range(frames.shape[0]):
-                results.append(self._beam_one(frames[i:i + 1], beam_size,
-                                              max_len, length_penalty))
-        width = max(len(r) for r in results) if results else 0
-        out = np.full((len(results), max(width, 1)), cfg.pad_id,
-                      dtype=np.int64)
-        for i, r in enumerate(results):
-            out[i, :len(r)] = r
-        return out
+                results.append(step(frames[i:i + 1], beam_size,
+                                    max_len, length_penalty))
+        return pad_hypotheses(results, cfg.pad_id)
 
     def _beam_one(self, frames: np.ndarray, beam_size: int, max_len: int,
                   alpha: float) -> list:
@@ -162,21 +167,96 @@ class Seq2Seq(Module):
             best = best[:best.index(cfg.eos_id)]
         return best
 
+    def _beam_one_cached(self, frames: np.ndarray, beam_size: int,
+                         max_len: int, alpha: float) -> list:
+        """Stacked beam step: all live hypotheses in one recurrent forward.
+
+        The per-beam LSTM state rows ride in one ``(k, hidden)`` stack
+        that is gathered to the surviving candidates' parent rows after
+        every selection; the attention key projection is computed once
+        per source.  Candidate construction, scoring, and (stable)
+        selection order replicate :meth:`_beam_one` exactly.
+        """
+        cfg = self.config
+        memory = self.encode(frames)                       # (1, T, hidden)
+        keys_proj = self.attention.project_keys(memory)    # (1, T, attn)
+        h0, c0 = self.decoder_cell.initial_state(1)
+        h, c = h0.data, c0.data                            # (k, hidden) stacks
+        beams = [([], 0.0, 0, False)]  # (tokens, logp, state row, finished)
+        for step in range(max_len):
+            live = [i for i, (_, __, ___, done) in enumerate(beams)
+                    if not done]
+            k = len(live)
+            prev = np.asarray([beams[i][0][-1] if beams[i][0] else cfg.bos_id
+                               for i in live], dtype=np.int64)
+            rows = np.asarray([beams[i][2] for i in live], dtype=np.int64)
+            state = (Tensor(h[rows]), Tensor(c[rows]))
+            mem_k = Tensor(np.repeat(memory.data, k, axis=0))
+            kp_k = Tensor(np.repeat(keys_proj.data, k, axis=0))
+            logits, new_state = self._decode_step(self.embed(prev), state,
+                                                  mem_k, keys_proj=kp_k)
+            logits_k = logits.data
+            row_of = {beam_idx: r for r, beam_idx in enumerate(live)}
+            candidates = []  # (tokens, logp, parent state row, finished)
+            for i, (tokens, logp, _, finished) in enumerate(beams):
+                if finished:
+                    candidates.append((tokens, logp, -1, True))
+                    continue
+                raw = logits_k[row_of[i]]
+                shifted = raw - raw.max()
+                logprobs = shifted - np.log(np.exp(shifted).sum())
+                top = np.argsort(-logprobs)[:beam_size]
+                for token in top:
+                    candidates.append((tokens + [int(token)],
+                                       logp + float(logprobs[token]),
+                                       row_of[i], token == cfg.eos_id))
+
+            def score(entry):
+                tokens, logp, _, __ = entry
+                norm = ((5.0 + max(len(tokens), 1)) / 6.0) ** alpha
+                return logp / norm
+
+            candidates.sort(key=score, reverse=True)
+            beams, gather = [], []
+            for tokens, logp, row, finished in candidates[:beam_size]:
+                if finished:
+                    beams.append((tokens, logp, -1, True))
+                else:
+                    beams.append((tokens, logp, len(gather), False))
+                    gather.append(row)
+            if all(f for _, __, ___, f in beams):
+                break
+            idx = np.asarray(gather, dtype=np.int64)
+            h, c = new_state[0].data[idx], new_state[1].data[idx]
+        best = beams[0][0]
+        if cfg.eos_id in best:
+            best = best[:best.index(cfg.eos_id)]
+        return best
+
     def greedy_decode(self, frames: np.ndarray,
-                      max_len: Optional[int] = None) -> np.ndarray:
-        """Greedy transcription; (B, <=max_len) ids, padded after EOS."""
+                      max_len: Optional[int] = None,
+                      use_cache: bool = True) -> np.ndarray:
+        """Greedy transcription; (B, <=max_len) ids, padded after EOS.
+
+        ``use_cache=True`` (the default) projects the attention keys
+        once per batch instead of once per step; the recurrent state is
+        carried either way.
+        """
         cfg = self.config
         max_len = max_len or cfg.max_len
         batch = frames.shape[0]
         with no_grad():
             memory = self.encode(frames)
+            keys_proj = self.attention.project_keys(memory) \
+                if use_cache else None
             state = self.decoder_cell.initial_state(batch)
             token = np.full(batch, cfg.bos_id, dtype=np.int64)
             finished = np.zeros(batch, dtype=bool)
             outputs = []
             for _ in range(max_len):
                 emb = self.embed(token)
-                logits, state = self._decode_step(emb, state, memory)
+                logits, state = self._decode_step(emb, state, memory,
+                                                  keys_proj=keys_proj)
                 token = logits.data.argmax(axis=-1)
                 token = np.where(finished, cfg.pad_id, token)
                 outputs.append(token)

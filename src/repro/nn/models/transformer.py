@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from .. import functional as F
+from ..decoding import DecoderKVCache, LayerKVCache, pad_hypotheses
 from ..layers import Dropout, Embedding, LayerNorm, Linear, MultiHeadAttention
 from ..module import Module, ModuleList
 from ..tensor import Tensor, no_grad
@@ -118,10 +119,15 @@ class _DecoderLayer(Module):
 
     def forward(self, x: Tensor, memory: Tensor,
                 tgt_mask: Optional[np.ndarray],
-                memory_mask: Optional[np.ndarray]) -> Tensor:
-        x = self.norm1(x + self.dropout(self.self_attn(x, x, x, mask=tgt_mask)))
+                memory_mask: Optional[np.ndarray],
+                cache: Optional[LayerKVCache] = None) -> Tensor:
+        self_cache = cache.self_attn if cache is not None else None
+        cross_cache = cache.cross_attn if cache is not None else None
+        x = self.norm1(x + self.dropout(
+            self.self_attn(x, x, x, mask=tgt_mask, cache=self_cache)))
         x = self.norm2(x + self.dropout(
-            self.cross_attn(x, memory, memory, mask=memory_mask)))
+            self.cross_attn(x, memory, memory, mask=memory_mask,
+                            cache=cross_cache)))
         return self.norm3(x + self.dropout(self.ffn(x)))
 
 
@@ -177,28 +183,57 @@ class Transformer(Module):
         return self.generator(self.decode(memory, src_ids, tgt_ids))
 
     # ------------------------------------------------------------- decoding
+    def decode_step(self, memory: Tensor, src_ids: np.ndarray,
+                    tokens: np.ndarray, cache: DecoderKVCache) -> Tensor:
+        """One incremental decoder step over the *latest* token column.
+
+        ``tokens`` is the full ``(B, T)`` prefix decoded so far (its last
+        column is the new input); ``cache`` must already hold K/V for the
+        first ``T - 1`` positions and is updated in place.  Returns the
+        ``(B, 1, d_model)`` decoder output for the new position —
+        bit-for-bit the last position of :meth:`decode` on the same
+        prefix under a shape-stable matmul kernel (docs/inference.md).
+        """
+        cfg = self.config
+        pos = tokens.shape[1] - 1
+        if cache.length != pos:
+            raise ValueError(f"cache covers {cache.length} positions, "
+                             f"expected {pos} for a length-{pos + 1} prefix")
+        # The last causal-mask row blocks nothing at or before the query,
+        # so the per-step self-attention mask reduces to key padding.
+        self_mask = padding_mask(tokens, cfg.pad_id)
+        memory_mask = padding_mask(src_ids, cfg.pad_id)
+        x = self.tgt_embed(tokens[:, -1:]) * self.embed_scale \
+            + Tensor(self.pos.table[None, pos:pos + 1])
+        for layer, layer_cache in zip(self.decoder, cache.layers):
+            x = layer(x, memory, self_mask, memory_mask, cache=layer_cache)
+        return x
+
     def beam_decode(self, src_ids: np.ndarray, beam_size: int = 4,
                     max_len: Optional[int] = None,
-                    length_penalty: float = 0.6) -> np.ndarray:
+                    length_penalty: float = 0.6,
+                    use_cache: bool = True) -> np.ndarray:
         """Length-normalized beam search (one sequence at a time).
 
         Scores follow GNMT: ``logp / ((5 + len) / 6) ** alpha``.  Returns
         (B, <=max_len) ids padded after EOS, like :meth:`greedy_decode`.
+
+        ``use_cache=True`` (the default) advances all live hypotheses in
+        one KV-cached stacked forward per step; ``use_cache=False`` is
+        the naive reference that re-decodes every candidate's full
+        prefix each step.  Both select the same candidates.
         """
         if beam_size < 1:
             raise ValueError(f"beam_size must be >= 1, got {beam_size}")
         cfg = self.config
         max_len = max_len or cfg.max_len
+        step = self._beam_one_cached if use_cache else self._beam_one
         results = []
         with no_grad():
             for row in np.asarray(src_ids):
-                results.append(self._beam_one(row[None, :], beam_size,
-                                              max_len, length_penalty))
-        width = max(len(r) for r in results)
-        out = np.full((len(results), width), cfg.pad_id, dtype=np.int64)
-        for i, r in enumerate(results):
-            out[i, :len(r)] = r
-        return out
+                results.append(step(row[None, :], beam_size,
+                                    max_len, length_penalty))
+        return pad_hypotheses(results, cfg.pad_id)
 
     def _beam_one(self, src: np.ndarray, beam_size: int, max_len: int,
                   alpha: float) -> list:
@@ -236,10 +271,67 @@ class Transformer(Module):
             best = best[:best.index(cfg.eos_id)]
         return best
 
+    def _beam_one_cached(self, src: np.ndarray, beam_size: int, max_len: int,
+                         alpha: float) -> list:
+        """KV-cached beam step: all live hypotheses in one stacked forward.
+
+        Candidate construction, scoring, and (stable) selection order
+        replicate :meth:`_beam_one` exactly; the cache is reordered to
+        the surviving candidates' parent rows after every selection.
+        """
+        cfg = self.config
+        memory = self.encode(src)
+        cache = DecoderKVCache(len(self.decoder))
+        beams = [([cfg.bos_id], 0.0, False)]  # (tokens, logp, finished)
+        for _ in range(max_len - 1):
+            live = [i for i, (_, __, done) in enumerate(beams) if not done]
+            tokens_k = np.asarray([beams[i][0] for i in live], dtype=np.int64)
+            out = self.decode_step(memory, src, tokens_k, cache)
+            logits_k = self.generator(out[:, -1, :]).data
+            row_of = {beam_idx: row for row, beam_idx in enumerate(live)}
+            candidates = []  # (tokens, logp, finished, parent cache row)
+            for i, (tokens, logp, finished) in enumerate(beams):
+                if finished:
+                    candidates.append((tokens, logp, True, -1))
+                    continue
+                logits = logits_k[row_of[i]]
+                shifted = logits - logits.max()
+                logprobs = shifted - np.log(np.exp(shifted).sum())
+                top = np.argsort(-logprobs)[:beam_size]
+                for token in top:
+                    candidates.append((tokens + [int(token)],
+                                       logp + float(logprobs[token]),
+                                       token == cfg.eos_id,
+                                       row_of[i]))
+
+            def score(entry):
+                tokens, logp, _, __ = entry
+                norm = ((5.0 + len(tokens)) / 6.0) ** alpha
+                return logp / norm
+
+            candidates.sort(key=score, reverse=True)
+            selected = candidates[:beam_size]
+            beams = [(tokens, logp, finished)
+                     for tokens, logp, finished, _ in selected]
+            if all(finished for _, __, finished in beams):
+                break
+            cache.reorder([row for _, __, finished, row in selected
+                           if not finished])
+        best = beams[0][0][1:]  # drop BOS
+        if cfg.eos_id in best:
+            best = best[:best.index(cfg.eos_id)]
+        return best
+
     def greedy_decode(self, src_ids: np.ndarray,
-                      max_len: Optional[int] = None) -> np.ndarray:
+                      max_len: Optional[int] = None,
+                      use_cache: bool = True) -> np.ndarray:
         """Batched greedy decoding; returns (B, <=max_len) token ids
-        (without BOS, truncated at EOS per sequence)."""
+        (without BOS, truncated at EOS per sequence).
+
+        ``use_cache=True`` (the default) runs the KV-cached incremental
+        path (:meth:`decode_step`); ``use_cache=False`` re-decodes the
+        full prefix each step (the naive reference).
+        """
         cfg = self.config
         max_len = max_len or cfg.max_len
         batch = src_ids.shape[0]
@@ -247,8 +339,12 @@ class Transformer(Module):
             memory = self.encode(src_ids)
             tokens = np.full((batch, 1), cfg.bos_id, dtype=np.int64)
             finished = np.zeros(batch, dtype=bool)
+            cache = DecoderKVCache(len(self.decoder)) if use_cache else None
             for _ in range(max_len - 1):
-                out = self.decode(memory, src_ids, tokens)
+                if use_cache:
+                    out = self.decode_step(memory, src_ids, tokens, cache)
+                else:
+                    out = self.decode(memory, src_ids, tokens)
                 logits = self.generator(out[:, -1, :]).data
                 next_ids = logits.argmax(axis=-1)
                 next_ids = np.where(finished, cfg.pad_id, next_ids)

@@ -26,10 +26,23 @@ __all__ = ["Parameter", "Module", "ModuleList", "Sequential"]
 
 
 class Parameter(Tensor):
-    """A trainable tensor (always ``requires_grad=True``)."""
+    """A trainable tensor (always ``requires_grad=True``).
+
+    ``version`` counts content updates: every code path that replaces
+    ``.data`` (optimizer steps, ``load_state_dict``, checkpoint restore,
+    pruning, in-place PTQ) calls :meth:`bump_version` afterwards.
+    Content-keyed caches — :class:`repro.nn.quantize.WeightFakeQuant`'s
+    memoized quantized weights — use it to detect staleness without
+    hashing array contents.
+    """
 
     def __init__(self, data) -> None:
         super().__init__(data, requires_grad=True)
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Mark the parameter's contents as changed (invalidates caches)."""
+        self.version += 1
 
 
 class Module:
@@ -129,6 +142,7 @@ class Module:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{value.shape} vs {param.data.shape}")
             param.data = value.copy()
+            param.bump_version()
         for key, (module, bname) in buffer_owners.items():
             value = np.asarray(state[key], dtype=np.float32)
             setattr(module, bname, value.copy())

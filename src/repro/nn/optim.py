@@ -62,6 +62,7 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             p.data = p.data - self.lr * grad
+            p.bump_version()
 
 
 class Adam(Optimizer):
@@ -93,3 +94,4 @@ class Adam(Optimizer):
             m_hat = self._m[i] / bc1
             v_hat = self._v[i] / bc2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.bump_version()

@@ -61,6 +61,7 @@ def magnitude_prune(model: Module, sparsity: float,
         for name, param in params:
             mask = np.abs(param.data) > threshold
             param.data = param.data * mask
+            param.bump_version()
             masks[name] = mask
     else:
         for name, param in params:
@@ -69,6 +70,7 @@ def magnitude_prune(model: Module, sparsity: float,
             threshold = np.partition(flat, k)[k] if k > 0 else -1.0
             mask = np.abs(param.data) > threshold
             param.data = param.data * mask
+            param.bump_version()
             masks[name] = mask
     return masks
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import os
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
 
 import numpy as np
@@ -38,6 +39,7 @@ __all__ = [
     "QuantSpec", "WeightFakeQuant", "ActFakeQuant",
     "attach_weight_quantizers", "attach_act_quantizers",
     "detach_quantizers", "calibrate", "quantize_weights_inplace",
+    "weight_quant_cache_stats", "reset_weight_quant_cache_stats",
     "DEFAULT_QUANTIZED_LAYERS",
 ]
 
@@ -65,13 +67,48 @@ class QuantSpec:
 
 
 class WeightFakeQuant:
-    """Per-forward weight fake-quantizer with STE gradients."""
+    """Per-forward weight fake-quantizer with STE gradients.
+
+    The quantized array is memoized per weight tensor, keyed on the
+    :class:`~repro.nn.module.Parameter` content-version counter plus the
+    identity of the backing array, so a frozen model (PTQ evaluation)
+    quantizes each weight exactly once per sweep cell while QAR — whose
+    optimizer bumps the version on every step — re-quantizes after every
+    update.  The contract: any code replacing ``param.data`` must call
+    ``param.bump_version()`` (all in-repo sites do); mutating the array
+    *in place* without a bump is outside the contract.  Set the
+    ``REPRO_NO_WQCACHE`` environment variable to disable memoization.
+
+    ``hits`` / ``misses`` count cache outcomes for reporting and tests
+    (see :func:`weight_quant_cache_stats`).
+    """
 
     def __init__(self, quantizer: Quantizer) -> None:
         self.quantizer = quantizer
+        self.hits = 0
+        self.misses = 0
+        # id(weight Tensor) -> (version, backing array, quantized array)
+        self._cache: Dict[int, Tuple[int, np.ndarray, np.ndarray]] = {}
+
+    def _quantized(self, weight: Tensor) -> np.ndarray:
+        version = getattr(weight, "version", None)
+        if version is None or os.environ.get("REPRO_NO_WQCACHE"):
+            self.misses += 1
+            return self.quantizer.quantize(weight.data)
+        entry = self._cache.get(id(weight))
+        if entry is not None and entry[0] == version \
+                and entry[1] is weight.data:
+            self.hits += 1
+            return entry[2]
+        self.misses += 1
+        quantized = np.asarray(self.quantizer.quantize(weight.data),
+                               dtype=np.float32)
+        self._cache[id(weight)] = (version, weight.data, quantized)
+        return quantized
 
     def __call__(self, weight: Tensor) -> Tensor:
-        return F.fake_quantize(weight, self.quantizer.quantize)
+        quantized = self._quantized(weight)
+        return F.fake_quantize(weight, lambda _data, _q=quantized: _q)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"WeightFakeQuant({self.quantizer!r})"
@@ -222,6 +259,31 @@ def attach_act_quantizers(
     return observers
 
 
+def weight_quant_cache_stats(model: Module) -> Dict[str, int]:
+    """Aggregate hit/miss counters across all attached weight quantizers.
+
+    Returns ``{"hits": ..., "misses": ...}``; a frozen PTQ evaluation
+    should show exactly one miss per (quantizer, weight tensor) pair
+    with everything else hitting.
+    """
+    hits = misses = 0
+    for module in model.modules():
+        wq = module.weight_fake_quant
+        if isinstance(wq, WeightFakeQuant):
+            hits += wq.hits
+            misses += wq.misses
+    return {"hits": hits, "misses": misses}
+
+
+def reset_weight_quant_cache_stats(model: Module) -> None:
+    """Zero the hit/miss counters (the memoized arrays are kept)."""
+    for module in model.modules():
+        wq = module.weight_fake_quant
+        if isinstance(wq, WeightFakeQuant):
+            wq.hits = 0
+            wq.misses = 0
+
+
 def detach_quantizers(model: Module) -> None:
     """Remove every weight/activation fake-quantizer from the model."""
     for module in model.modules():
@@ -270,6 +332,7 @@ def quantize_weights_inplace(
                 params = {}
                 quantized = quantizer.quantize(param.data)
             param.data = quantized.astype(np.float32)
+            param.bump_version()
             report[f"{name}.{pname}"] = params
     if not report:
         raise ValueError("no weights quantized")

@@ -19,12 +19,14 @@ from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "deterministic_matmul", "is_deterministic_matmul",
+           "is_grad_enabled", "no_grad"]
 
 from ..hardware.profiler import record_matmul as _record_matmul
 from . import sanitize as _sanitize
 
 _GRAD_ENABLED = [True]
+_DET_MATMUL = [False]
 
 
 class no_grad:
@@ -41,6 +43,41 @@ class no_grad:
 
 def is_grad_enabled() -> bool:
     return _GRAD_ENABLED[0]
+
+
+class deterministic_matmul:
+    """Context manager routing forward matmuls through a shape-stable kernel.
+
+    BLAS gemm does not guarantee that row ``i`` of ``(M, K) @ (K, N)`` is
+    bit-identical across different ``M`` (the micro-kernel and the gemv
+    special case accumulate in different orders).  That makes "recompute
+    the whole prefix" and "incremental with a KV cache" decoding agree
+    only approximately.  Inside this context, ``Tensor.__matmul__`` uses
+    an einsum kernel whose per-row reduction order depends only on the
+    contracted axis, so the two decode strategies become bit-identical
+    re-associations of the same float ops (docs/inference.md).  Slower
+    than BLAS — meant for equivalence tests, not production decoding.
+    """
+
+    def __enter__(self) -> "deterministic_matmul":
+        self._prev = _DET_MATMUL[0]
+        _DET_MATMUL[0] = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _DET_MATMUL[0] = self._prev
+
+
+def is_deterministic_matmul() -> bool:
+    return _DET_MATMUL[0]
+
+
+def _det_matmul_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Shape-stable matmul: per-row accumulation order fixed by the
+    contracted axis alone (no M/N-dependent blocking)."""
+    if a.ndim == 1 and b.ndim == 1:
+        return np.einsum("i,i->", a, b)
+    return np.einsum("...ij,...jk->...ik", a, b)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -243,7 +280,10 @@ class Tensor:
             raise NotImplementedError(
                 "matmul operands must both be >=2-D (or both 1-D dot)")
         _record_matmul(self.data.shape, other.data.shape)
-        out_data = self.data @ other.data
+        if _DET_MATMUL[0]:
+            out_data = _det_matmul_data(self.data, other.data)
+        else:
+            out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
             a, b = self.data, other.data

@@ -175,3 +175,72 @@ def test_hfint_dot_product_exactness_property(length, seed):
     acc = mac.accumulate(fmt.encode(wq, bw), fmt.encode(aq, ba))
     unit = 2.0 ** (bw + ba - 2 * mac.mant_bits)
     np.testing.assert_allclose(acc * unit, wq @ aq, rtol=1e-10, atol=1e-300)
+
+
+# --------------------------------------------------- vectorized fast path
+def _sequential_saturating_sum(terms, width):
+    """Reference: the hardware's cycle-by-cycle saturating loop."""
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    out = np.zeros(terms.shape[0], dtype=np.int64)
+    for i, row in enumerate(terms):
+        acc = 0
+        for t in row:
+            acc = min(max(acc + int(t), lo), hi)
+        out[i] = acc
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=12),
+       st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_int_accumulate_matches_sequential_reference(rows, length, seed):
+    rng = np.random.default_rng(seed)
+    mac = IntVectorMac(bits=8, accum_length=64)
+    w = rng.integers(-127, 128, size=(rows, length))
+    a = rng.integers(-127, 128, size=length)
+    terms = np.asarray(w, dtype=np.int64) * np.asarray(a, dtype=np.int64)
+    np.testing.assert_array_equal(
+        mac.accumulate(w, a),
+        _sequential_saturating_sum(terms, mac.acc_width))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_int_accumulate_saturating_rows_exact(rows, length, seed):
+    """Narrow accumulator: rows that saturate mid-reduction must take
+    the exact sequential fallback, not the cumulative-sum fast path."""
+    rng = np.random.default_rng(seed)
+    mac = IntVectorMac(bits=4, accum_length=4)
+    w = rng.integers(-7, 8, size=(rows, length))
+    a = rng.integers(-7, 8, size=length)
+    terms = np.asarray(w, dtype=np.int64) * np.asarray(a, dtype=np.int64)
+    np.testing.assert_array_equal(
+        mac.accumulate(w, a),
+        _sequential_saturating_sum(terms, mac.acc_width))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_hfint_accumulate_matches_sequential_reference(rows, length, seed):
+    rng = np.random.default_rng(seed)
+    mac = HFIntVectorMac(bits=8, exp_bits=3, accum_length=64)
+    w_words = rng.integers(0, 256, size=(rows, length))
+    a_words = rng.integers(0, 256, size=length)
+    ws, we, wm = mac._fields(w_words)
+    as_, ae, am = mac._fields(a_words)
+    terms = ((ws * wm) * (as_ * am)[None, :]) << (we + ae[None, :])
+    np.testing.assert_array_equal(
+        mac.accumulate(w_words, a_words),
+        _sequential_saturating_sum(terms, mac.acc_width))
+
+
+def test_empty_reduction_is_zero():
+    mac = IntVectorMac(bits=8, accum_length=16)
+    out = mac.accumulate(np.zeros((3, 0), dtype=np.int64),
+                         np.zeros(0, dtype=np.int64))
+    np.testing.assert_array_equal(out, np.zeros(3, dtype=np.int64))

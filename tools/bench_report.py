@@ -1,22 +1,21 @@
 #!/usr/bin/env python
-"""Regenerate BENCH_formats.json, the committed format-kernel benchmark record.
+"""Regenerate the committed benchmark records (BENCH_*.json).
 
-Runs the quantization throughput / codec benchmarks in
-``benchmarks/test_format_kernels.py`` under pytest-benchmark, distills
-the JSON report into a compact per-benchmark summary (median/mean wall
-time, rounds), and writes it to ``BENCH_formats.json`` at the repo root.
+Two suites:
 
-Two modes:
-
-* fast-path numbers (default) — the codebook kernels as shipped;
-* ``--with-analytic`` also measures the analytic reference path
+* ``--suite formats`` (default) — quantization/codec throughput from
+  ``benchmarks/test_format_kernels.py`` -> ``BENCH_formats.json``.
+  ``--with-analytic`` also times the analytic reference path
   (``REPRO_NO_CODEBOOK=1``) and records per-benchmark speedup ratios.
+* ``--suite decode`` — KV-cached vs naive autoregressive decoding from
+  ``benchmarks/test_decode_throughput.py`` -> ``BENCH_decode.json``,
+  with a ``speedup`` per cached/naive pair.
 
-Run:  PYTHONPATH=src python tools/bench_report.py [--with-analytic]
+Run:  PYTHONPATH=src python tools/bench_report.py [--suite decode]
 
-Timings are machine-dependent; the committed file records the shape of
-the comparison (which kernels are table-driven, relative speedups), not
-absolute milliseconds to be matched elsewhere.
+Timings are machine-dependent; the committed files record the shape of
+the comparison (which paths are fast, relative speedups), not absolute
+milliseconds to be matched elsewhere.
 """
 
 from __future__ import annotations
@@ -31,17 +30,21 @@ import sys
 import tempfile
 
 REPO = pathlib.Path(__file__).resolve().parents[1]
-BENCH_FILE = "benchmarks/test_format_kernels.py"
-OUTPUT = REPO / "BENCH_formats.json"
+SUITES = {
+    "formats": ("benchmarks/test_format_kernels.py",
+                REPO / "BENCH_formats.json"),
+    "decode": ("benchmarks/test_decode_throughput.py",
+               REPO / "BENCH_decode.json"),
+}
 
 
-def _run_benchmarks(extra_env: dict) -> dict:
+def _run_benchmarks(bench_file: str, extra_env: dict) -> dict:
     """Run the benchmark module and return pytest-benchmark's JSON report."""
     with tempfile.TemporaryDirectory() as tmp:
         report = pathlib.Path(tmp) / "bench.json"
         env = dict(os.environ, **extra_env)
         env["PYTHONPATH"] = str(REPO / "src")
-        cmd = [sys.executable, "-m", "pytest", BENCH_FILE, "-q",
+        cmd = [sys.executable, "-m", "pytest", bench_file, "-q",
                "--benchmark-only", f"--benchmark-json={report}",
                "--benchmark-warmup=on", "--benchmark-warmup-iterations=2",
                "-p", "no:cacheprovider"]
@@ -66,15 +69,32 @@ def _distill(report: dict) -> dict:
     return dict(sorted(out.items()))
 
 
+def _pair_cached_naive(benchmarks: dict) -> None:
+    """Fold ``name[naive]`` records into ``name[cached]`` as speedups."""
+    for name in list(benchmarks):
+        if not name.endswith("[cached]"):
+            continue
+        naive = name[: -len("[cached]")] + "[naive]"
+        if naive in benchmarks:
+            record = benchmarks[name]
+            record["naive_median_ms"] = benchmarks[naive]["median_ms"]
+            record["speedup"] = round(
+                benchmarks[naive]["median_ms"] / record["median_ms"], 2)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=sorted(SUITES),
+                        default="formats")
     parser.add_argument("--with-analytic", action="store_true",
-                        help="also time the analytic path "
+                        help="formats suite: also time the analytic path "
                              "(REPRO_NO_CODEBOOK=1) and record speedups")
-    parser.add_argument("--output", type=pathlib.Path, default=OUTPUT)
+    parser.add_argument("--output", type=pathlib.Path, default=None)
     args = parser.parse_args()
 
-    fast = _distill(_run_benchmarks({}))
+    bench_file, default_output = SUITES[args.suite]
+    output = args.output or default_output
+    fast = _distill(_run_benchmarks(bench_file, {}))
     payload = {
         "machine": {
             "python": platform.python_version(),
@@ -82,16 +102,19 @@ def main() -> int:
         },
         "benchmarks": fast,
     }
-    if args.with_analytic:
-        analytic = _distill(_run_benchmarks({"REPRO_NO_CODEBOOK": "1"}))
+    if args.suite == "decode":
+        _pair_cached_naive(payload["benchmarks"])
+    if args.with_analytic and args.suite == "formats":
+        analytic = _distill(_run_benchmarks(bench_file,
+                                            {"REPRO_NO_CODEBOOK": "1"}))
         for name, record in payload["benchmarks"].items():
             if name in analytic:
                 record["analytic_median_ms"] = analytic[name]["median_ms"]
                 record["speedup"] = round(
                     analytic[name]["median_ms"] / record["median_ms"], 2)
 
-    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {args.output} ({len(fast)} benchmarks)")
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} ({len(fast)} benchmarks)")
     return 0
 
 
