@@ -19,6 +19,9 @@ Subpackages
     models, bit-accurate datapath simulation, and the 4-PE accelerator.
 ``repro.experiments``
     One driver per paper table/figure.
+``repro.resilience``
+    Seeded bit-flip fault injection over packed bitstreams and the
+    campaign driver scoring SDC rate, drift, and sanitizer coverage.
 
 Quick start::
 
@@ -30,12 +33,13 @@ Quick start::
     w_q = q.quantize(w)
 """
 
-from . import analysis, data, formats, hardware, metrics, nn, rng
+from . import analysis, data, formats, hardware, metrics, nn, resilience, rng
 from .formats import AdaptivFloat, adaptivfloat_quantize, make_quantizer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdaptivFloat", "adaptivfloat_quantize", "analysis", "data", "formats",
-    "hardware", "make_quantizer", "metrics", "nn", "rng", "__version__",
+    "hardware", "make_quantizer", "metrics", "nn", "resilience", "rng",
+    "__version__",
 ]

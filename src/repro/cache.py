@@ -65,13 +65,16 @@ def store_cached_json(namespace: str, key: str, value: Any) -> pathlib.Path:
 
     The temp-file + ``os.replace`` dance means a concurrent reader sees
     either nothing or a complete JSON document, never a partial write.
+    Non-JSON-serializable payloads raise ``TypeError`` (mirroring
+    :func:`content_key`) rather than being silently stringified into a
+    poisoned cell that every later warm run would faithfully replay.
     """
     path = cell_cache_path(namespace, key)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            json.dump(value, fh, indent=2, sort_keys=True, default=str)
+            json.dump(value, fh, indent=2, sort_keys=True)
         os.replace(tmp, path)
     except BaseException:
         try:

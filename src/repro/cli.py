@@ -6,6 +6,7 @@ Commands
 ``quantize``    Quantize a ``.npy`` tensor file with any format.
 ``pe``          Print a PE's PPA (energy/op, TOPS/mm², widths).
 ``experiment``  Run one paper table/figure driver and print it.
+``resilience``  Run a seeded bit-flip fault-injection campaign.
 """
 
 from __future__ import annotations
@@ -93,6 +94,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from .resilience import campaign
+
+    result = campaign.run(
+        profile=args.profile, models=tuple(args.models),
+        formats=tuple(args.formats), bits=args.bits,
+        fields=tuple(args.fields), ber=tuple(args.ber),
+        n_flips=args.flips, trials=args.trials, seed=args.seed,
+        jobs=args.jobs)
+    print(campaign.render(result))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -124,6 +138,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the table2/table3 sweeps")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("resilience",
+                       help="run a bit-flip fault-injection campaign")
+    p.add_argument("--profile", choices=("tiny", "fast", "full"),
+                   default="fast")
+    p.add_argument("--models", nargs="+", default=["transformer"],
+                   choices=("transformer", "seq2seq", "resnet"))
+    p.add_argument("--formats", nargs="+",
+                   default=["float", "bfp", "uniform", "posit",
+                            "adaptivfloat"])
+    p.add_argument("--bits", type=int, default=8)
+    p.add_argument("--fields", nargs="+",
+                   default=["any", "sign", "exponent", "mantissa",
+                            "exp_bias"],
+                   help="bit classes to target (exp_bias = the adaptive "
+                        "register); unsupported (format, field) cells are "
+                        "skipped")
+    p.add_argument("--ber", nargs="*", type=float, default=[],
+                   help="additional whole-word bit-error-rate cells")
+    p.add_argument("--flips", type=int, default=1,
+                   help="distinct bit flips per injection event")
+    p.add_argument("--trials", type=int, default=8,
+                   help="injection events per cell")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1)
+    p.set_defaults(func=_cmd_resilience)
     return parser
 
 

@@ -64,6 +64,11 @@ def exponent_bias_for(x: np.ndarray, exp_bits: int,
     bias so that the (empty) grid sits harmlessly below any future data.
     """
     a = np.abs(np.asarray(x, dtype=np.float64))
+    if not np.isfinite(a).all():
+        # Fit on the finite mass only: a single bit-flipped Inf/NaN must
+        # not drag the whole tensor's exponent range with it (quantize
+        # saturates the non-finite magnitudes to value_max instead).
+        a = np.where(np.isfinite(a), a, 0.0)
     if axis is None:
         max_abs = a.max() if a.size else 0.0
         if max_abs == 0.0:
@@ -189,6 +194,10 @@ class AdaptivFloat(AdaptiveQuantizer):
         return super()._codebook_key(params)
 
     # ---------------------------------------------------------- bit codec
+    def bit_fields(self):
+        return (("sign",) + ("exponent",) * self.exp_bits
+                + ("mantissa",) * self.mant_bits)
+
     def encode(self, values: np.ndarray, exp_bias: int) -> np.ndarray:
         """Encode already-quantized ``values`` into raw bit words (uint32).
 
@@ -201,6 +210,10 @@ class AdaptivFloat(AdaptiveQuantizer):
         """
         from . import kernels
         v = np.asarray(values, dtype=np.float64)
+        if not np.isfinite(v).all():
+            # NaN fails every comparison below and would silently take
+            # the zero branch of the analytic encoder.
+            raise ValueError("only finite quantized values are encodable")
         if (self.channel_axis is None
                 and isinstance(exp_bias, (int, np.integer))
                 and self.bits <= kernels.max_table_bits()):

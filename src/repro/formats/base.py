@@ -98,6 +98,11 @@ class Quantizer(abc.ABC):
         """Return ``x`` rounded to the nearest representable value."""
         from . import kernels
         x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 0:
+            # 0-d inputs break `out=`-style kernels (np.clip(scalar,
+            # out=...) is a TypeError); promote at the boundary so every
+            # format sees >= 1-d and callers get a 0-d result back.
+            return self.quantize(x.reshape(1)).reshape(())
         codebook = kernels.get_codebook(self, None)
         if codebook is not None:
             return codebook.quantize(x)
@@ -149,6 +154,18 @@ class Quantizer(abc.ABC):
         """Uniform-grid description for the fused affine kernel, if any."""
         return None
 
+    # ------------------------------------------------------------ bit codec
+    def bit_fields(self) -> tuple:
+        """Per-bit field labels of the stored word, MSB first.
+
+        Formats with a bit-level codec (``encode``/``decode``) return a
+        ``bits``-long tuple of labels from {"sign", "exponent",
+        "mantissa"}; the fault-injection subsystem
+        (:mod:`repro.resilience`) uses it to target flips at one field.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no bit-level codec")
+
     # -------------------------------------------------------------- helpers
     def spec(self) -> Dict[str, Any]:
         """A plain-dict description (for reports and serialization)."""
@@ -190,6 +207,9 @@ class AdaptiveQuantizer(Quantizer):
         """Quantize ``x`` on the grid described by ``params``."""
         from . import kernels
         x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 0:
+            # Same 0-d promotion as Quantizer.quantize: scalar in, 0-d out.
+            return self.quantize_with_params(x.reshape(1), params).reshape(())
         codebook = kernels.get_codebook(self, params)
         if codebook is not None:
             return codebook.quantize(x)

@@ -23,6 +23,13 @@ from .base import AdaptiveQuantizer, RoundMode, ulp_round
 
 __all__ = ["BlockFloat"]
 
+#: Floor for the fitted shared exponent.  Below roughly 2**-1000 the
+#: mantissa quantum ``2**(shared_exp - (n - 2))`` underflows float64 to
+#: zero and the grid division turns 0/0 -> NaN.  Clamping only affects
+#: tensors whose max |value| is below ~1e-301 (cf. the identical
+#: ``_MIN_EXP_BIAS`` guard in :mod:`repro.formats.adaptivfloat`).
+_MIN_SHARED_EXP = -1000
+
 
 class BlockFloat(AdaptiveQuantizer):
     """``n``-bit block floating point with a shared per-block exponent."""
@@ -54,7 +61,7 @@ class BlockFloat(AdaptiveQuantizer):
     def _shared_exp(max_abs: np.ndarray) -> np.ndarray:
         safe = np.where(max_abs > 0.0, max_abs, 1.0)
         _, e = np.frexp(safe)
-        return np.where(max_abs > 0.0, e - 1, 0)
+        return np.where(max_abs > 0.0, np.maximum(e - 1, _MIN_SHARED_EXP), 0)
 
     # ------------------------------------------------------------- fitting
     def fit(self, x: np.ndarray) -> Dict[str, Any]:
@@ -62,8 +69,17 @@ class BlockFloat(AdaptiveQuantizer):
         if self.block_size is None:
             # abs-max via two reductions: no |x| temporary.
             max_abs = max(float(x.max()), float(-x.min()), 0.0) if x.size else 0.0
+            if not np.isfinite(max_abs):
+                # Fit the shared exponent on the finite mass only;
+                # quantize saturates the non-finite magnitudes to the
+                # extreme mantissa instead of exploding the grid.
+                finite = x[np.isfinite(x)]
+                max_abs = float(np.abs(finite).max()) if finite.size else 0.0
             return {"shared_exp": int(self._shared_exp(np.asarray(max_abs)))}
-        blocks = self._to_blocks(np.abs(x))
+        a = np.abs(x)
+        if not np.isfinite(a).all():
+            a = np.where(np.isfinite(a), a, 0.0)
+        blocks = self._to_blocks(a)
         return {"shared_exp": self._shared_exp(blocks.max(axis=1)).astype(np.int64)}
 
     def _codebook_key(self, params):
@@ -96,7 +112,11 @@ class BlockFloat(AdaptiveQuantizer):
 
     def _quantize_flat(self, x: np.ndarray, shared_exp: np.ndarray) -> np.ndarray:
         quantum = self._quantum(shared_exp)
-        mant = ulp_round(x / quantum, self.round_mode, self._rng)
+        # Value-domain pre-clamp: +/-Inf saturates to the extreme mantissa
+        # before the division ever sees it (NaN propagates through clip).
+        top = self.mant_max * quantum
+        mant = ulp_round(np.clip(x, -top, top) / quantum,
+                         self.round_mode, self._rng)
         mant = np.clip(mant, -self.mant_max, self.mant_max)
         return mant * quantum
 
@@ -107,6 +127,41 @@ class BlockFloat(AdaptiveQuantizer):
         if pad:
             flat = np.concatenate([flat, np.zeros(pad, dtype=flat.dtype)])
         return flat.reshape(-1, size)
+
+    # ---------------------------------------------------------- bit codec
+    def bit_fields(self):
+        # Two's-complement mantissa; the shared exponent lives in a
+        # separate per-tensor register (attacked via the register field).
+        return ("sign",) + ("mantissa",) * (self.bits - 1)
+
+    def encode(self, values: np.ndarray, shared_exp: int) -> np.ndarray:
+        """Encode already-quantized ``values`` into two's-complement words.
+
+        Only the per-tensor configuration (scalar ``shared_exp``) has a
+        bit codec; per-block vectors carry one register per block and are
+        out of scope here.
+        """
+        if self.block_size is not None:
+            raise NotImplementedError(
+                "bit codec requires per-tensor shared exponents")
+        v = np.asarray(values, dtype=np.float64)
+        if not np.isfinite(v).all():
+            raise ValueError("only finite quantized values are encodable")
+        quantum = float(self._quantum(np.asarray(float(int(shared_exp)))))
+        mant = np.rint(v / quantum).astype(np.int64)
+        if not np.array_equal(mant.astype(np.float64) * quantum, v):
+            raise ValueError("value not on the block floating-point grid")
+        if np.any(np.abs(mant) > self.mant_max):
+            raise ValueError("mantissa outside the symmetric range")
+        return (mant & np.int64(2 ** self.bits - 1)).astype(np.uint32)
+
+    def decode(self, words: np.ndarray, shared_exp: int) -> np.ndarray:
+        """Decode two's-complement mantissa words (total function)."""
+        w = (np.asarray(words, dtype=np.int64)
+             & np.int64(2 ** self.bits - 1))
+        mant = np.where(w >= 2 ** (self.bits - 1), w - 2 ** self.bits, w)
+        quantum = float(self._quantum(np.asarray(float(int(shared_exp)))))
+        return mant.astype(np.float64) * quantum
 
     # -------------------------------------------------------- enumeration
     def codepoints(self, shared_exp: int = 0) -> np.ndarray:

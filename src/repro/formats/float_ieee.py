@@ -79,6 +79,63 @@ class FloatIEEE(Quantizer):
         q = ulp_round(a / quantum, self.round_mode, self._rng) * quantum
         return sign * np.where(a > 0.0, q, 0.0)
 
+    # ---------------------------------------------------------- bit codec
+    def bit_fields(self):
+        return (("sign",) + ("exponent",) * self.exp_bits
+                + ("mantissa",) * self.mant_bits)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Encode already-quantized ``values`` into raw bit words (uint32).
+
+        IEEE layout, MSB to LSB: sign | exponent (``e`` bits, bias
+        ``2**(e-1) - 1``, stored 0 = subnormal) | mantissa (``m`` bits).
+        """
+        v = np.asarray(values, dtype=np.float64)
+        if not np.isfinite(v).all():
+            raise ValueError("only finite quantized values are encodable")
+        sign = np.signbit(v).astype(np.uint32)
+        a = np.abs(v)
+        is_sub = a < 2.0 ** self.min_normal_exp
+        sub_quantum = 2.0 ** (self.min_normal_exp - self.mant_bits)
+        sub_steps = np.where(is_sub, a / sub_quantum, 0.0)
+        sub_code = np.rint(sub_steps).astype(np.int64)
+        safe = np.where(is_sub, 1.0, a)
+        _, e = np.frexp(safe)
+        exp = e - 1
+        stored_exp = exp.astype(np.int64) + self.exp_bias
+        mant = safe / np.exp2(exp.astype(np.float64))
+        mant_steps = (mant - 1.0) * 2.0 ** self.mant_bits
+        mant_code = np.rint(mant_steps).astype(np.int64)
+        if np.any(is_sub & (np.abs(sub_steps - sub_code) > 1e-9)):
+            raise ValueError("value not on the subnormal grid")
+        if np.any(~is_sub & ((stored_exp < 1)
+                             | (stored_exp >= 2 ** self.exp_bits))):
+            raise ValueError("value outside the representable exponent range")
+        if np.any(~is_sub & (np.abs(mant_steps - mant_code) > 1e-9)):
+            raise ValueError("value not on the mantissa grid")
+        body = np.where(is_sub, sub_code,
+                        (stored_exp << self.mant_bits) | mant_code)
+        return ((sign << np.uint32(self.bits - 1))
+                | body.astype(np.uint32)).astype(np.uint32)
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        """Decode raw bit words back to float values (total function).
+
+        Every ``n``-bit word decodes to a finite value: the grid has no
+        Inf/NaN codepoints, so the all-ones exponent is an ordinary
+        binade — the format's saturation behaviour under bit flips.
+        """
+        w = np.asarray(words, dtype=np.uint32) & np.uint32(2 ** self.bits - 1)
+        sign = np.where((w >> np.uint32(self.bits - 1)) & np.uint32(1),
+                        -1.0, 1.0)
+        stored_exp = ((w >> np.uint32(self.mant_bits))
+                      & np.uint32(2 ** self.exp_bits - 1)).astype(np.int64)
+        mant_code = (w & np.uint32(2 ** self.mant_bits - 1)).astype(np.float64)
+        is_sub = stored_exp == 0
+        exp = np.where(is_sub, self.min_normal_exp, stored_exp - self.exp_bias)
+        mant = np.where(is_sub, 0.0, 1.0) + mant_code * 2.0 ** (-self.mant_bits)
+        return sign * np.exp2(exp.astype(np.float64)) * mant
+
     # -------------------------------------------------------- enumeration
     def codepoints(self) -> np.ndarray:
         ulp = 2.0 ** (-self.mant_bits)

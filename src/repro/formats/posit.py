@@ -83,6 +83,34 @@ def _positive_codepoints(bits: int, es: int) -> np.ndarray:
 
 
 @lru_cache(maxsize=None)
+def _codec_tables(bits: int, es: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cached codec tables for ``posit<bits, es>``.
+
+    Returns ``(sorted_mags, sorted_words, decode_lut)``: the positive
+    magnitudes in ascending order, the positive posit word of each, and
+    the decoded value of every possible ``bits``-wide word (word 0 is
+    zero, the NaR pattern decodes to NaN — the numeric poison a flipped
+    sign-MSB injects into the datapath).
+    """
+    words = np.arange(1, 2 ** (bits - 1), dtype=np.uint32)
+    values = np.array([decode_posit_word(int(w), bits, es) for w in words],
+                      dtype=np.float64)
+    order = np.argsort(values)
+    sorted_mags = values[order]
+    sorted_words = words[order]
+    nar = 1 << (bits - 1)
+    decode_lut = np.empty(2 ** bits, dtype=np.float64)
+    decode_lut[0] = 0.0
+    decode_lut[nar] = np.nan
+    for w in range(1, 2 ** bits):
+        if w != nar:
+            decode_lut[w] = decode_posit_word(w, bits, es)
+    for table in (sorted_mags, sorted_words, decode_lut):
+        table.setflags(write=False)
+    return sorted_mags, sorted_words, decode_lut
+
+
+@lru_cache(maxsize=None)
 def _lookup_tables(bits: int, es: int,
                    underflow: str) -> Tuple[np.ndarray, np.ndarray]:
     """Cached ``(table, midpoints)`` pair for nearest-codepoint search.
@@ -145,6 +173,41 @@ class Posit(Quantizer):
         # Exact zeros are representable (word 0) in both modes.
         out = np.where(a == 0.0, 0.0, out)
         return sign * out
+
+    # ---------------------------------------------------------- bit codec
+    def bit_fields(self):
+        # The regime is run-length encoded, so fields have no fixed
+        # positions.  We label the sign plus the regime/exponent prefix
+        # (the 2-bit minimum regime + ``es`` exponent bits) as the
+        # dynamic-range-carrying "exponent" class and the tail as
+        # "mantissa" — an approximation the resilience docs call out.
+        exp_like = min(2 + self.es, self.bits - 1)
+        return (("sign",) + ("exponent",) * exp_like
+                + ("mantissa",) * (self.bits - 1 - exp_like))
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Encode already-quantized ``values`` into raw posit words.
+
+        Negative values are stored as the two's complement of their
+        magnitude's word, per the posit standard.
+        """
+        v = np.asarray(values, dtype=np.float64)
+        if not np.isfinite(v).all():
+            raise ValueError("only finite quantized values are encodable")
+        mags, words, _ = _codec_tables(self.bits, self.es)
+        a = np.abs(v)
+        idx = np.clip(np.searchsorted(mags, a), 0, mags.size - 1)
+        if not np.array_equal(np.where(a > 0.0, mags[idx], 0.0), a):
+            raise ValueError("value is not a posit codepoint")
+        word = np.where(a > 0.0, words[idx], np.uint32(0)).astype(np.int64)
+        mask = np.int64(2 ** self.bits - 1)
+        return np.where(v < 0.0, (-word) & mask, word).astype(np.uint32)
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        """Decode raw posit words (total function; NaR decodes to NaN)."""
+        _, _, decode_lut = _codec_tables(self.bits, self.es)
+        w = np.asarray(words, dtype=np.int64) & np.int64(2 ** self.bits - 1)
+        return decode_lut[w]
 
     # -------------------------------------------------------- enumeration
     def codepoints(self) -> np.ndarray:

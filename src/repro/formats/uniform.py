@@ -53,15 +53,37 @@ class Uniform(AdaptiveQuantizer):
         if self.symmetric:
             # abs-max via two reductions: no |x| temporary.
             max_abs = max(float(x.max()), float(-x.min()), 0.0) if x.size else 0.0
+            if not np.isfinite(max_abs):
+                # +/-Inf or NaN elements (e.g. a bit-flipped exponent
+                # upstream) would drive ``scale`` to inf and every later
+                # division to inf/inf -> NaN.  Fit the grid on the finite
+                # mass instead; quantize saturates the non-finite
+                # magnitudes to the extreme codepoint.
+                finite = x[np.isfinite(x)]
+                max_abs = float(np.abs(finite).max()) if finite.size else 0.0
             scale = max_abs / self.level_max
             if scale <= 0.0:  # all-zero or underflowed-to-zero tensor
                 scale = 1.0
+            while not np.isfinite(self.level_max * scale):
+                # max_abs within a few ULP of the float64 maximum: the
+                # rounded-up division makes the extreme codepoint
+                # ``level_max * scale`` overflow; step the scale down.
+                scale = float(np.nextafter(scale, 0.0))
             return {"scale": scale, "zero_point": 0}
         lo = float(x.min()) if x.size else 0.0
         hi = float(x.max()) if x.size else 0.0
+        if not (np.isfinite(lo) and np.isfinite(hi)):
+            finite = x[np.isfinite(x)]
+            lo = float(finite.min()) if finite.size else 0.0
+            hi = float(finite.max()) if finite.size else 0.0
         span = hi - lo
         levels = 2 ** self.bits - 1
-        scale = span / levels if span > 0.0 else 1.0
+        if span > 0.0 and not np.isfinite(span):
+            # lo/hi straddle most of the float64 range; divide first so
+            # the span arithmetic cannot overflow.
+            scale = hi / levels - lo / levels
+        else:
+            scale = span / levels if span > 0.0 else 1.0
         zero_point = int(np.rint(-lo / scale)) if span > 0.0 else 0
         return {"scale": scale, "zero_point": zero_point}
 
@@ -91,13 +113,68 @@ class Uniform(AdaptiveQuantizer):
         x = np.asarray(x, dtype=np.float64)
         scale = float(params["scale"])
         zero_point = int(params.get("zero_point", 0))
+        # Value-domain pre-clamp: saturates +/-Inf (and anything beyond
+        # the extreme codepoints) before the division so it can never
+        # reach the rounding path as inf; NaN propagates through clip.
         if self.symmetric:
-            levels = ulp_round(x / scale, self.round_mode, self._rng)
+            top = self.level_max * scale
+            levels = ulp_round(np.clip(x, -top, top) / scale,
+                               self.round_mode, self._rng)
             levels = np.clip(levels, -self.level_max, self.level_max)
             return levels * scale
-        levels = ulp_round(x / scale, self.round_mode, self._rng) + zero_point
+        lo = (0 - zero_point) * scale
+        hi = (2 ** self.bits - 1 - zero_point) * scale
+        levels = ulp_round(np.clip(x, lo, hi) / scale,
+                           self.round_mode, self._rng) + zero_point
         levels = np.clip(levels, 0, 2 ** self.bits - 1)
         return (levels - zero_point) * scale
+
+    # ---------------------------------------------------------- bit codec
+    def bit_fields(self):
+        if self.symmetric:
+            # Two's-complement level: the MSB is the sign.
+            return ("sign",) + ("mantissa",) * (self.bits - 1)
+        return ("mantissa",) * self.bits  # biased magnitude code, no sign
+
+    def encode(self, values: np.ndarray, scale: float,
+               zero_point: int = 0) -> np.ndarray:
+        """Encode already-quantized ``values`` into raw level words.
+
+        Symmetric levels are stored two's-complement; affine levels are
+        stored directly (``level + zero_point`` in ``[0, 2**n - 1]``).
+        """
+        v = np.asarray(values, dtype=np.float64)
+        scale = float(scale)
+        if not np.isfinite(v).all():
+            raise ValueError("only finite quantized values are encodable")
+        levels = np.rint(v / scale).astype(np.int64)
+        if not np.array_equal(levels.astype(np.float64) * scale, v):
+            raise ValueError("value not on the uniform grid")
+        mask = np.int64(2 ** self.bits - 1)
+        if self.symmetric:
+            if np.any(np.abs(levels) > self.level_max):
+                raise ValueError("level outside the symmetric range")
+            return (levels & mask).astype(np.uint32)
+        stored = levels + int(zero_point)
+        if np.any((stored < 0) | (stored > 2 ** self.bits - 1)):
+            raise ValueError("level outside the affine range")
+        return stored.astype(np.uint32)
+
+    def decode(self, words: np.ndarray, scale: float,
+               zero_point: int = 0) -> np.ndarray:
+        """Decode raw level words back to float values (total function).
+
+        Every ``n``-bit word decodes: the two's-complement minimum
+        ``-2**(n-1)`` (one below the symmetric clamp, reachable only via
+        bit flips) decodes faithfully to what the datapath would compute.
+        """
+        w = (np.asarray(words, dtype=np.int64)
+             & np.int64(2 ** self.bits - 1))
+        if self.symmetric:
+            levels = np.where(w >= 2 ** (self.bits - 1), w - 2 ** self.bits, w)
+        else:
+            levels = w - int(zero_point)
+        return levels.astype(np.float64) * float(scale)
 
     # -------------------------------------------------------- enumeration
     def codepoints(self, scale: float = 1.0, zero_point: int = 0) -> np.ndarray:

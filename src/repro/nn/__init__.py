@@ -20,7 +20,7 @@ from . import models, prune, quantize, schedules
 from .prune import magnitude_prune, sparsity_report
 from .trainer import Trainer, TrainHistory
 from .sanitize import (NumericFault, NumericFinding, SanitizeReport,
-                       Sanitizer)
+                       Sanitizer, scan_parameters)
 from .quantize import (ActFakeQuant, QuantSpec, WeightFakeQuant,
                        attach_act_quantizers, attach_weight_quantizers,
                        calibrate, detach_quantizers,
@@ -44,7 +44,7 @@ __all__ = [
     "layers",
     "magnitude_prune", "models", "no_grad", "optim", "pad_hypotheses",
     "prune", "quantize",
-    "sanitize",
+    "sanitize", "scan_parameters",
     "quantize_weights_inplace", "reset_weight_quant_cache_stats",
     "schedules", "sparsity_report", "weight_quant_cache_stats",
 ]

@@ -20,7 +20,13 @@ Checks
 * ``clamp-storm`` — more than ``clamp_storm`` of a tensor's elements were
   clamped to the format's extreme codepoint (saturated ``value_max``);
 * ``underflow-flood`` — more than ``underflow_flood`` of the *nonzero*
-  input elements quantized to exactly zero.
+  input elements quantized to exactly zero;
+* ``param-nan`` / ``param-overflow`` / ``param-range`` — a *stored
+  parameter* is NaN / Inf / outside its expected magnitude envelope
+  (:func:`scan_parameters`).  The forward hooks deliberately stay quiet
+  when an op's inputs are already bad (only the originating op reports),
+  so faults injected directly into weights — the bit-flip model of
+  :mod:`repro.resilience` — need this explicit scan.
 
 Usage
 -----
@@ -52,7 +58,7 @@ import numpy as np
 __all__ = [
     "NumericFinding", "NumericFault", "SanitizeReport", "Sanitizer",
     "is_active", "global_report",
-    "on_op", "on_grad", "on_quantize",
+    "on_op", "on_grad", "on_quantize", "scan_parameters",
 ]
 
 
@@ -84,6 +90,7 @@ class SanitizeReport:
 
     findings: List[NumericFinding] = dataclasses.field(default_factory=list)
     ops_checked: int = 0
+    params_scanned: int = 0
     truncated: bool = False
 
     def by_kind(self, kind: str) -> List[NumericFinding]:
@@ -343,6 +350,67 @@ def on_quantize(inp: np.ndarray, out: np.ndarray) -> None:
                         "flooded_fraction": flooded,
                         "nonzero_inputs": nonzero,
                     })
+
+
+# ------------------------------------------------------------- parameter scan
+def scan_parameters(model: Any, bounds: Optional[Dict[str, float]] = None,
+                    range_slack: float = 2.0) -> List[NumericFinding]:
+    """Sweep a model's stored parameters for corrupted values.
+
+    The forward hooks only report the op that *manufactures* a bad value
+    — ops whose inputs are already non-finite are treated as propagation
+    and stay silent.  A fault injected straight into a weight tensor (the
+    :mod:`repro.resilience` bit-flip model) therefore never trips them;
+    this scan is the complementary detector a hardware range/finiteness
+    checker on the weight SRAM would implement.
+
+    Checks per parameter tensor:
+
+    * ``param-nan`` — any NaN element;
+    * ``param-overflow`` — any Inf element;
+    * ``param-range`` — all elements finite but the max magnitude
+      exceeds ``range_slack`` times the expected bound from ``bounds``
+      (a dict ``{parameter name -> expected max |value|}``, typically
+      recorded from the clean quantized weights).
+
+    Findings are returned; when a :class:`Sanitizer` is active they are
+    also recorded on its report (or raised, in ``action="raise"`` mode),
+    and ``params_scanned`` is incremented per tensor.
+    """
+    state = _STATE
+    findings: List[NumericFinding] = []
+    for name, param in model.named_parameters():
+        data = np.asarray(param.data)
+        if state is not None:
+            state.report.params_scanned += 1
+        kind = message = None
+        stats: Dict[str, Any] = {}
+        if not _extremes_finite(data):
+            stats = _stats(data)
+            if stats["nan"]:
+                kind = "param-nan"
+                message = f"parameter carries {stats['nan']} NaN value(s)"
+            else:
+                kind = "param-overflow"
+                message = f"parameter carries {stats['inf']} Inf value(s)"
+        elif bounds is not None and name in bounds and data.size:
+            limit = float(bounds[name]) * float(range_slack)
+            top = float(np.abs(data).max())
+            if limit > 0.0 and top > limit:
+                kind = "param-range"
+                message = (f"parameter magnitude {top:g} exceeds "
+                           f"{range_slack:g}x the expected bound "
+                           f"{float(bounds[name]):g}")
+                stats = {"max_abs": top, "bound": float(bounds[name]),
+                         "range_slack": float(range_slack)}
+        if kind is None:
+            continue
+        findings.append(NumericFinding(kind=kind, op="scan_parameters",
+                                       layer=name, message=message,
+                                       stats=stats))
+        if state is not None:
+            state.emit(kind, "scan_parameters", name, message, stats)
+    return findings
 
 
 # ------------------------------------------------------------------ env knob

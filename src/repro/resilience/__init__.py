@@ -1,0 +1,37 @@
+"""Bit-flip fault injection and resilience evaluation.
+
+The paper's titular claim is *resilient* inference: AdaptivFloat's
+bounded, per-tensor-shifted dynamic range degrades gracefully under
+storage faults where IEEE-like floats explode (a flipped exponent MSB
+multiplies a weight by ``2**(2**(e-1))``) and full-precision scale
+registers are single points of catastrophic failure.  This package
+measures that directly:
+
+* :mod:`~repro.resilience.inject` — seeded single-flip / BER /
+  field-targeted bit flips over the packed bitstreams of
+  :mod:`repro.formats.bitpack`, decoded back through each format's bit
+  codec, plus adaptive-register (``exp_bias`` / shared-exponent /
+  scale) faults;
+* :mod:`~repro.resilience.campaign` — an injection-campaign driver over
+  the parallel cell runner scoring silent-data-corruption rate, logit
+  drift, task-metric degradation, and runtime-sanitizer detection
+  coverage.
+
+See ``docs/resilience.md`` for the injection model and metrics.
+"""
+
+from . import campaign, inject
+from .campaign import DEFAULT_FIELDS, cell_fields, render
+from .campaign import run as run_campaign
+from .inject import (FIELDS, REGISTER_FIELD, InjectionResult, eligible_bits,
+                     flip_float_register, flip_int_register, flip_packed,
+                     flip_words, inject_tensor, register_spec,
+                     sample_flip_positions)
+
+__all__ = [
+    "DEFAULT_FIELDS", "FIELDS", "REGISTER_FIELD", "InjectionResult",
+    "campaign", "cell_fields", "eligible_bits", "flip_float_register",
+    "flip_int_register", "flip_packed", "flip_words", "inject",
+    "inject_tensor", "register_spec", "render", "run_campaign",
+    "sample_flip_positions",
+]

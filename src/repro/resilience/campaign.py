@@ -1,0 +1,343 @@
+"""Fault-injection campaigns: per-(model, format, field) resilience cells.
+
+A campaign fans a grid of injection cells over the parallel cell runner
+(:mod:`repro.experiments.runner`), one cell per (model, format, bits,
+field | BER, seed) combination.  Each cell:
+
+1. loads the cached FP32 checkpoint and post-training-quantizes every
+   target weight tensor (float64 grid values + fitted adaptive params,
+   so the bit codec round-trips exactly);
+2. records the clean quantized probe logits and task score;
+3. runs ``trials`` seeded injection events — each picks a weight tensor
+   (probability proportional to its stored bit count, i.e. flips land
+   uniformly over the weight memory), flips bits via
+   :mod:`repro.resilience.inject`, decodes, and swaps the faulty tensor
+   in through ``load_state_dict``;
+4. scores each trial: **detection** (a :func:`repro.nn.scan_parameters`
+   sweep plus a :class:`repro.nn.Sanitizer`-instrumented probe forward),
+   **corruption** (any probe argmax changed, or non-finite logits),
+   **SDC** = corrupted and *not* detected (the silent data corruptions
+   of the fault-tolerance literature), logit RMS drift, and the task
+   metric.
+
+Every metric in the cell payload is a finite float, an int, or ``None``
+— never NaN/Inf — so results are strict-JSON cacheable and the committed
+``BENCH_resilience.json`` is byte-stable across warm re-runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..analysis import format_table, save_result
+from ..cache import content_key
+from ..formats import FORMAT_NAMES, make_quantizer
+from ..formats.base import AdaptiveQuantizer
+from ..nn.quantize import DEFAULT_QUANTIZED_LAYERS, _target_modules
+from ..experiments.common import MODEL_NAMES, PROFILES, get_bundle, trained_model
+from ..experiments.runner import run_cells
+from .inject import FIELDS, REGISTER_FIELD, inject_tensor, register_spec
+
+__all__ = ["DEFAULT_FIELDS", "run", "run_cell", "render", "cell_fields"]
+
+#: Fields a full campaign sweeps (word-level classes + the register).
+DEFAULT_FIELDS = ("any", "sign", "exponent", "mantissa", REGISTER_FIELD)
+
+#: Bump when the cell computation changes, to invalidate cached cells.
+_CACHE_SALT = "resilience-v1"
+
+#: How many eval-set samples the logit probe uses (kept small: the probe
+#: runs once per trial on top of the task-metric evaluation).
+_PROBE_SIZE = 16
+
+
+def cell_fields(format_name: str, bits: int) -> Tuple[str, ...]:
+    """The injectable fields for one format (skips undefined cells).
+
+    Uniform/BFP words carry no exponent bits, and float/posit carry no
+    adaptive register, so those (format, field) cells do not exist.
+    """
+    quantizer = make_quantizer(format_name, bits)
+    classes = set(quantizer.bit_fields())
+    fields: List[str] = []
+    for field in DEFAULT_FIELDS:
+        if field == "any":
+            fields.append(field)
+        elif field == REGISTER_FIELD:
+            if register_spec(format_name) is not None:
+                fields.append(field)
+        elif field in classes:
+            fields.append(field)
+    return tuple(fields)
+
+
+# ------------------------------------------------------------- cell plumbing
+def _quantize_targets(model: nn.Module, format_name: str,
+                      bits: int) -> Dict[str, Tuple[np.ndarray, Dict]]:
+    """PTQ every target weight: name -> (float64 grid values, params).
+
+    Mirrors :func:`repro.nn.quantize_weights_inplace`'s target selection
+    but keeps the float64 grid values (the in-place variant casts to
+    float32, off the exact grid the bit codec validates against).
+    """
+    quantized: Dict[str, Tuple[np.ndarray, Dict]] = {}
+    for mname, module in _target_modules(model, DEFAULT_QUANTIZED_LAYERS):
+        for pname, param in module._parameters.items():
+            if pname.startswith("bias") or pname == "bias":
+                continue
+            quantizer = make_quantizer(format_name, bits)
+            data = np.asarray(param.data, dtype=np.float64)
+            if isinstance(quantizer, AdaptiveQuantizer):
+                params = quantizer.fit(data)
+                values = quantizer.quantize_with_params(data, params)
+            else:
+                params = {}
+                values = quantizer.quantize(data)
+            quantized[f"{mname}.{pname}"] = (values, params)
+    if not quantized:
+        raise ValueError("no quantizable weights found in model")
+    return quantized
+
+
+def _probe_logits(model_name: str, model: nn.Module, batch: Any) -> np.ndarray:
+    """Raw output logits on the fixed probe batch (no sampling/decoding)."""
+    model.eval()
+    if model_name == "transformer":
+        out = model(batch.src, batch.tgt_in)
+    elif model_name == "seq2seq":
+        out = model(batch.frames, batch.tgt_in)
+    else:
+        out = model(batch.images)
+    return np.asarray(out.data, dtype=np.float64)
+
+
+def _finite(value: float) -> Optional[float]:
+    """JSON-safe scalar: finite floats pass, NaN/Inf become ``None``."""
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+def run_cell(cell: Dict) -> Dict:
+    """Compute one (model, format, bits, field/BER) injection cell.
+
+    Deterministic function of the descriptor: every injection event uses
+    ``default_rng([seed, cell-hash, trial])``, the probe batch and eval
+    set are seeded, and the FP32 checkpoint comes from the on-disk cache
+    (warmed by :func:`run` before dispatch).
+    """
+    prof = PROFILES[cell["profile"]]
+    bundle = get_bundle(cell["model"])
+    base_model, task, fp32_score = trained_model(cell["model"], cell["profile"])
+    base_state = base_model.state_dict()
+
+    quantized = _quantize_targets(base_model, cell["format"],
+                                  int(cell["bits"]))
+    clean_state = dict(base_state)
+    for name, (values, _params) in quantized.items():
+        clean_state[name] = np.asarray(values, dtype=np.float32)
+    bounds = {name: float(np.abs(values).max()) if values.size else 0.0
+              for name, (values, _params) in quantized.items()}
+
+    model, _ = bundle.build()
+    model.load_state_dict(clean_state)
+    probe_batch = task.eval_set(_PROBE_SIZE)
+    clean_logits = _probe_logits(cell["model"], model, probe_batch)
+    clean_argmax = np.argmax(clean_logits, axis=-1)
+    clean_score = bundle.evaluate(model, task, prof.eval_size)
+
+    names = list(quantized)
+    # Flips land uniformly over the stored weight memory: weight each
+    # tensor by its element count (all words in a cell are `bits` wide).
+    sizes = np.array([quantized[n][0].size for n in names], dtype=np.float64)
+    word_weights = sizes / sizes.sum()
+    register_weights = np.full(len(names), 1.0 / len(names))
+
+    quantizer = make_quantizer(cell["format"], int(cell["bits"]))
+    cell_hash = int(content_key({k: cell[k] for k in sorted(cell)})[:12], 16)
+    field = cell["field"]
+    ber = cell.get("ber")
+
+    trials = int(cell["trials"])
+    detected = corrupted = sdc = nonfinite = 0
+    detected_kinds: Dict[str, int] = {}
+    drifts: List[float] = []
+    scores: List[float] = []
+    score_failures = 0
+    flips_total = 0
+    for trial in range(trials):
+        rng = np.random.default_rng([int(cell["seed"]), cell_hash, trial])
+        weights = (register_weights if field == REGISTER_FIELD
+                   else word_weights)
+        target = names[int(rng.choice(len(names), p=weights))]
+        values, params = quantized[target]
+        result = inject_tensor(quantizer, values, params, rng, field=field,
+                               n_flips=int(cell.get("n_flips", 1)), ber=ber)
+        flips_total += result.n_flips
+        faulty_state = dict(clean_state)
+        # An injected fault is *supposed* to be able to overflow float32
+        # and poison the forward pass — suppress numpy's FP warnings here
+        # and let the sanitizer report the damage semantically instead.
+        with np.errstate(all="ignore"):
+            faulty_state[target] = np.asarray(result.values,
+                                              dtype=np.float32)
+            model.load_state_dict(faulty_state)
+            findings = nn.scan_parameters(model, bounds=bounds,
+                                          range_slack=2.0)
+            with nn.Sanitizer(model) as report:
+                logits = _probe_logits(cell["model"], model, probe_batch)
+        findings = findings + list(report.findings)
+        trial_detected = bool(findings)
+        for finding in findings:
+            detected_kinds[finding.kind] = detected_kinds.get(finding.kind,
+                                                              0) + 1
+
+        logits_finite = bool(np.isfinite(logits).all())
+        mismatch = float(np.mean(np.argmax(logits, axis=-1) != clean_argmax))
+        trial_corrupted = (not logits_finite) or mismatch > 0.0
+        if logits_finite:
+            drift = float(np.sqrt(np.mean((logits - clean_logits) ** 2)))
+            drifts.append(drift)
+        else:
+            nonfinite += 1
+        with np.errstate(all="ignore"):
+            score = float(bundle.evaluate(model, task, prof.eval_size))
+        if np.isfinite(score):
+            scores.append(score)
+        else:
+            score_failures += 1
+
+        detected += trial_detected
+        corrupted += trial_corrupted
+        sdc += trial_corrupted and not trial_detected
+
+    higher = bundle.higher_is_better
+    mean_score = float(np.mean(scores)) if scores else None
+    if mean_score is None:
+        degradation = None
+    else:
+        degradation = (clean_score - mean_score if higher
+                       else mean_score - clean_score)
+    return {
+        "fp32_score": _finite(fp32_score),
+        "clean_score": _finite(clean_score),
+        "trials": trials,
+        "flips_total": flips_total,
+        "sdc_rate": sdc / trials,
+        "detection_rate": detected / trials,
+        "corrupt_rate": corrupted / trials,
+        "nonfinite_logit_rate": nonfinite / trials,
+        "mean_logit_rms_drift": _finite(np.mean(drifts)) if drifts else None,
+        "max_logit_rms_drift": _finite(np.max(drifts)) if drifts else None,
+        "mean_score": _finite(mean_score) if mean_score is not None else None,
+        "worst_score": _finite(min(scores) if higher else max(scores))
+        if scores else None,
+        "score_failures": score_failures,
+        "mean_degradation": _finite(degradation)
+        if degradation is not None else None,
+        "detected_kinds": detected_kinds,
+    }
+
+
+# ------------------------------------------------------------------ campaign
+def run(profile: str = "fast", models: Sequence[str] = ("transformer",),
+        formats: Sequence[str] = FORMAT_NAMES, bits: int = 8,
+        fields: Sequence[str] = DEFAULT_FIELDS,
+        ber: Sequence[float] = (), n_flips: int = 1, trials: int = 8,
+        seed: int = 0, jobs: int = 1) -> Dict:
+    """Run a full injection campaign; returns (and persists) the grid.
+
+    ``fields`` cells that do not exist for a format (no exponent bits,
+    no adaptive register) are recorded as ``None`` in the grid rather
+    than silently dropped, so reports show the structural gap.  Each
+    ``ber`` value adds one whole-word multi-flip cell per (model,
+    format) on top of the single-flip field cells.
+    """
+    PROFILES[profile]  # validate before any work
+    for name in models:
+        if name not in MODEL_NAMES:
+            raise ValueError(f"unknown model {name!r}; known: {MODEL_NAMES}")
+    for field in fields:
+        if field not in FIELDS + (REGISTER_FIELD,):
+            raise ValueError(f"unknown field {field!r}; known: "
+                             f"{FIELDS + (REGISTER_FIELD,)}")
+    # Warm the FP32 checkpoints serially so workers only ever load them.
+    baselines = {name: trained_model(name, profile)[2] for name in models}
+
+    def _cell(model: str, fmt: str, field: str,
+              cell_ber: Optional[float]) -> Dict:
+        return {"table": "resilience", "profile": profile, "model": model,
+                "format": fmt, "bits": int(bits), "field": field,
+                "ber": cell_ber, "n_flips": int(n_flips),
+                "trials": int(trials), "seed": int(seed)}
+
+    cells: List[Dict] = []
+    slots: List[Tuple[str, str, str]] = []  # (model, format, field-or-ber key)
+    for model in models:
+        for fmt in formats:
+            supported = cell_fields(fmt, bits)
+            for field in fields:
+                if field not in supported:
+                    continue
+                cells.append(_cell(model, fmt, field, None))
+                slots.append((model, fmt, field))
+            for rate in ber:
+                cells.append(_cell(model, fmt, "any", float(rate)))
+                slots.append((model, fmt, f"ber:{float(rate):g}"))
+
+    results = run_cells(run_cell, cells, jobs=jobs,
+                        cache_namespace=f"resilience_{profile}",
+                        cache_salt=_CACHE_SALT)
+
+    grid: Dict = {}
+    for (model, fmt, key), payload in zip(slots, results):
+        grid.setdefault(model, {}).setdefault(fmt, {})[key] = payload
+    out: Dict = {"profile": profile, "bits": int(bits), "seed": int(seed),
+                 "trials": int(trials), "n_flips": int(n_flips),
+                 "fields": list(fields), "ber": [float(b) for b in ber],
+                 "models": {}}
+    for model in models:
+        bundle = get_bundle(model)
+        per_fmt: Dict = {}
+        for fmt in formats:
+            cells_by_key = grid.get(model, {}).get(fmt, {})
+            per_fmt[fmt] = {field: cells_by_key.get(field)
+                            for field in fields}
+            for rate in ber:
+                key = f"ber:{float(rate):g}"
+                per_fmt[fmt][key] = cells_by_key.get(key)
+        out["models"][model] = {
+            "fp32_score": float(baselines[model]), "metric": bundle.metric,
+            "higher_is_better": bundle.higher_is_better, "formats": per_fmt,
+        }
+    save_result(f"resilience_{profile}", out)
+    return out
+
+
+def render(result: Dict) -> str:
+    """Text tables: per model, formats x fields, ``SDC | detect | drift``."""
+    keys = list(result["fields"]) + [f"ber:{b:g}" for b in result["ber"]]
+    blocks = []
+    for model, payload in result["models"].items():
+        rows = []
+        for fmt, per_field in payload["formats"].items():
+            row = [fmt]
+            for key in keys:
+                cell = per_field.get(key)
+                if cell is None:
+                    row.append("-")
+                    continue
+                drift = cell["mean_logit_rms_drift"]
+                row.append(f"{cell['sdc_rate']:.2f}|{cell['detection_rate']:.2f}"
+                           f"|{drift:.2g}" if drift is not None
+                           else f"{cell['sdc_rate']:.2f}"
+                                f"|{cell['detection_rate']:.2f}|nf")
+            rows.append(row)
+        blocks.append(format_table(
+            ["format"] + keys, rows,
+            title=(f"Resilience - {model} at {result['bits']} bits "
+                   f"(SDC rate | sanitizer detection | logit RMS drift; "
+                   f"{result['trials']} trials/cell)")))
+    return "\n\n".join(blocks)

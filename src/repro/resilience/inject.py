@@ -1,0 +1,258 @@
+"""Seeded bit-flip fault injection over packed quantized bitstreams.
+
+The injection model follows the transient-fault literature the paper's
+resilience claim speaks to: a stored weight buffer (the packed ``n``-bit
+words from :mod:`repro.formats.bitpack`) suffers single-event upsets —
+individual bits invert — and the corrupted words flow through the
+format's ``decode`` back into the datapath.  Because every registry
+format now has a bit-level codec, the same flip applied at the same flat
+bit offset is comparable across formats at matched word size, which is
+exactly the sign/exponent/mantissa field-sensitivity measurement of
+Johnson's "Rethinking floating point for deep learning".
+
+Three targeting modes:
+
+* **single/multi flip** (``n_flips``): exactly ``k`` distinct bit
+  positions drawn uniformly from the eligible set;
+* **BER** (``ber``): every eligible bit flips independently with the
+  given bit-error rate;
+* **field-targeted** (``field``): the eligible set is restricted to one
+  bit class from the format's :meth:`~repro.formats.base.Quantizer.bit_fields`
+  map — ``"sign"``, ``"exponent"``, ``"mantissa"`` — or to the
+  per-tensor **register** (``"exp_bias"``): AdaptivFloat's integer
+  exponent bias, BFP's shared exponent (both int8 two's complement), or
+  uniform's float32 scale.  IEEE-like float and posit carry no adaptive
+  register, so register cells are undefined for them.
+
+All randomness flows through an explicit ``numpy.random.Generator``;
+identical (generator state, arguments) produce identical faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..formats.base import Quantizer
+from ..formats.bitpack import pack_words, unpack_words
+
+__all__ = [
+    "FIELDS",
+    "REGISTER_FIELD",
+    "InjectionResult",
+    "register_spec",
+    "eligible_bits",
+    "sample_flip_positions",
+    "flip_packed",
+    "flip_words",
+    "flip_int_register",
+    "flip_float_register",
+    "encode_tensor",
+    "decode_tensor",
+    "inject_tensor",
+]
+
+#: Word-level bit classes every codec labels (``"any"`` = all of them).
+FIELDS = ("any", "sign", "exponent", "mantissa")
+
+#: Name of the per-tensor adaptive-parameter register field.
+REGISTER_FIELD = "exp_bias"
+
+#: format name -> (params key, register kind, register width in bits).
+_REGISTERS: Dict[str, Tuple[str, str, int]] = {
+    "adaptivfloat": ("exp_bias", "int", 8),
+    "bfp": ("shared_exp", "int", 8),
+    "uniform": ("scale", "float", 32),
+}
+
+
+def register_spec(format_name: str) -> Optional[Tuple[str, str, int]]:
+    """``(params key, kind, width)`` of a format's register, or ``None``.
+
+    ``kind`` is ``"int"`` (int8 two's complement — the hardware register
+    AdaptivFloat's Section 5 PE holds) or ``"float"`` (IEEE float32, the
+    full-precision scale a uniform-quantized engine must store).
+    """
+    return _REGISTERS.get(format_name)
+
+
+# ------------------------------------------------------------ bit targeting
+def eligible_bits(quantizer: Quantizer, count: int,
+                  field: str = "any") -> np.ndarray:
+    """Flat bit offsets (into the packed stream) matching ``field``.
+
+    Bit ``j`` (0 = MSB) of word ``i`` sits at flat offset
+    ``i * bits + j`` in the MSB-first packed layout of
+    :func:`repro.formats.bitpack.pack_words`.
+    """
+    if field == "any":
+        per_word = np.arange(quantizer.bits, dtype=np.int64)
+    else:
+        labels = quantizer.bit_fields()
+        per_word = np.flatnonzero(
+            np.array([lab == field for lab in labels]))
+        if per_word.size == 0:
+            raise ValueError(
+                f"format {quantizer.name!r} has no {field!r} bits "
+                f"(fields: {sorted(set(labels))})")
+    base = np.arange(count, dtype=np.int64) * quantizer.bits
+    return (base[:, None] + per_word[None, :]).ravel()
+
+
+def sample_flip_positions(rng: np.random.Generator, quantizer: Quantizer,
+                          count: int, field: str = "any",
+                          n_flips: int = 1,
+                          ber: Optional[float] = None) -> np.ndarray:
+    """Draw the flat bit offsets to flip for one injection event.
+
+    With ``ber`` set, each eligible bit flips independently with that
+    probability (``n_flips`` is ignored); otherwise exactly ``n_flips``
+    distinct eligible offsets are drawn uniformly.
+    """
+    eligible = eligible_bits(quantizer, count, field)
+    if ber is not None:
+        if not 0.0 <= ber <= 1.0:
+            raise ValueError(f"ber must be in [0, 1], got {ber}")
+        return eligible[rng.random(eligible.size) < ber]
+    if n_flips > eligible.size:
+        raise ValueError(
+            f"cannot flip {n_flips} distinct bits out of {eligible.size}")
+    return np.sort(rng.choice(eligible, size=int(n_flips), replace=False))
+
+
+# --------------------------------------------------------------- bit flipping
+def flip_packed(packed: bytes, positions: np.ndarray) -> bytes:
+    """XOR the bits at flat MSB-first offsets ``positions`` (involution)."""
+    buf = np.frombuffer(packed, dtype=np.uint8).copy()
+    pos = np.asarray(positions, dtype=np.int64)
+    if pos.size == 0:
+        return packed
+    if np.any((pos < 0) | (pos >= buf.size * 8)):
+        raise ValueError("bit position outside the packed buffer")
+    masks = (np.uint8(1) << (7 - (pos % 8)).astype(np.uint8))
+    # unbuffered XOR accumulate: repeated offsets toggle repeatedly
+    np.bitwise_xor.at(buf, pos // 8, masks)
+    return buf.tobytes()
+
+
+def flip_words(words: np.ndarray, bits: int,
+               positions: np.ndarray) -> np.ndarray:
+    """Flip bits in an array of ``bits``-wide words via the packed layout."""
+    w = np.asarray(words, dtype=np.uint32).ravel()
+    packed = flip_packed(pack_words(w, bits), positions)
+    out = unpack_words(packed, bits, w.size)
+    return out.reshape(np.shape(words))
+
+
+def flip_int_register(value: int, bit_index: int, width: int = 8) -> int:
+    """Flip one bit of a two's-complement ``width``-bit integer register.
+
+    ``bit_index`` 0 is the MSB (the sign bit of the stored register).
+    """
+    if not 0 <= bit_index < width:
+        raise ValueError(f"bit index {bit_index} outside {width}-bit register")
+    mask = (1 << width) - 1
+    stored = int(value) & mask
+    if not -(1 << (width - 1)) <= int(value) < (1 << (width - 1)):
+        raise ValueError(f"register value {value} does not fit {width} bits")
+    stored ^= 1 << (width - 1 - bit_index)
+    return stored - (1 << width) if stored >= (1 << (width - 1)) else stored
+
+
+def flip_float_register(value: float, bit_index: int) -> float:
+    """Flip one bit of an IEEE float32 register (0 = sign MSB).
+
+    The result can be Inf/NaN — a flipped scale exponent is precisely
+    the catastrophic fault mode full-precision scale registers expose.
+    """
+    if not 0 <= bit_index < 32:
+        raise ValueError(f"bit index {bit_index} outside a float32 register")
+    word = np.float32(value).view(np.uint32)
+    word = word ^ np.uint32(1 << (31 - bit_index))
+    return float(word.view(np.float32))
+
+
+# ----------------------------------------------------------- tensor adapters
+def encode_tensor(quantizer: Quantizer, values: np.ndarray,
+                  params: Optional[Dict[str, Any]]) -> np.ndarray:
+    """Dispatch to the format's ``encode`` with its adaptive parameters."""
+    params = params or {}
+    name = quantizer.name
+    if name == "adaptivfloat":
+        return quantizer.encode(values, params["exp_bias"])
+    if name == "bfp":
+        return quantizer.encode(values, params["shared_exp"])
+    if name == "uniform":
+        return quantizer.encode(values, params["scale"],
+                                params.get("zero_point", 0))
+    return quantizer.encode(values)
+
+
+def decode_tensor(quantizer: Quantizer, words: np.ndarray,
+                  params: Optional[Dict[str, Any]]) -> np.ndarray:
+    """Dispatch to the format's ``decode`` with its adaptive parameters."""
+    params = params or {}
+    name = quantizer.name
+    if name == "adaptivfloat":
+        return quantizer.decode(words, params["exp_bias"])
+    if name == "bfp":
+        return quantizer.decode(words, params["shared_exp"])
+    if name == "uniform":
+        return quantizer.decode(words, params["scale"],
+                                params.get("zero_point", 0))
+    return quantizer.decode(words)
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectionResult:
+    """Outcome of one injection event on one tensor."""
+
+    values: np.ndarray          #: decoded tensor after the fault
+    n_flips: int                #: number of bits actually flipped
+    positions: np.ndarray       #: flat bit offsets (empty for register hits)
+    register_bit: Optional[int] #: register bit index, when field="exp_bias"
+    params: Dict[str, Any]      #: adaptive params after the fault
+
+
+def inject_tensor(quantizer: Quantizer, values: np.ndarray,
+                  params: Optional[Dict[str, Any]],
+                  rng: np.random.Generator, field: str = "any",
+                  n_flips: int = 1,
+                  ber: Optional[float] = None) -> InjectionResult:
+    """Inject one fault event into a quantized tensor and decode it back.
+
+    ``values`` must already lie on the quantizer's grid for ``params``
+    (they are encoded to words first — off-grid values raise).  For
+    ``field="exp_bias"`` the flip lands in the per-tensor register
+    instead of the word stream; formats without a register raise
+    ``ValueError``.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if field == REGISTER_FIELD:
+        spec = register_spec(quantizer.name)
+        if spec is None:
+            raise ValueError(
+                f"format {quantizer.name!r} has no adaptive register")
+        key, kind, width = spec
+        words = encode_tensor(quantizer, v, params)
+        bit = int(rng.integers(width))
+        new_params = dict(params or {})
+        if kind == "int":
+            new_params[key] = flip_int_register(int(new_params[key]), bit,
+                                                width)
+        else:
+            new_params[key] = flip_float_register(float(new_params[key]), bit)
+        faulty = decode_tensor(quantizer, words, new_params)
+        return InjectionResult(values=faulty, n_flips=1,
+                               positions=np.empty(0, dtype=np.int64),
+                               register_bit=bit, params=new_params)
+    words = encode_tensor(quantizer, v, params)
+    positions = sample_flip_positions(rng, quantizer, words.size,
+                                      field=field, n_flips=n_flips, ber=ber)
+    flipped = flip_words(words, quantizer.bits, positions)
+    faulty = decode_tensor(quantizer, flipped, params)
+    return InjectionResult(values=faulty, n_flips=int(positions.size),
+                           positions=positions, register_bit=None,
+                           params=dict(params or {}))

@@ -1,10 +1,11 @@
 """Tests for the parallel sweep runner and its per-cell result cache."""
 
 import json
+import pathlib
 
 import pytest
 
-from repro.cache import cell_cache_path, content_key
+from repro.cache import cell_cache_path, content_key, store_cached_json
 from repro.experiments.runner import (cell_cache_enabled, run_cells,
                                       store_and_reload)
 
@@ -117,3 +118,19 @@ class TestCellCache:
     def test_store_and_reload_round_trips(self):
         value = store_and_reload("toy", {"n": 9}, "v1", (1, 2))
         assert value == [1, 2]
+
+    def test_non_serializable_payload_raises(self, tmp_path):
+        # Regression: store_cached_json used to pass ``default=str`` to
+        # json.dump, silently stringifying Paths/arrays into a payload
+        # that later warm runs would return in place of the real result.
+        with pytest.raises(TypeError):
+            store_cached_json("toy", "deadbeef",
+                              {"path": pathlib.Path("/nowhere")})
+        assert not cell_cache_path("toy", "deadbeef").exists()
+
+    def test_failed_store_leaves_no_partial_file(self, tmp_path):
+        key = content_key({"cell": {"n": 0}, "salt": "v1"})
+        with pytest.raises(TypeError):
+            store_cached_json("toy", key, {"bad": {1, 2}})
+        assert list((tmp_path / "cells").rglob("*")) == [] or not any(
+            p.suffix == ".json" for p in (tmp_path / "cells").rglob("*"))

@@ -1,0 +1,136 @@
+"""Bit-codec round-trips for every registry format (ISSUE 4 tentpole).
+
+Fault injection is only meaningful if ``encode`` -> ``pack_words`` ->
+``unpack_words`` -> ``decode`` is lossless for on-grid tensors, and if
+``decode`` is *total* — every ``n``-bit word a bit flip can produce must
+decode to something (possibly NaN for posit's NaR) rather than raise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMAT_NAMES, make_quantizer
+from repro.formats.base import AdaptiveQuantizer
+from repro.formats.bitpack import pack_words, unpack_words
+from repro.resilience.inject import decode_tensor, encode_tensor
+
+BITS = (4, 8)
+
+
+def _quantize_with_params(quantizer, x):
+    """Quantize ``x`` and return ``(on_grid_values, adaptive_params)``."""
+    if isinstance(quantizer, AdaptiveQuantizer):
+        params = quantizer.fit(x)
+        return quantizer.quantize_with_params(x, params), params
+    return quantizer.quantize(x), None
+
+
+@pytest.mark.parametrize("bits", BITS)
+@pytest.mark.parametrize("name", FORMAT_NAMES)
+class TestCodecRoundTrip:
+    def test_encode_pack_unpack_decode_round_trips(self, name, bits):
+        rng = np.random.default_rng(42)
+        x = rng.normal(scale=0.5, size=257)
+        quantizer = make_quantizer(name, bits)
+        values, params = _quantize_with_params(quantizer, x)
+
+        words = encode_tensor(quantizer, values, params)
+        assert words.dtype == np.uint32
+        assert np.all(words < 2 ** bits)
+
+        unpacked = unpack_words(pack_words(words, bits), bits, words.size)
+        assert np.array_equal(unpacked, words)
+
+        decoded = decode_tensor(quantizer, unpacked, params)
+        assert np.array_equal(decoded, values), name
+
+    def test_zero_round_trips(self, name, bits):
+        quantizer = make_quantizer(name, bits)
+        x = np.array([0.0, 0.0, 1.0, -1.0])
+        values, params = _quantize_with_params(quantizer, x)
+        words = encode_tensor(quantizer, values, params)
+        decoded = decode_tensor(quantizer, words, params)
+        assert decoded[0] == 0.0 and decoded[1] == 0.0
+
+    def test_decode_is_total(self, name, bits):
+        """Every raw word decodes; only posit's NaR may be NaN."""
+        quantizer = make_quantizer(name, bits)
+        x = np.linspace(-1.0, 1.0, 33)
+        _, params = _quantize_with_params(quantizer, x)
+        all_words = np.arange(2 ** bits, dtype=np.uint32)
+        decoded = decode_tensor(quantizer, all_words, params)
+        assert decoded.shape == all_words.shape
+        nan_count = int(np.isnan(decoded).sum())
+        if name == "posit":
+            # Exactly the NaR word 1000...0 decodes to NaN.
+            assert nan_count == 1
+            assert np.isnan(decoded[2 ** (bits - 1)])
+        else:
+            assert nan_count == 0, (name, decoded)
+
+    def test_decode_survives_arbitrary_flips(self, name, bits):
+        """Flipped words (two's-complement minimum etc.) decode finitely."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=64)
+        quantizer = make_quantizer(name, bits)
+        values, params = _quantize_with_params(quantizer, x)
+        words = encode_tensor(quantizer, values, params)
+        for flip in range(bits):
+            flipped = words ^ np.uint32(1 << flip)
+            decoded = decode_tensor(quantizer, flipped, params)
+            bad = ~np.isfinite(decoded)
+            if name == "posit":
+                assert np.isnan(decoded[bad]).all() if bad.any() else True
+            else:
+                assert not bad.any(), (name, flip)
+
+    def test_bit_fields_length_and_labels(self, name, bits):
+        quantizer = make_quantizer(name, bits)
+        fields = quantizer.bit_fields()
+        assert len(fields) == bits
+        assert set(fields) <= {"sign", "exponent", "mantissa"}
+        assert fields[0] == "sign"
+
+    def test_off_grid_values_rejected(self, name, bits):
+        quantizer = make_quantizer(name, bits)
+        x = np.linspace(-1.0, 1.0, 17)
+        values, params = _quantize_with_params(quantizer, x)
+        nudged = values + 1e-3 * np.pi
+        with pytest.raises(ValueError):
+            encode_tensor(quantizer, nudged, params)
+
+    def test_non_finite_values_rejected(self, name, bits):
+        quantizer = make_quantizer(name, bits)
+        x = np.linspace(-1.0, 1.0, 9)
+        values, params = _quantize_with_params(quantizer, x)
+        values = values.copy()
+        values[3] = np.nan
+        with pytest.raises(ValueError):
+            encode_tensor(quantizer, values, params)
+
+
+def test_bfp_per_block_codec_unsupported():
+    """Per-block shared exponents carry one register per block: no codec."""
+    quantizer = make_quantizer("bfp", 8, block_size=16)
+    with pytest.raises(NotImplementedError):
+        quantizer.encode(np.zeros(16), 0)
+
+
+def test_uniform_twos_complement_minimum_decodes():
+    """The word -2**(n-1) is off the symmetric grid but must decode."""
+    quantizer = make_quantizer("uniform", 8)
+    decoded = quantizer.decode(np.array([128], dtype=np.uint32), scale=0.5)
+    assert decoded[0] == -128 * 0.5
+
+
+def test_adaptivfloat_decode_tracks_exp_bias():
+    """The same word decodes to 2**delta-scaled values under a biased
+    register — the mechanism behind exp_bias register faults."""
+    quantizer = make_quantizer("adaptivfloat", 8)
+    x = np.array([0.5, -0.25, 0.125])
+    params = quantizer.fit(x)
+    values = quantizer.quantize_with_params(x, params)
+    words = quantizer.encode(values, params["exp_bias"])
+    shifted = quantizer.decode(words, int(params["exp_bias"]) + 3)
+    nonzero = values != 0.0
+    assert np.allclose(shifted[nonzero], values[nonzero] * 2.0 ** 3)

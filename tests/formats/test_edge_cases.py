@@ -1,0 +1,136 @@
+"""Edge-case suite: every registry quantizer over pathological inputs.
+
+The invariants fault injection depends on (ISSUE 4 satellites):
+
+* quantizing never *manufactures* NaN — finite or infinite (non-NaN)
+  inputs produce finite outputs, with ±Inf saturating to the extreme
+  codepoint, and no floating-point flags are raised along the way
+  (checked under ``np.errstate(all="raise")`` + warnings-as-errors);
+* 0-d scalars round-trip through the public quantize API (the codebook
+  fast path used to crash on ``np.clip(..., out=...)`` with 0-d input);
+* empty arrays pass through.
+
+NaN *inputs* are exempt from the errstate discipline (IEEE comparisons
+on NaN may legitimately raise the invalid flag) but must never turn a
+clean tensor's remaining entries non-finite.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import FORMAT_NAMES, make_quantizer
+from repro.formats.kernels import analytic_only
+
+BITS = (4, 8)
+
+EDGE_VALUES = [0.0, -0.0, 5e-324, -5e-324, 1e-310, -1e-310,
+               2.2250738585072014e-308, 1.0, -1.0, 0.3, -0.7,
+               1e30, -1e30, np.inf, -np.inf]
+
+
+def _quantize_both_paths(name, bits, x):
+    """Quantize via the codebook fast path and the analytic reference."""
+    fast = make_quantizer(name, bits).quantize(x)
+    with analytic_only():
+        ref = make_quantizer(name, bits).quantize(x)
+    return fast, ref
+
+
+@pytest.mark.parametrize("bits", BITS)
+@pytest.mark.parametrize("name", FORMAT_NAMES)
+class TestEdgeInputs:
+    def test_no_nan_from_non_nan_inputs(self, name, bits):
+        x = np.array(EDGE_VALUES, dtype=np.float64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            # under="ignore": uniform's non-power-of-two scale division
+            # legitimately sets the underflow flag on subnormal inputs.
+            with np.errstate(all="raise", under="ignore"):
+                fast, ref = _quantize_both_paths(name, bits, x)
+        assert np.isfinite(fast).all(), (name, bits, fast)
+        assert np.isfinite(ref).all(), (name, bits, ref)
+
+    def test_inf_saturates_to_extreme_codepoint(self, name, bits):
+        x = np.array([1.0, -2.0, np.inf, -np.inf, 0.5])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with np.errstate(all="raise", under="ignore"):
+                fast, ref = _quantize_both_paths(name, bits, x)
+        for out in (fast, ref):
+            top = np.abs(out).max()
+            assert np.isfinite(top)
+            assert out[2] == top and out[3] == -top, (name, bits, out)
+
+    def test_nan_input_never_corrupts_other_elements(self, name, bits):
+        x = np.array([0.25, np.nan, -0.75])
+        fast, ref = _quantize_both_paths(name, bits, x)
+        for out in (fast, ref):
+            assert np.isfinite(out[[0, 2]]).all(), (name, bits, out)
+
+    def test_zero_d_scalar_round_trips(self, name, bits):
+        out = make_quantizer(name, bits).quantize(np.float64(0.3))
+        assert isinstance(out, np.ndarray) and out.ndim == 0
+        assert np.isfinite(float(out))
+        signed = make_quantizer(name, bits).quantize(np.array(-0.3))
+        assert signed.ndim == 0 and float(signed) <= 0.0
+
+    def test_zero_d_matches_one_d(self, name, bits):
+        for value in (0.0, -0.0, 0.3, -1.7, 1e30):
+            scalar = make_quantizer(name, bits).quantize(np.float64(value))
+            vector = make_quantizer(name, bits).quantize(np.array([value]))
+            assert float(scalar) == float(vector[0]), (name, bits, value)
+
+    def test_empty_array_passes_through(self, name, bits):
+        out = make_quantizer(name, bits).quantize(np.empty(0))
+        assert out.shape == (0,)
+        fit_capable = make_quantizer(name, bits)
+        if hasattr(fit_capable, "fit"):
+            fit_capable.fit(np.empty(0))  # must not raise
+
+    def test_all_inf_tensor(self, name, bits):
+        x = np.array([np.inf, -np.inf])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with np.errstate(all="raise", under="ignore"):
+                fast, ref = _quantize_both_paths(name, bits, x)
+        assert np.isfinite(fast).all() and np.isfinite(ref).all()
+
+
+@pytest.mark.parametrize("name", FORMAT_NAMES)
+@settings(max_examples=40, deadline=None)
+@given(data=st.lists(
+    st.one_of(
+        st.floats(allow_nan=False, allow_infinity=True, width=64),
+        st.sampled_from([0.0, -0.0, np.inf, -np.inf, 5e-324, 1e-310])),
+    min_size=1, max_size=24))
+def test_hypothesis_no_nan_manufacture(name, data):
+    """Property form: arbitrary non-NaN floats never quantize to NaN."""
+    x = np.array(data, dtype=np.float64)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        with np.errstate(all="raise", under="ignore"):
+            out = make_quantizer(name, 8).quantize(x)
+    assert np.isfinite(out).all(), (name, x, out)
+
+
+@pytest.mark.parametrize("name", FORMAT_NAMES)
+def test_uniform_style_inf_regression(name):
+    """The original bug: ±Inf drove ``fit`` scale to inf -> inf/inf NaN."""
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=64)
+    x[5] = np.inf
+    x[11] = -np.inf
+    quantizer = make_quantizer(name, 8)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        with np.errstate(all="raise", under="ignore"):
+            out = quantizer.quantize(x)
+    assert np.isfinite(out).all()
+    # The finite mass still quantizes sensibly: the fitted grid must not
+    # have been dragged out by the infinities.
+    finite_ref = make_quantizer(name, 8).quantize(x[np.isfinite(x)])
+    assert np.allclose(np.delete(out, [5, 11]), finite_ref)

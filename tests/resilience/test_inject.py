@@ -1,0 +1,191 @@
+"""Unit tests for the seeded bit-flip injectors."""
+
+import numpy as np
+import pytest
+
+from repro.formats import make_quantizer
+from repro.formats.bitpack import pack_words
+from repro.resilience import inject
+from repro.resilience.inject import (eligible_bits, flip_float_register,
+                                     flip_int_register, flip_packed,
+                                     flip_words, inject_tensor, register_spec,
+                                     sample_flip_positions)
+
+
+def _fitted(name, bits, x):
+    quantizer = make_quantizer(name, bits)
+    params = quantizer.fit(x) if hasattr(quantizer, "fit") else {}
+    if params:
+        values = quantizer.quantize_with_params(x, params)
+    else:
+        values = quantizer.quantize(x)
+    return quantizer, values, params
+
+
+class TestEligibleBits:
+    def test_any_covers_every_bit(self):
+        quantizer = make_quantizer("adaptivfloat", 8)
+        offsets = eligible_bits(quantizer, 3, "any")
+        assert offsets.tolist() == list(range(24))
+
+    def test_field_offsets_follow_bit_fields(self):
+        # adaptivfloat at 8 bits: sign | 3 exponent | 4 mantissa.
+        quantizer = make_quantizer("adaptivfloat", 8)
+        assert eligible_bits(quantizer, 1, "sign").tolist() == [0]
+        assert eligible_bits(quantizer, 1, "exponent").tolist() == [1, 2, 3]
+        assert eligible_bits(quantizer, 1, "mantissa").tolist() == [4, 5, 6, 7]
+        # Word i's bits start at i * bits.
+        assert eligible_bits(quantizer, 2, "exponent").tolist() \
+            == [1, 2, 3, 9, 10, 11]
+
+    def test_missing_field_raises(self):
+        quantizer = make_quantizer("uniform", 8)
+        with pytest.raises(ValueError, match="no 'exponent' bits"):
+            eligible_bits(quantizer, 4, "exponent")
+
+
+class TestSampling:
+    def test_deterministic_for_fixed_seed(self):
+        quantizer = make_quantizer("float", 8)
+        draws = [sample_flip_positions(np.random.default_rng(3), quantizer,
+                                       100, "exponent", n_flips=5)
+                 for _ in range(2)]
+        assert np.array_equal(draws[0], draws[1])
+
+    def test_n_flips_distinct_and_eligible(self):
+        quantizer = make_quantizer("float", 8)
+        positions = sample_flip_positions(np.random.default_rng(0), quantizer,
+                                          50, "mantissa", n_flips=20)
+        assert len(set(positions.tolist())) == 20
+        eligible = set(eligible_bits(quantizer, 50, "mantissa").tolist())
+        assert set(positions.tolist()) <= eligible
+
+    def test_too_many_flips_raises(self):
+        quantizer = make_quantizer("float", 8)
+        with pytest.raises(ValueError):
+            sample_flip_positions(np.random.default_rng(0), quantizer, 2,
+                                  "sign", n_flips=3)
+
+    def test_ber_extremes(self):
+        quantizer = make_quantizer("float", 8)
+        rng = np.random.default_rng(0)
+        assert sample_flip_positions(rng, quantizer, 10, ber=0.0).size == 0
+        assert sample_flip_positions(rng, quantizer, 10, ber=1.0).size == 80
+        with pytest.raises(ValueError):
+            sample_flip_positions(rng, quantizer, 10, ber=1.5)
+
+
+class TestBitFlipping:
+    def test_flip_packed_is_involution(self):
+        rng = np.random.default_rng(5)
+        packed = rng.integers(0, 256, size=16, dtype=np.uint8).tobytes()
+        positions = np.array([0, 7, 8, 127])
+        once = flip_packed(packed, positions)
+        assert once != packed
+        assert flip_packed(once, positions) == packed
+
+    def test_flip_packed_msb_first(self):
+        packed = bytes([0x00, 0x00])
+        assert flip_packed(packed, np.array([0])) == bytes([0x80, 0x00])
+        assert flip_packed(packed, np.array([15])) == bytes([0x00, 0x01])
+
+    def test_flip_packed_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_packed(bytes([0]), np.array([8]))
+
+    def test_flip_words_targets_one_word(self):
+        words = np.zeros(4, dtype=np.uint32)
+        # Bit 1 of word 2 in a 4-bit stream sits at flat offset 9.
+        flipped = flip_words(words, 4, np.array([9]))
+        assert flipped.tolist() == [0, 0, 0b0100, 0]
+
+    def test_flip_words_matches_manual_pack(self):
+        rng = np.random.default_rng(1)
+        words = rng.integers(0, 256, size=9).astype(np.uint32)
+        positions = np.array([3, 40, 71])
+        direct = flip_words(words, 8, positions)
+        manual = np.frombuffer(
+            flip_packed(pack_words(words, 8), positions), dtype=np.uint8)
+        assert np.array_equal(direct, manual.astype(np.uint32))
+
+
+class TestRegisterFlips:
+    def test_int_register_sign_bit(self):
+        # Bit 0 is the stored MSB: +3 (0000_0011) -> 1000_0011 = -125.
+        assert flip_int_register(3, 0, width=8) == -125
+        assert flip_int_register(-125, 0, width=8) == 3  # involution
+
+    def test_int_register_lsb(self):
+        assert flip_int_register(4, 7, width=8) == 5
+
+    def test_int_register_bounds(self):
+        with pytest.raises(ValueError):
+            flip_int_register(3, 8, width=8)
+        with pytest.raises(ValueError):
+            flip_int_register(300, 0, width=8)
+
+    def test_float_register_sign_and_exponent(self):
+        assert flip_float_register(1.5, 0) == -1.5
+        exp_hit = flip_float_register(1.0, 1)  # MSB of the exponent
+        assert exp_hit != 1.0
+        assert flip_float_register(exp_hit, 1) == 1.0
+
+    def test_register_spec(self):
+        assert register_spec("adaptivfloat") == ("exp_bias", "int", 8)
+        assert register_spec("uniform") == ("scale", "float", 32)
+        assert register_spec("float") is None
+        assert register_spec("posit") is None
+
+
+class TestInjectTensor:
+    def test_deterministic_and_bounded(self):
+        x = np.random.default_rng(0).normal(size=128)
+        quantizer, values, params = _fitted("adaptivfloat", 8, x)
+        results = [inject_tensor(quantizer, values, params,
+                                 np.random.default_rng(11), field="any",
+                                 n_flips=3) for _ in range(2)]
+        assert np.array_equal(results[0].values, results[1].values)
+        assert np.array_equal(results[0].positions, results[1].positions)
+        assert results[0].n_flips == 3
+        assert int(np.sum(results[0].values != values)) <= 3
+
+    def test_sign_flip_changes_only_sign(self):
+        x = np.random.default_rng(2).normal(size=64)
+        quantizer, values, params = _fitted("adaptivfloat", 8, x)
+        result = inject_tensor(quantizer, values, params,
+                               np.random.default_rng(0), field="sign")
+        changed = np.flatnonzero(result.values != values)
+        assert changed.size == 1
+        assert result.values[changed[0]] == -values[changed[0]]
+
+    def test_register_fault_rescales_whole_tensor(self):
+        x = np.random.default_rng(3).normal(size=64)
+        quantizer, values, params = _fitted("adaptivfloat", 8, x)
+        result = inject_tensor(quantizer, values, params,
+                               np.random.default_rng(4), field="exp_bias")
+        assert result.register_bit is not None
+        assert result.params["exp_bias"] != params["exp_bias"]
+        # Every nonzero element moves by the same power of two.
+        nz = values != 0.0
+        ratio = result.values[nz] / values[nz]
+        assert np.allclose(ratio, ratio[0])
+
+    def test_register_fault_unsupported_format(self):
+        x = np.random.default_rng(3).normal(size=16)
+        quantizer, values, params = _fitted("float", 8, x)
+        with pytest.raises(ValueError, match="no adaptive register"):
+            inject_tensor(quantizer, values, params,
+                          np.random.default_rng(0), field="exp_bias")
+
+    def test_every_format_injectable(self):
+        x = np.random.default_rng(9).normal(size=96)
+        for name in ("float", "bfp", "uniform", "posit", "adaptivfloat"):
+            quantizer, values, params = _fitted(name, 8, x)
+            result = inject_tensor(quantizer, values, params,
+                                   np.random.default_rng(1), field="any")
+            assert result.values.shape == values.shape
+            assert int(np.sum(result.values != values)) <= 1
+
+    def test_fields_constant_matches_inject(self):
+        assert inject.FIELDS == ("any", "sign", "exponent", "mantissa")
+        assert inject.REGISTER_FIELD == "exp_bias"

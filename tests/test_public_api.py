@@ -10,7 +10,7 @@ import pytest
 PACKAGES = [
     "repro", "repro.formats", "repro.nn", "repro.nn.models",
     "repro.nn.layers", "repro.data", "repro.metrics", "repro.hardware",
-    "repro.analysis", "repro.experiments",
+    "repro.analysis", "repro.experiments", "repro.resilience",
 ]
 
 

@@ -10,12 +10,18 @@ Two suites:
 * ``--suite decode`` — KV-cached vs naive autoregressive decoding from
   ``benchmarks/test_decode_throughput.py`` -> ``BENCH_decode.json``,
   with a ``speedup`` per cached/naive pair.
+* ``--suite resilience`` — the seeded bit-flip fault-injection campaign
+  (``repro.resilience``, fast profile, transformer, all five formats at
+  8 bits) -> ``BENCH_resilience.json``.  Unlike the timing suites this
+  record is fully deterministic — no machine info, no wall clock — so a
+  re-run from the warm cell cache is byte-identical.
 
 Run:  PYTHONPATH=src python tools/bench_report.py [--suite decode]
 
 Timings are machine-dependent; the committed files record the shape of
 the comparison (which paths are fast, relative speedups), not absolute
-milliseconds to be matched elsewhere.
+milliseconds to be matched elsewhere.  The resilience record is the
+exception: it is exactly reproducible.
 """
 
 from __future__ import annotations
@@ -35,7 +41,24 @@ SUITES = {
                 REPO / "BENCH_formats.json"),
     "decode": ("benchmarks/test_decode_throughput.py",
                REPO / "BENCH_decode.json"),
+    "resilience": (None, REPO / "BENCH_resilience.json"),
 }
+
+#: The committed resilience campaign: every registry format at 8 bits,
+#: single-flip field cells plus one BER cell, fast-profile transformer.
+RESILIENCE_CONFIG = {
+    "profile": "fast", "models": ("transformer",), "bits": 8,
+    "formats": ("float", "bfp", "uniform", "posit", "adaptivfloat"),
+    "fields": ("any", "sign", "exponent", "mantissa", "exp_bias"),
+    "ber": (0.001,), "n_flips": 1, "trials": 12, "seed": 0,
+}
+
+
+def _run_resilience() -> dict:
+    """Run the campaign in-process and return its (deterministic) grid."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.resilience import campaign
+    return campaign.run(**RESILIENCE_CONFIG)
 
 
 def _run_benchmarks(bench_file: str, extra_env: dict) -> dict:
@@ -94,6 +117,14 @@ def main() -> int:
 
     bench_file, default_output = SUITES[args.suite]
     output = args.output or default_output
+    if args.suite == "resilience":
+        payload = _run_resilience()
+        output.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+        print(f"wrote {output} "
+              f"({len(payload['models'])} model(s), "
+              f"{len(RESILIENCE_CONFIG['formats'])} formats)")
+        return 0
     fast = _distill(_run_benchmarks(bench_file, {}))
     payload = {
         "machine": {
