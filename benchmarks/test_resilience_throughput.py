@@ -1,0 +1,66 @@
+"""Fault-injection trial-loop throughput: naive reference vs TrialEngine.
+
+``repro.resilience.campaign.measure_injection_throughput`` times the
+machinery the engine accelerates — fault synthesis, installing the
+corrupted tensor, and the detection scan — with the scoring work (probe
+forward + task evaluation, identical in both paths) excluded.  The
+benchmark entries record both paths; the gate test at the bottom also
+runs in CI under ``--benchmark-disable`` as a regression tripwire: the
+engine loop must stay at least 3x the naive loop's trials/sec *and*
+install byte-identical faulty tensors (per-trial checksums).
+"""
+
+import pytest
+
+from repro.experiments.common import trained_model
+from repro.resilience.campaign import measure_injection_throughput
+
+TRIALS = 64
+GATE_TRIALS = 96
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_checkpoint():
+    # Warm the FP32 checkpoint so it never trains inside a timed region.
+    trained_model("transformer", "tiny")
+
+
+@pytest.mark.parametrize("path", ["engine", "naive"])
+@pytest.mark.parametrize("fmt,field", [("adaptivfloat", "any"),
+                                       ("float", "exponent"),
+                                       ("adaptivfloat", "exp_bias")])
+def test_trial_loop(benchmark, path, fmt, field):
+    holder = {}
+
+    def run():
+        holder["result"] = measure_injection_throughput(
+            profile="tiny", format_name=fmt, field=field, trials=TRIALS,
+            seed=0, engine=(path == "engine"))
+
+    benchmark(run)
+    result = holder["result"]
+    assert result["trials"] == TRIALS
+    assert result["flips_total"] >= TRIALS  # every trial flipped something
+    if result["trials_per_sec"]:
+        benchmark.extra_info["trials_per_sec"] = round(
+            result["trials_per_sec"], 1)
+
+
+def test_trial_loop_speedup_gate():
+    """CI tripwire (runs under --benchmark-disable): the engine trial
+    loop must be >=3x the naive loop and install identical faults."""
+    naive = measure_injection_throughput(profile="tiny", trials=GATE_TRIALS,
+                                         seed=0, engine=False,
+                                         checksums=True)
+    engine = measure_injection_throughput(profile="tiny", trials=GATE_TRIALS,
+                                          seed=0, engine=True,
+                                          checksums=True)
+    assert engine["checksums"] == naive["checksums"]
+    assert engine["flips_total"] == naive["flips_total"]
+    assert engine["findings_total"] == naive["findings_total"]
+    speedup = engine["trials_per_sec"] / naive["trials_per_sec"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"trial-engine speedup regressed: {speedup:.2f}x "
+        f"(engine {engine['trials_per_sec']:.0f}/s vs "
+        f"naive {naive['trials_per_sec']:.0f}/s)")

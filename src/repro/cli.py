@@ -102,8 +102,14 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         formats=tuple(args.formats), bits=args.bits,
         fields=tuple(args.fields), ber=tuple(args.ber),
         n_flips=args.flips, trials=args.trials, seed=args.seed,
-        jobs=args.jobs)
+        jobs=args.jobs, engine=not args.naive, shards=args.shards)
     print(campaign.render(result))
+    timing = result.get("timing") or {}
+    if timing.get("trials_per_sec"):
+        print(f"\n{timing['cells']} cells x {result['trials']} trials in "
+              f"{timing['wall_time_s']:.2f}s trial-loop time "
+              f"({timing['trials_per_sec']:.1f} trials/s, "
+              f"{'naive' if args.naive else 'engine'} path)")
     return 0
 
 
@@ -163,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="injection events per cell")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--shards", type=int, default=None,
+                   help="seeded trial chunks per cell (default: --jobs); "
+                        "any layout merges to identical counters")
+    p.add_argument("--naive", action="store_true",
+                   help="use the reference per-trial re-encode loop "
+                        "instead of the cached-encode trial engine")
     p.set_defaults(func=_cmd_resilience)
     return parser
 

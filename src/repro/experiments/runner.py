@@ -27,11 +27,37 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..cache import content_key, load_cached_json, store_cached_json
 
-__all__ = ["run_cells", "cell_cache_enabled", "store_and_reload"]
+__all__ = ["run_cells", "cell_cache_enabled", "shard_ranges",
+           "store_and_reload"]
+
+
+def shard_ranges(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``total`` items into contiguous ``(start, count)`` ranges.
+
+    Deterministic near-equal split used to fan the *inside* of a cell
+    (e.g. a fault-injection cell's trials) over :func:`run_cells`: at
+    most ``shards`` non-empty ranges, earlier ranges at most one item
+    longer, concatenating in order reproduces ``range(total)`` exactly.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    shards = min(shards, total)
+    if shards == 0:
+        return []
+    base, extra = divmod(total, shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        count = base + (1 if i < extra else 0)
+        ranges.append((start, count))
+        start += count
+    return ranges
 
 
 def cell_cache_enabled() -> bool:

@@ -14,7 +14,10 @@ from . import kernels
 from .adaptivfloat import AdaptivFloat, adaptivfloat_quantize, exponent_bias_for
 from .base import AdaptiveQuantizer, Quantizer, QuantizedTensor, RoundMode
 from .bfp import BlockFloat
-from .bitpack import pack_words, packed_nbytes, unpack_words
+from .bitpack import flip_word_bits, pack_words, packed_nbytes, unpack_words
+from .codec import (MAX_DECODE_LUT_BITS, clear_decode_lut_cache, decode_lut,
+                    decode_lut_cache_stats, decode_tensor, decode_words,
+                    encode_tensor)
 from .fixedpoint import FixedPoint
 from .float_ieee import FloatIEEE
 from .kernels import (analytic_only, clear_codebook_cache, codebook_cache_stats,
@@ -49,12 +52,20 @@ __all__ = [
     "QuantizedTensor",
     "RoundMode",
     "Uniform",
+    "MAX_DECODE_LUT_BITS",
     "adaptivfloat_quantize",
     "analytic_only",
     "clear_codebook_cache",
+    "clear_decode_lut_cache",
     "codebook_cache_stats",
+    "decode_lut",
+    "decode_lut_cache_stats",
     "decode_posit_word",
+    "decode_tensor",
+    "decode_words",
+    "encode_tensor",
     "exponent_bias_for",
+    "flip_word_bits",
     "get_codebook",
     "kernels",
     "make_quantizer",

@@ -7,13 +7,25 @@ of ``n``-bit words (as produced by ``AdaptivFloat.encode``, or integer
 levels from the uniform/BFP formats) into a contiguous ``uint8`` buffer,
 MSB-first, and unpacks them again — the storage layout a weight buffer
 in the PE would hold.
+
+Byte-aligned widths (8/16/32) skip the ``bits``-times-larger bit-matrix
+intermediate entirely: MSB-first packing of a byte-aligned word is
+exactly its big-endian byte representation, so packing is a single dtype
+view/cast and unpacking a single ``frombuffer``.
+
+:func:`flip_word_bits` applies bit flips in the *word* domain at the
+flat MSB-first offsets of the packed layout — the same fault the packed
+stream would suffer, without materializing the stream.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["pack_words", "unpack_words", "packed_nbytes"]
+__all__ = ["pack_words", "unpack_words", "packed_nbytes", "flip_word_bits"]
+
+#: Byte-aligned word widths whose MSB-first packing is plain big-endian.
+_ALIGNED_DTYPES = {8: ">u1", 16: ">u2", 32: ">u4"}
 
 
 def packed_nbytes(count: int, bits: int) -> int:
@@ -28,6 +40,9 @@ def pack_words(words: np.ndarray, bits: int) -> bytes:
     w = np.asarray(words, dtype=np.uint64).ravel()
     if np.any(w >= (1 << bits)):
         raise ValueError(f"word does not fit in {bits} bits")
+    aligned = _ALIGNED_DTYPES.get(bits)
+    if aligned is not None:
+        return w.astype(aligned).tobytes()
     # Expand each word into its bits (MSB first), then pack.
     shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
     bit_matrix = ((w[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
@@ -41,7 +56,37 @@ def unpack_words(buffer: bytes, bits: int, count: int) -> np.ndarray:
     needed = packed_nbytes(count, bits)
     if len(buffer) < needed:
         raise ValueError(f"buffer too short: need {needed} bytes, got {len(buffer)}")
+    aligned = _ALIGNED_DTYPES.get(bits)
+    if aligned is not None:
+        return np.frombuffer(buffer, dtype=aligned,
+                             count=count).astype(np.uint32)
     flat = np.unpackbits(np.frombuffer(buffer, dtype=np.uint8),
                          count=count * bits).reshape(count, bits)
     shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
     return (flat.astype(np.uint64) << shifts[None, :]).sum(axis=1).astype(np.uint32)
+
+
+def flip_word_bits(words: np.ndarray, bits: int,
+                   positions: np.ndarray) -> np.ndarray:
+    """XOR bits at flat MSB-first offsets, directly in the word domain.
+
+    Equivalent to packing ``words``, flipping the packed stream at
+    ``positions``, and unpacking again: flat offset ``p`` toggles bit
+    ``p % bits`` (0 = MSB) of word ``p // bits``.  Repeated offsets
+    toggle repeatedly (involution per occurrence).  Returns a new
+    ``uint32`` array of the input's shape; offsets outside the stream's
+    ``size * bits`` payload bits raise (the packed layout's final pad
+    bits hold no word data).
+    """
+    if not 1 <= bits <= 32:
+        raise ValueError(f"bits must be in [1, 32], got {bits}")
+    w = np.asarray(words, dtype=np.uint32).ravel().copy()
+    pos = np.asarray(positions, dtype=np.int64).ravel()
+    if pos.size == 0:
+        return w.reshape(np.shape(words))
+    if np.any((pos < 0) | (pos >= w.size * bits)):
+        raise ValueError("bit position outside the word stream")
+    masks = np.uint32(1) << (bits - 1 - (pos % bits)).astype(np.uint32)
+    # unbuffered XOR accumulate: repeated offsets toggle repeatedly
+    np.bitwise_xor.at(w, pos // bits, masks)
+    return w.reshape(np.shape(words))

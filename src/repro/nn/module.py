@@ -147,6 +147,44 @@ class Module:
             value = np.asarray(state[key], dtype=np.float32)
             setattr(module, bname, value.copy())
 
+    # ------------------------------------------------- single-tensor access
+    def get_parameter(self, name: str) -> Parameter:
+        """Resolve a dotted parameter name to its :class:`Parameter`."""
+        module = self
+        parts = name.split(".")
+        for part in parts[:-1]:
+            child = module._modules.get(part)
+            if child is None:
+                raise KeyError(f"no submodule {part!r} resolving {name!r}")
+            module = child
+        param = module._parameters.get(parts[-1])
+        if param is None:
+            raise KeyError(f"no parameter {name!r}")
+        return param
+
+    def swap_parameter(self, name: str, value: np.ndarray) -> np.ndarray:
+        """Replace one parameter's backing array; return the previous one.
+
+        The single-tensor alternative to round-tripping the full state
+        dict: ``value`` is adopted (as float32, without copying an
+        already-float32 array — the caller must not mutate it afterwards)
+        and the parameter's content version is bumped, so version-keyed
+        caches (:class:`repro.nn.quantize.WeightFakeQuant`) invalidate
+        exactly as they would under ``load_state_dict``.  Swapping the
+        returned array back restores the original contents; the restore
+        bumps the version again, which is correct — the contents did
+        change twice.
+        """
+        param = self.get_parameter(name)
+        value = np.asarray(value, dtype=np.float32)
+        if value.shape != param.data.shape:
+            raise ValueError(f"shape mismatch for {name}: "
+                             f"{value.shape} vs {param.data.shape}")
+        previous = param.data
+        param.data = value
+        param.bump_version()
+        return previous
+
     # -------------------------------------------------- quantization hooks
     def quant_weight(self, weight: Tensor) -> Tensor:
         """Route a weight parameter through the attached fake-quantizer."""

@@ -20,9 +20,11 @@ measures that directly:
 See ``docs/resilience.md`` for the injection model and metrics.
 """
 
-from . import campaign, inject
-from .campaign import DEFAULT_FIELDS, cell_fields, render
+from . import campaign, engine, inject
+from .campaign import (DEFAULT_FIELDS, cell_fields,
+                       measure_injection_throughput, render)
 from .campaign import run as run_campaign
+from .engine import TrialEngine
 from .inject import (FIELDS, REGISTER_FIELD, InjectionResult, eligible_bits,
                      flip_float_register, flip_int_register, flip_packed,
                      flip_words, inject_tensor, register_spec,
@@ -30,8 +32,8 @@ from .inject import (FIELDS, REGISTER_FIELD, InjectionResult, eligible_bits,
 
 __all__ = [
     "DEFAULT_FIELDS", "FIELDS", "REGISTER_FIELD", "InjectionResult",
-    "campaign", "cell_fields", "eligible_bits", "flip_float_register",
-    "flip_int_register", "flip_packed", "flip_words", "inject",
-    "inject_tensor", "register_spec", "render", "run_campaign",
-    "sample_flip_positions",
+    "TrialEngine", "campaign", "cell_fields", "eligible_bits", "engine",
+    "flip_float_register", "flip_int_register", "flip_packed", "flip_words",
+    "inject", "inject_tensor", "measure_injection_throughput",
+    "register_spec", "render", "run_campaign", "sample_flip_positions",
 ]

@@ -36,7 +36,8 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..formats.base import Quantizer
-from ..formats.bitpack import pack_words, unpack_words
+from ..formats.bitpack import flip_word_bits
+from ..formats.codec import decode_tensor, encode_tensor
 
 __all__ = [
     "FIELDS",
@@ -139,11 +140,13 @@ def flip_packed(packed: bytes, positions: np.ndarray) -> bytes:
 
 def flip_words(words: np.ndarray, bits: int,
                positions: np.ndarray) -> np.ndarray:
-    """Flip bits in an array of ``bits``-wide words via the packed layout."""
-    w = np.asarray(words, dtype=np.uint32).ravel()
-    packed = flip_packed(pack_words(w, bits), positions)
-    out = unpack_words(packed, bits, w.size)
-    return out.reshape(np.shape(words))
+    """Flip bits in an array of ``bits``-wide words (packed-layout offsets).
+
+    Word-domain XOR via :func:`repro.formats.bitpack.flip_word_bits` —
+    bit-identical to packing, flipping the stream, and unpacking, minus
+    the stream round-trip.
+    """
+    return flip_word_bits(words, bits, positions)
 
 
 def flip_int_register(value: int, bit_index: int, width: int = 8) -> int:
@@ -175,34 +178,9 @@ def flip_float_register(value: float, bit_index: int) -> float:
 
 
 # ----------------------------------------------------------- tensor adapters
-def encode_tensor(quantizer: Quantizer, values: np.ndarray,
-                  params: Optional[Dict[str, Any]]) -> np.ndarray:
-    """Dispatch to the format's ``encode`` with its adaptive parameters."""
-    params = params or {}
-    name = quantizer.name
-    if name == "adaptivfloat":
-        return quantizer.encode(values, params["exp_bias"])
-    if name == "bfp":
-        return quantizer.encode(values, params["shared_exp"])
-    if name == "uniform":
-        return quantizer.encode(values, params["scale"],
-                                params.get("zero_point", 0))
-    return quantizer.encode(values)
-
-
-def decode_tensor(quantizer: Quantizer, words: np.ndarray,
-                  params: Optional[Dict[str, Any]]) -> np.ndarray:
-    """Dispatch to the format's ``decode`` with its adaptive parameters."""
-    params = params or {}
-    name = quantizer.name
-    if name == "adaptivfloat":
-        return quantizer.decode(words, params["exp_bias"])
-    if name == "bfp":
-        return quantizer.decode(words, params["shared_exp"])
-    if name == "uniform":
-        return quantizer.decode(words, params["scale"],
-                                params.get("zero_point", 0))
-    return quantizer.decode(words)
+# encode_tensor / decode_tensor moved to repro.formats.codec (imported
+# above) so the formats layer owns the parameter-dispatch convention;
+# re-exported here unchanged for existing callers.
 
 
 @dataclasses.dataclass(frozen=True)

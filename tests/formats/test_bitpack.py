@@ -56,3 +56,61 @@ def test_roundtrip_property(bits, raw):
     buf = pack_words(words, bits)
     assert len(buf) == packed_nbytes(len(words), bits)
     np.testing.assert_array_equal(unpack_words(buf, bits, len(words)), words)
+
+
+class TestAlignedFastPath:
+    """Byte-aligned widths (8/16/32) pack as plain big-endian bytes."""
+
+    @pytest.mark.parametrize("bits", [8, 16, 32])
+    def test_matches_big_endian_reference(self, bits):
+        rng = np.random.default_rng(bits)
+        words = rng.integers(0, 1 << bits, size=50, dtype=np.uint64)
+        buf = pack_words(words, bits)
+        ref = b"".join(int(w).to_bytes(bits // 8, "big") for w in words)
+        assert buf == ref
+        np.testing.assert_array_equal(
+            unpack_words(buf, bits, 50), words.astype(np.uint32))
+
+    def test_full_width_words_survive(self):
+        words = np.array([0, 1, 2**32 - 1, 0x80000000], dtype=np.uint64)
+        buf = pack_words(words, 32)
+        np.testing.assert_array_equal(
+            unpack_words(buf, 32, 4),
+            np.array([0, 1, 2**32 - 1, 0x80000000], dtype=np.uint32))
+
+
+class TestFlipWordBits:
+    def test_matches_packed_stream_flip(self):
+        from repro.formats import flip_word_bits
+        from repro.resilience.inject import flip_packed
+
+        rng = np.random.default_rng(7)
+        for bits in (3, 4, 7, 8, 11, 16):
+            words = rng.integers(0, 1 << bits, size=40).astype(np.uint32)
+            positions = rng.choice(40 * bits, size=9, replace=False)
+            direct = flip_word_bits(words, bits, positions)
+            via_stream = unpack_words(
+                flip_packed(pack_words(words, bits), positions), bits, 40)
+            np.testing.assert_array_equal(direct, via_stream)
+
+    def test_involution_and_input_untouched(self):
+        from repro.formats import flip_word_bits
+
+        words = np.arange(16, dtype=np.uint32).reshape(4, 4)
+        snapshot = words.copy()
+        positions = np.array([0, 5, 13, 13])  # repeated offset cancels
+        once = flip_word_bits(words, 4, positions)
+        np.testing.assert_array_equal(words, snapshot)
+        assert once.shape == words.shape
+        back = flip_word_bits(once, 4, positions)
+        np.testing.assert_array_equal(back, words)
+        np.testing.assert_array_equal(
+            flip_word_bits(words, 4, np.array([13, 13])), words)
+
+    def test_out_of_range_rejected(self):
+        from repro.formats import flip_word_bits
+
+        with pytest.raises(ValueError, match="outside the word stream"):
+            flip_word_bits(np.zeros(4, dtype=np.uint32), 4, np.array([16]))
+        with pytest.raises(ValueError, match="outside the word stream"):
+            flip_word_bits(np.zeros(4, dtype=np.uint32), 4, np.array([-1]))

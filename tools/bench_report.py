@@ -12,16 +12,21 @@ Two suites:
   with a ``speedup`` per cached/naive pair.
 * ``--suite resilience`` — the seeded bit-flip fault-injection campaign
   (``repro.resilience``, fast profile, transformer, all five formats at
-  8 bits) -> ``BENCH_resilience.json``.  Unlike the timing suites this
-  record is fully deterministic — no machine info, no wall clock — so a
-  re-run from the warm cell cache is byte-identical.
+  8 bits) -> ``BENCH_resilience.json``.  The record has three blocks:
+  ``campaign`` (the deterministic grid, timing stripped — byte-identical
+  across machines and warm re-runs), ``throughput`` (trial-loop
+  trials/sec for the naive reference loop vs the cached-encode engine,
+  the full-campaign wall clocks, and the equivalence checks: per-trial
+  fault checksums and campaign counters must match between the two
+  paths), and ``machine``.  The engine must clear a >= 3x trial-loop
+  speedup or the run fails.
 
 Run:  PYTHONPATH=src python tools/bench_report.py [--suite decode]
 
 Timings are machine-dependent; the committed files record the shape of
 the comparison (which paths are fast, relative speedups), not absolute
-milliseconds to be matched elsewhere.  The resilience record is the
-exception: it is exactly reproducible.
+milliseconds to be matched elsewhere.  The resilience ``campaign`` block
+is the exception: it is exactly reproducible.
 """
 
 from __future__ import annotations
@@ -53,12 +58,132 @@ RESILIENCE_CONFIG = {
     "ber": (0.001,), "n_flips": 1, "trials": 12, "seed": 0,
 }
 
+#: Trial-loop throughput probe (the machinery the engine accelerates:
+#: fault synthesis + state application + parameter scan, no scoring).
+THROUGHPUT_CONFIG = {
+    "profile": "fast", "model": "transformer",
+    "format_name": "adaptivfloat", "bits": 8, "field": "any",
+    "n_flips": 1, "trials": 200, "seed": 0,
+}
+
+#: Minimum trial-loop speedup (engine vs naive) the record must show.
+MIN_TRIAL_LOOP_SPEEDUP = 3.0
+
+
+def machine_info() -> dict:
+    """Interpreter/platform/numpy/threading context of a benchmark run.
+
+    Thread and BLAS provenance matter for the timing suites: a numpy
+    wheel pinned to one OpenBLAS thread and a 64-thread build produce
+    very different absolute numbers for the same code.
+    """
+    import numpy as np
+
+    info = {
+        "python": platform.python_version(),
+        "system": f"{platform.system()} {platform.machine()}",
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "thread_env": {
+            var: os.environ[var]
+            for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                        "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS")
+            if var in os.environ
+        },
+    }
+    try:
+        cfg = np.show_config(mode="dicts")
+        blas = cfg.get("Build Dependencies", {}).get("blas", {})
+        info["blas"] = {key: blas[key] for key in
+                        ("name", "version", "openblas configuration")
+                        if key in blas}
+    except TypeError:  # numpy < 1.25: text-only show_config
+        info["blas"] = None
+    return info
+
+
+def _strip_timing(obj):
+    """Drop every ``timing`` block so the campaign record is machine-free."""
+    if isinstance(obj, dict):
+        return {k: _strip_timing(v) for k, v in obj.items() if k != "timing"}
+    if isinstance(obj, list):
+        return [_strip_timing(v) for v in obj]
+    return obj
+
+
+def _counter_view(result: dict) -> dict:
+    """The fault/detection/drift counters of a campaign grid.
+
+    Everything the naive and engine loops must agree on bit-for-bit;
+    score aggregates are excluded because the engine scores masked
+    faults as clean without re-running the evaluation.
+    """
+    keys = ("trials", "flips_total", "sdc_rate", "detection_rate",
+            "corrupt_rate", "nonfinite_logit_rate", "masked_probe_rate",
+            "mean_logit_rms_drift", "max_logit_rms_drift",
+            "detected_kinds", "clean_score", "fp32_score")
+    view = {}
+    for model, payload in result["models"].items():
+        for fmt, per_field in payload["formats"].items():
+            for field, cell in per_field.items():
+                if cell is not None:
+                    view[f"{model}/{fmt}/{field}"] = {k: cell[k]
+                                                      for k in keys}
+    return view
+
 
 def _run_resilience() -> dict:
-    """Run the campaign in-process and return its (deterministic) grid."""
+    """Campaign + throughput record; fails below the speedup gate."""
     sys.path.insert(0, str(REPO / "src"))
     from repro.resilience import campaign
-    return campaign.run(**RESILIENCE_CONFIG)
+
+    # Trial-loop throughput, with per-trial fault checksums: the digest
+    # streams prove both loops install identical faulty tensors.
+    naive_tp = campaign.measure_injection_throughput(
+        engine=False, checksums=True, **THROUGHPUT_CONFIG)
+    engine_tp = campaign.measure_injection_throughput(
+        engine=True, checksums=True, **THROUGHPUT_CONFIG)
+    checksums_identical = naive_tp.pop("checksums") == engine_tp.pop(
+        "checksums")
+    speedup = engine_tp["trials_per_sec"] / naive_tp["trials_per_sec"]
+
+    # Full campaigns both ways; the committed grid is the engine one.
+    naive_grid = campaign.run(engine=False, **RESILIENCE_CONFIG)
+    engine_grid = campaign.run(engine=True, **RESILIENCE_CONFIG)
+    counters_identical = (_counter_view(naive_grid)
+                          == _counter_view(engine_grid))
+
+    if not checksums_identical:
+        raise SystemExit("naive/engine fault checksums diverge")
+    if not counters_identical:
+        raise SystemExit("naive/engine campaign counters diverge")
+    if speedup < MIN_TRIAL_LOOP_SPEEDUP:
+        raise SystemExit(f"trial-loop speedup {speedup:.2f}x below the "
+                         f"{MIN_TRIAL_LOOP_SPEEDUP}x gate")
+
+    return {
+        "campaign": _strip_timing(engine_grid),
+        "throughput": {
+            "trial_loop": {
+                "naive": naive_tp,
+                "engine": engine_tp,
+                "speedup": round(speedup, 2),
+                "checksums_identical": checksums_identical,
+            },
+            "campaign_wall": {
+                "naive_s": round(naive_grid["timing"]["wall_time_s"], 3),
+                "engine_s": round(engine_grid["timing"]["wall_time_s"], 3),
+                "naive_trials_per_sec": round(
+                    naive_grid["timing"]["trials_per_sec"], 2),
+                "engine_trials_per_sec": round(
+                    engine_grid["timing"]["trials_per_sec"], 2),
+                "speedup": round(naive_grid["timing"]["wall_time_s"]
+                                 / engine_grid["timing"]["wall_time_s"], 2),
+            },
+            "counters_identical": counters_identical,
+        },
+        "machine": machine_info(),
+    }
 
 
 def _run_benchmarks(bench_file: str, extra_env: dict) -> dict:
@@ -121,16 +246,15 @@ def main() -> int:
         payload = _run_resilience()
         output.write_text(json.dumps(payload, indent=2, sort_keys=True)
                           + "\n")
+        trial_loop = payload["throughput"]["trial_loop"]
         print(f"wrote {output} "
-              f"({len(payload['models'])} model(s), "
-              f"{len(RESILIENCE_CONFIG['formats'])} formats)")
+              f"({len(payload['campaign']['models'])} model(s), "
+              f"{len(RESILIENCE_CONFIG['formats'])} formats, "
+              f"trial-loop speedup {trial_loop['speedup']}x)")
         return 0
     fast = _distill(_run_benchmarks(bench_file, {}))
     payload = {
-        "machine": {
-            "python": platform.python_version(),
-            "system": f"{platform.system()} {platform.machine()}",
-        },
+        "machine": machine_info(),
         "benchmarks": fast,
     }
     if args.suite == "decode":
