@@ -14,9 +14,12 @@ only uses min/max, which the emulator reproduces by construction.
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from typing import Dict, List, Tuple
 
 import numpy as np
+
+from ..rng import fresh_rng
 
 __all__ = ["PublishedModel", "PUBLISHED_MODELS", "sample_weights",
            "weight_ranges"]
@@ -56,7 +59,9 @@ def sample_weights(model: PublishedModel, count: int = 200_000,
     stretched to the published extremes (then the extremes are pinned
     exactly, since Fig. 1 plots the observed min/max).
     """
-    rng = np.random.default_rng(seed + hash(model.name) % 65536)
+    # crc32 is a pure function of the name; hash() varies per process
+    # (PYTHONHASHSEED), which silently made every sample run-dependent.
+    rng = fresh_rng(seed + zlib.crc32(model.name.encode("utf-8")) % 65536)
     bulk = rng.normal(scale=model.bulk_std, size=count)
     n_tail = max(count // 1000, 2)
     tail = rng.standard_t(df=2, size=n_tail)

@@ -16,6 +16,8 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
+from ..rng import fresh_rng
+
 __all__ = ["ImageBatch", "ImageTask"]
 
 
@@ -42,7 +44,7 @@ class ImageTask:
     def _build_templates(self) -> np.ndarray:
         """Smooth unit-variance class templates from low-frequency Fourier
         modes (keeps classes distinguishable under shifts and noise)."""
-        rng = np.random.default_rng(self.seed + 555)
+        rng = fresh_rng(self.seed + 555)
         size = self.image_size
         yy, xx = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
         templates = np.zeros((self.num_classes, self.channels, size, size))
@@ -74,10 +76,10 @@ class ImageTask:
 
     def batches(self, batch_size: int, num_batches: int,
                 seed_offset: int = 0) -> Iterator[ImageBatch]:
-        rng = np.random.default_rng(self.seed + seed_offset)
+        rng = fresh_rng(self.seed + seed_offset)
         for _ in range(num_batches):
             yield self.sample(batch_size, rng)
 
     def eval_set(self, count: int = 256, seed_offset: int = 10_000) -> ImageBatch:
-        rng = np.random.default_rng(self.seed + seed_offset)
+        rng = fresh_rng(self.seed + seed_offset)
         return self.sample(count, rng)

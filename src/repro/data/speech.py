@@ -17,6 +17,8 @@ from typing import Iterator, List, Tuple
 
 import numpy as np
 
+from ..rng import fresh_rng
+
 __all__ = ["SpeechBatch", "SpeechTask", "PAD_ID", "BOS_ID", "EOS_ID"]
 
 PAD_ID, BOS_ID, EOS_ID = 0, 1, 2
@@ -44,7 +46,7 @@ class SpeechTask:
         self.max_words = max_words
         self.noise = noise
         self.seed = seed
-        codebook_rng = np.random.default_rng(seed + 777)
+        codebook_rng = fresh_rng(seed + 777)
         # Unit-norm prototypes keep per-frame SNR uniform across tokens.
         protos = codebook_rng.normal(size=(vocab, feat_dim))
         self._protos = (protos / np.linalg.norm(protos, axis=1, keepdims=True)
@@ -87,12 +89,12 @@ class SpeechTask:
 
     def batches(self, batch_size: int, num_batches: int,
                 seed_offset: int = 0) -> Iterator[SpeechBatch]:
-        rng = np.random.default_rng(self.seed + seed_offset)
+        rng = fresh_rng(self.seed + seed_offset)
         for _ in range(num_batches):
             yield self.make_batch(self.sample_utterances(batch_size, rng))
 
     def eval_set(self, count: int = 128, seed_offset: int = 10_000) -> SpeechBatch:
-        rng = np.random.default_rng(self.seed + seed_offset)
+        rng = fresh_rng(self.seed + seed_offset)
         return self.make_batch(self.sample_utterances(count, rng))
 
     @staticmethod

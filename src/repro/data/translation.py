@@ -17,6 +17,8 @@ from typing import Iterator, List, Tuple
 
 import numpy as np
 
+from ..rng import fresh_rng
+
 __all__ = ["TranslationBatch", "TranslationTask", "PAD_ID", "BOS_ID", "EOS_ID"]
 
 PAD_ID, BOS_ID, EOS_ID = 0, 1, 2
@@ -91,14 +93,14 @@ class TranslationTask:
 
     def batches(self, batch_size: int, num_batches: int,
                 seed_offset: int = 0) -> Iterator[TranslationBatch]:
-        rng = np.random.default_rng(self.seed + seed_offset)
+        rng = fresh_rng(self.seed + seed_offset)
         for _ in range(num_batches):
             yield self.make_batch(self.sample_pairs(batch_size, rng))
 
     def eval_set(self, count: int = 128,
                  seed_offset: int = 10_000) -> TranslationBatch:
         """A fixed held-out evaluation batch."""
-        rng = np.random.default_rng(self.seed + seed_offset)
+        rng = fresh_rng(self.seed + seed_offset)
         return self.make_batch(self.sample_pairs(count, rng))
 
     @staticmethod

@@ -27,6 +27,7 @@ from ..cache import cache_dir
 from ..data import ImageTask, SpeechTask, TranslationTask
 from ..metrics import bleu_score, top1_accuracy, wer_score
 from ..nn import functional as F
+from ..rng import fresh_rng
 from ..nn.models import (ResNet, ResNetConfig, Seq2Seq, Seq2SeqConfig,
                          Transformer, TransformerConfig)
 
@@ -92,7 +93,7 @@ class ModelBundle:
 
 # ------------------------------------------------------------- transformer
 def _build_transformer(seed: int = 1):
-    rng = np.random.default_rng(seed)
+    rng = fresh_rng(seed)
     return Transformer(TransformerConfig(), rng=rng), TranslationTask()
 
 
@@ -113,7 +114,7 @@ def _transformer_eval(model, task, eval_size: int) -> float:
 
 # ----------------------------------------------------------------- seq2seq
 def _build_seq2seq(seed: int = 1):
-    rng = np.random.default_rng(seed)
+    rng = fresh_rng(seed)
     return Seq2Seq(Seq2SeqConfig(), rng=rng), SpeechTask()
 
 
@@ -133,7 +134,7 @@ def _seq2seq_eval(model, task, eval_size: int) -> float:
 
 # ------------------------------------------------------------------ resnet
 def _build_resnet(seed: int = 1):
-    rng = np.random.default_rng(seed)
+    rng = fresh_rng(seed)
     return ResNet(ResNetConfig(blocks_per_stage=1), rng=rng), ImageTask()
 
 

@@ -101,6 +101,16 @@ def run_cells(fn: Callable[[Any], Any], cells: Sequence[Any], *,
     """
     if jobs < 1:
         raise ValueError(f"jobs must be positive, got {jobs}")
+    if jobs > 1:
+        # runtime twin of the PK001/PK002 static checks: fail fast and
+        # deterministically (even when every cell would be a cache hit)
+        # instead of surfacing a PicklingError from inside the pool
+        qualname = getattr(fn, "__qualname__", "") or ""
+        if "<lambda>" in qualname or "<locals>" in qualname:
+            raise ValueError(
+                f"run_cells(jobs={jobs}) needs a module-level cell function, "
+                f"got {qualname!r}: workers re-import the callable by "
+                "qualified name, and lambdas/closures cannot be pickled")
     cells = list(cells)
     total = len(cells)
     results: List[Any] = [None] * total

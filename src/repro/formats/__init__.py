@@ -28,7 +28,8 @@ from .numerics import (adaptivfloat_product_bits, decades_covered,
                        hfint_accumulator_bits, int_accumulator_bits,
                        worst_case_relative_error)
 from .posit import Posit, decode_posit_word
-from .registry import FORMAT_NAMES, Fp32, make_quantizer, paper_formats
+from .registry import (FORMAT_NAMES, FormatRange, Fp32, exact_range,
+                       make_quantizer, paper_formats)
 from .uniform import Uniform
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "BlockFloat",
     "FixedPoint",
     "FloatIEEE",
+    "FormatRange",
     "Fp32",
     "FORMAT_NAMES",
     "LogQuant",
@@ -64,6 +66,7 @@ __all__ = [
     "decode_tensor",
     "decode_words",
     "encode_tensor",
+    "exact_range",
     "exponent_bias_for",
     "flip_word_bits",
     "get_codebook",

@@ -10,7 +10,8 @@ accepting explicit overrides for the exponent-width-search ablation.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -23,7 +24,8 @@ from .logquant import LogQuant
 from .posit import Posit
 from .uniform import Uniform
 
-__all__ = ["Fp32", "make_quantizer", "paper_formats", "FORMAT_NAMES"]
+__all__ = ["Fp32", "make_quantizer", "paper_formats", "FORMAT_NAMES",
+           "FormatRange", "exact_range"]
 
 #: The five formats compared throughout the paper, in the tables' order.
 FORMAT_NAMES = ("float", "bfp", "uniform", "posit", "adaptivfloat")
@@ -93,3 +95,107 @@ def make_quantizer(name: str, bits: int, **overrides: Any) -> Quantizer:
 def paper_formats(bits: int) -> List[Quantizer]:
     """The five formats of Tables 2/3 and Fig. 4 at a given word size."""
     return [make_quantizer(name, bits) for name in FORMAT_NAMES]
+
+
+# --------------------------------------------------------- exact range data
+@dataclasses.dataclass(frozen=True)
+class FormatRange:
+    """Exact representable-range metadata for one ``(format, bits)``.
+
+    Everything is kept as exact integers so static analyses (the HW001
+    accumulator-overflow prover in :mod:`repro.lint.ranges`) can reason
+    about worst-case accumulations without float rounding.  The maximum
+    magnitude is ``sig_max * 2**sig_exp``; for scale/bias-adaptive
+    formats (uniform, bfp, adaptivfloat, logquant) it is expressed in
+    the format's *internal* units — integer levels, or bias-relative
+    binades — which is exactly the domain the PE datapaths compute in.
+
+    ``pe`` names the paper datapath the format's operands feed:
+    ``"int"`` (integer level grids -> Fig. 5a ``IntVectorMac``),
+    ``"hfint"`` (sign/exponent/mantissa words -> Fig. 5b
+    ``HFIntVectorMac``) or ``None`` (no modeled PE).
+    """
+
+    name: str
+    bits: int
+    pe: Optional[str]
+    #: integer-grid formats: largest |level| the format can emit
+    level_max: Optional[int] = None
+    #: hfint-style formats: field widths and the largest stored-exponent
+    #: left shift one operand contributes to a product
+    exp_bits: Optional[int] = None
+    mant_bits: Optional[int] = None
+    max_exp_shift: Optional[int] = None
+    #: exact max magnitude = ``sig_max * 2**sig_exp`` (internal units)
+    sig_max: int = 0
+    sig_exp: int = 0
+    #: magnitude floats with a per-tensor scale / shared exponent / bias
+    scale_dependent: bool = False
+    note: str = ""
+
+    @property
+    def value_max(self) -> float:
+        """Float view of the exact max magnitude (may lose precision)."""
+        return float(self.sig_max) * 2.0 ** self.sig_exp
+
+
+def exact_range(name: str, bits: int, **overrides: Any) -> FormatRange:
+    """Exact range metadata for a registry format at a word size.
+
+    Accepts the same ``overrides`` as :func:`make_quantizer` (``exp_bits``,
+    ``es``, ``frac_bits``); defaults mirror the factory exactly.
+    """
+    key = name.lower()
+    if key == "adaptivfloat":
+        e = int(overrides.get("exp_bits", 3))
+        m = bits - e - 1
+        return FormatRange(
+            name=key, bits=bits, pe="hfint", exp_bits=e, mant_bits=m,
+            max_exp_shift=2 ** e - 1,
+            sig_max=2 ** (m + 1) - 1, sig_exp=(2 ** e - 1) - m,
+            scale_dependent=True,
+            note="sig_exp is relative to the per-tensor exp_bias")
+    if key == "float":
+        e = int(overrides.get("exp_bits", _default_float_exp_bits(bits)))
+        m = bits - e - 1
+        fmt = FloatIEEE(bits, exp_bits=e)
+        return FormatRange(
+            name=key, bits=bits, pe="hfint", exp_bits=e, mant_bits=m,
+            max_exp_shift=2 ** e - 1,
+            sig_max=2 ** (m + 1) - 1, sig_exp=fmt.max_exp - m,
+            note=("modeled on the HFINT PE with a fixed bias; subnormal "
+                  "words decode differently but max-magnitude words agree"))
+    if key in ("uniform", "bfp"):
+        level_max = 2 ** (bits - 1) - 1    # symmetric clamp in both grids
+        return FormatRange(
+            name=key, bits=bits, pe="int", level_max=level_max,
+            sig_max=level_max, sig_exp=0, scale_dependent=True,
+            note="sig_max is in integer levels (uniform scale / shared-exp "
+                 "mantissa units)")
+    if key == "fixedpoint":
+        frac = int(overrides.get("frac_bits", bits - 2))
+        level_max = 2 ** (bits - 1) - 1
+        return FormatRange(
+            name=key, bits=bits, pe="int", level_max=level_max,
+            sig_max=level_max, sig_exp=-frac,
+            note=("grid also holds level_min=-2**(bits-1), one step past "
+                  "the PE's symmetric operand clamp"))
+    if key == "posit":
+        es = int(overrides.get("es", _default_posit_es(bits)))
+        return FormatRange(
+            name=key, bits=bits, pe=None,
+            sig_max=1, sig_exp=(bits - 2) * 2 ** es,
+            note="tapered regime grid; no modeled PE datapath (a quire-"
+                 "style accumulator would be needed)")
+    if key == "logquant":
+        return FormatRange(
+            name=key, bits=bits, pe=None,
+            sig_max=1, sig_exp=0, scale_dependent=True,
+            note="power-of-two codes under a data-dependent exp_max; no "
+                 "modeled PE datapath")
+    if key == "fp32":
+        return FormatRange(
+            name=key, bits=32, pe=None,
+            sig_max=2 ** 24 - 1, sig_exp=127 - 23,
+            note="IEEE binary32 baseline; no modeled PE datapath")
+    raise ValueError(f"unknown format {name!r}")

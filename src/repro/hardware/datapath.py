@@ -29,7 +29,8 @@ import numpy as np
 
 from ..formats import AdaptivFloat
 
-__all__ = ["IntVectorMac", "HFIntVectorMac", "RequantParams"]
+__all__ = ["IntVectorMac", "HFIntVectorMac", "RequantParams",
+           "MacWidthSpec", "int_width_spec", "hfint_width_spec"]
 
 
 def _saturate(x: np.ndarray, width: int) -> np.ndarray:
@@ -39,10 +40,88 @@ def _saturate(x: np.ndarray, width: int) -> np.ndarray:
     return np.clip(x, lo, hi)
 
 
-#: Widest accumulator for which the vectorized cumulative-sum fast path
-#: is exact: partial sums before saturation stay below ``2**acc_width``,
-#: which must fit in int64.
-_FAST_ACC_WIDTH = 62
+_INT64_MAX = 2 ** 63 - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class MacWidthSpec:
+    """The width arithmetic of one MAC configuration, as data.
+
+    Everything downstream of the paper's Fig. 5 register formulas is
+    derived here with exact integers so it can be *consumed* rather than
+    re-derived: the simulator uses it to pick a sound fast path, and the
+    HW001 static prover (:mod:`repro.lint.ranges`) uses it to prove or
+    refute "the accumulator cannot overflow before saturation" per
+    registry format.
+
+    ``term_max`` is the largest |aligned product| one cycle can add;
+    ``sum_max`` is the largest |running sum| any prefix of an H-term
+    accumulation can reach *ignoring* saturation — the quantity that
+    must fit both the presaturation adder and the int64 arithmetic of
+    the vectorized cumulative-sum fast path.
+    """
+
+    pe: str              # "int" | "hfint"
+    bits: int
+    accum_length: int
+    acc_width: int       # the paper's saturating register width
+    term_max: int        # exact max |product| entering the adder per cycle
+    sum_max: int         # exact max |unsaturated prefix sum| over H cycles
+    exp_shift_max: int = 0   # hfint: max total alignment shift per product
+
+    @property
+    def window_max(self) -> int:
+        """Largest value the saturating register can hold."""
+        return (1 << (self.acc_width - 1)) - 1
+
+    @property
+    def presat_bits(self) -> int:
+        """Exact signed width needed to hold any unsaturated prefix sum."""
+        return self.sum_max.bit_length() + 1
+
+    @property
+    def fast_path_exact(self) -> bool:
+        """Whether int64 cumulative sums are exact (no wrap) pre-saturation."""
+        return self.sum_max <= _INT64_MAX
+
+    @property
+    def cycle_max(self) -> int:
+        """Largest |value| one saturate-per-cycle step can see."""
+        return self.window_max + self.term_max
+
+    @property
+    def overflow_free(self) -> bool:
+        """True when saturation is unreachable: every exact H-term sum
+        already fits the register window."""
+        return self.sum_max <= self.window_max
+
+
+def int_width_spec(bits: int, accum_length: int,
+                   level_max: Optional[int] = None) -> MacWidthSpec:
+    """Width spec of the Fig. 5a integer MAC (``2n + log2(H)`` register)."""
+    if level_max is None:
+        level_max = 2 ** (bits - 1) - 1
+    term = level_max * level_max
+    return MacWidthSpec(
+        pe="int", bits=bits, accum_length=accum_length,
+        acc_width=2 * bits + int(math.log2(accum_length)),
+        term_max=term, sum_max=accum_length * term)
+
+
+def hfint_width_spec(bits: int, exp_bits: int,
+                     accum_length: int) -> MacWidthSpec:
+    """Width spec of the Fig. 5b hybrid float-integer MAC
+    (``2(2^e-1) + 2m + log2(H)`` register)."""
+    mant_bits = bits - exp_bits - 1
+    mant_max = 2 ** (mant_bits + 1) - 1
+    shift_max = 2 * (2 ** exp_bits - 1)
+    term = mant_max * mant_max * (1 << shift_max)
+    return MacWidthSpec(
+        pe="hfint", bits=bits, accum_length=accum_length,
+        acc_width=(2 * (2 ** exp_bits - 1) + 2 * mant_bits
+                   + int(math.log2(accum_length))),
+        term_max=term, sum_max=accum_length * term,
+        exp_shift_max=shift_max)
 
 
 def _saturating_row_sum(terms: np.ndarray, width: int) -> np.ndarray:
@@ -53,9 +132,9 @@ def _saturating_row_sum(terms: np.ndarray, width: int) -> np.ndarray:
     unaffected by saturation, so its result is just the row total; the
     vectorized fast path computes cumulative sums, detects in-window
     rows, and falls back to the exact cycle-by-cycle loop only for rows
-    that saturate somewhere.  Callers must ensure ``width`` is at most
-    :data:`_FAST_ACC_WIDTH` so the unsaturated cumulative sums cannot
-    overflow int64.
+    that saturate somewhere.  Callers must ensure the worst-case
+    *unsaturated* prefix sum fits int64 (``MacWidthSpec.fast_path_exact``)
+    or the cumulative sums here wrap and rows can be misclassified.
     """
     rows, length = terms.shape
     if length == 0:
@@ -111,9 +190,14 @@ class IntVectorMac:
         self.bits = bits
         self.accum_length = accum_length
         self.scale_bits = scale_bits or 2 * bits
-        self.acc_width = 2 * bits + int(math.log2(accum_length))
+        self.width_spec = int_width_spec(bits, accum_length)
+        self.acc_width = self.width_spec.acc_width
         self.scaled_width = self.acc_width + self.scale_bits
         self.level_max = 2 ** (bits - 1) - 1
+        if self.width_spec.cycle_max > _INT64_MAX:
+            raise ValueError(
+                f"IntVectorMac(bits={bits}, H={accum_length}) cannot be "
+                "simulated bit-exactly in int64 arithmetic")
 
     def check_levels(self, levels: np.ndarray) -> np.ndarray:
         levels = np.asarray(levels, dtype=np.int64)
@@ -131,7 +215,7 @@ class IntVectorMac:
         if w.shape[1] > self.accum_length:
             raise ValueError(
                 f"reduction length {w.shape[1]} exceeds H={self.accum_length}")
-        if self.acc_width <= _FAST_ACC_WIDTH:
+        if self.width_spec.fast_path_exact:
             return _saturating_row_sum(w * a[None, :], self.acc_width)
         acc = np.zeros(w.shape[0], dtype=np.int64)
         for j in range(w.shape[1]):
@@ -197,8 +281,13 @@ class HFIntVectorMac:
         self.exp_bits = exp_bits
         self.mant_bits = bits - exp_bits - 1
         self.accum_length = accum_length
-        self.acc_width = (2 * (2 ** exp_bits - 1) + 2 * self.mant_bits
-                          + int(math.log2(accum_length)))
+        self.width_spec = hfint_width_spec(bits, exp_bits, accum_length)
+        self.acc_width = self.width_spec.acc_width
+        if self.width_spec.cycle_max > _INT64_MAX:
+            raise ValueError(
+                f"HFIntVectorMac(bits={bits}, exp_bits={exp_bits}, "
+                f"H={accum_length}) cannot be simulated bit-exactly in "
+                "int64 arithmetic")
         self.fmt = AdaptivFloat(bits, exp_bits)
 
     # ------------------------------------------------------------ decoding
@@ -227,7 +316,7 @@ class HFIntVectorMac:
                 f"reduction length {w_words.shape[1]} exceeds H={self.accum_length}")
         ws, we, wm = self._fields(w_words)
         as_, ae, am = self._fields(a_words)
-        if self.acc_width <= _FAST_ACC_WIDTH:
+        if self.width_spec.fast_path_exact:
             # mantissa multiply, exponent add, alignment shift — all
             # (out, in) elementwise; per-cycle saturation in the helper
             products = (ws * wm) * (as_ * am)[None, :]

@@ -4,15 +4,23 @@ The paper's central comparison — AdaptivFloat's resilience against
 IEEE-like float, BFP, uniform and posit at matched bit widths — only
 means anything if the numerics are bit-exact and deterministic.  This
 package machine-checks the invariants the reproduction depends on
-(seeded RNG everywhere, pinned dtypes in hot paths, no autodiff-state
-mutation outside the sanctioned modules, picklable sweep cells, honest
-``__all__``, no codebook fast-path bypass) instead of leaving them to
-reviewer vigilance.
+instead of leaving them to reviewer vigilance.  v1 rules are per-file
+(seeded RNG, pinned dtypes, no autodiff-state mutation, picklable sweep
+cells, honest ``__all__``, no codebook bypass); v2 adds a project-wide
+core — a symbol/import/call graph (:mod:`repro.lint.graph`) and a
+dataflow engine over an abstract-value lattice
+(:mod:`repro.lint.dataflow`) — powering cross-module rules: seed-taint
+tracking (ND002), dtype propagation (DT002), call-graph picklability
+(PK002), cache-key purity (CK001), and the HW001 accumulator-overflow
+prover for the PE datapaths (:mod:`repro.lint.ranges`).
 
 Usage::
 
     python -m repro.lint                  # lint src/tools/examples/tests
     python -m repro.lint --format json    # machine-readable (CI)
+    python -m repro.lint --format sarif   # SARIF 2.1.0 (code-scanning UIs)
+    python -m repro.lint --changed        # only files changed vs git
+    python -m repro.lint --hw-table       # HW001 proof table
     python -m repro.lint --list-rules     # rule catalogue
     python -m repro.lint --write-baseline # accept current findings
 
@@ -27,12 +35,14 @@ floods with op/layer provenance while a model runs — is
 """
 
 from . import rules  # noqa: F401  (rule registration side effect)
-from .core import (DEFAULT_TARGETS, FileContext, Finding, LintReport, Rule,
-                   all_rules, get_rule, lint_file, lint_source, load_baseline,
-                   register, run_lint, save_baseline)
+from .core import (DEFAULT_TARGETS, FileContext, Finding, LintReport, Project,
+                   ProjectRule, Rule, all_rules, get_rule, lint_file,
+                   lint_source, lint_sources, load_baseline, register,
+                   run_lint, save_baseline)
 
 __all__ = [
-    "DEFAULT_TARGETS", "FileContext", "Finding", "LintReport", "Rule",
-    "all_rules", "get_rule", "lint_file", "lint_source", "load_baseline",
-    "register", "rules", "run_lint", "save_baseline",
+    "DEFAULT_TARGETS", "FileContext", "Finding", "LintReport", "Project",
+    "ProjectRule", "Rule", "all_rules", "get_rule", "lint_file",
+    "lint_source", "lint_sources", "load_baseline", "register", "rules",
+    "run_lint", "save_baseline",
 ]

@@ -3,6 +3,15 @@
 Run as ``python -m repro.lint`` (or ``tools/reprocheck.py``).  Exit
 status: 0 when the tree is clean (every finding fixed, inline-suppressed
 or baselined), 1 when actionable findings remain, 2 on usage errors.
+
+Output formats: ``human`` (default), ``json`` (the full
+:class:`~repro.lint.core.LintReport`), and ``sarif`` (SARIF 2.1.0 for
+code-scanning UIs; only actionable findings become results).
+
+``--changed`` restricts *reported* findings to files changed relative to
+a git ref (default ``HEAD``) plus untracked files — the whole tree is
+still parsed so the cross-module rules see every import edge — which is
+the fast PR gate wired into CI.
 """
 
 from __future__ import annotations
@@ -10,17 +19,24 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import subprocess
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from . import rules  # noqa: F401  (imported for rule registration)
-from .core import (DEFAULT_TARGETS, LintReport, all_rules, run_lint,
-                   save_baseline)
+from .core import (DEFAULT_TARGETS, LintReport, all_rules, get_rule,
+                   run_lint, save_baseline)
 
-__all__ = ["main", "find_repo_root", "DEFAULT_BASELINE"]
+__all__ = ["main", "find_repo_root", "changed_paths", "render_sarif",
+           "DEFAULT_BASELINE"]
 
 #: Baseline filename looked up relative to the repo root.
 DEFAULT_BASELINE = "reprocheck-baseline.json"
+
+#: SARIF schema pinned by the emitter.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
 
 
 def find_repo_root(start: Optional[pathlib.Path] = None) -> pathlib.Path:
@@ -35,6 +51,75 @@ def find_repo_root(start: Optional[pathlib.Path] = None) -> pathlib.Path:
                 and (candidate / "src" / "repro").is_dir():
             return candidate
     return pathlib.Path(__file__).resolve().parents[3]
+
+
+def changed_paths(root: pathlib.Path, base: str = "HEAD") -> Set[str]:
+    """Repo-relative paths changed vs ``base``, plus untracked files.
+
+    Raises ``RuntimeError`` when git is unavailable or the ref is
+    unknown, so ``--changed`` fails loudly instead of linting nothing.
+    """
+    out: Set[str] = set()
+    for args in (["git", "diff", "--name-only", base, "--"],
+                 ["git", "ls-files", "--others", "--exclude-standard"]):
+        proc = subprocess.run(args, cwd=str(root), capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{' '.join(args)} failed: {proc.stderr.strip()}")
+        out.update(line.strip().replace("\\", "/")
+                   for line in proc.stdout.splitlines() if line.strip())
+    return {p for p in out if p.endswith(".py")}
+
+
+def render_sarif(report: LintReport) -> dict:
+    """SARIF 2.1.0 document for the report's actionable findings."""
+    rule_meta = [
+        {
+            "id": rule.id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": f.line,
+                               "startColumn": f.col + 1},
+                },
+            }],
+        }
+        for f in report.findings
+    ]
+    invocation = {
+        "executionSuccessful": not report.parse_errors,
+        "toolExecutionNotifications": [
+            {"level": "error", "message": {"text": err}}
+            for err in report.parse_errors
+        ],
+    }
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "reprocheck",
+                "rules": rule_meta,
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "invocations": [invocation],
+            "results": results,
+        }],
+    }
 
 
 def _render_human(report: LintReport, verbose: bool) -> str:
@@ -65,10 +150,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              f"repo root (default: {' '.join(DEFAULT_TARGETS)})")
     parser.add_argument("--root", type=pathlib.Path, default=None,
                         help="repo root (default: auto-detected)")
-    parser.add_argument("--format", choices=("human", "json"),
+    parser.add_argument("--format", choices=("human", "json", "sarif"),
                         default="human", dest="fmt")
     parser.add_argument("--rules", default=None,
                         help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="BASE",
+                        help="report findings only for files changed vs the "
+                             "given git ref (default HEAD) plus untracked "
+                             "files; the whole tree is still parsed for the "
+                             "cross-module rules")
     parser.add_argument("--baseline", type=pathlib.Path, default=None,
                         help=f"baseline file (default: <root>/{DEFAULT_BASELINE})")
     parser.add_argument("--no-baseline", action="store_true",
@@ -78,6 +169,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--hw-table", action="store_true",
+                        help="print the HW001 accumulator proof table "
+                             "(per-format verdicts + witnesses) and exit")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="also print baselined and inline-suppressed "
                              "findings")
@@ -85,8 +179,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.id}  {rule.title}")
+            print(f"{rule.id}  [{rule.scope}]  {rule.title}")
             print(f"       {rule.rationale}")
+        return 0
+
+    if args.hw_table:
+        from .ranges import proof_table
+        print(proof_table())
         return 0
 
     root = (args.root or find_repo_root()).resolve()
@@ -98,19 +197,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rule_ids = None
     if args.rules:
         rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
-        try:
-            for rid in rule_ids:
-                from .core import get_rule
+        unknown = []
+        for rid in rule_ids:
+            try:
                 get_rule(rid)
-        except KeyError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            except KeyError:
+                unknown.append(rid)
+        if unknown:
+            known = ", ".join(r.id for r in all_rules())
+            print(f"error: unknown rule id(s): {', '.join(unknown)} "
+                  f"(known: {known})", file=sys.stderr)
             return 2
+
+    only_paths: Optional[Set[str]] = None
+    if args.changed is not None:
+        try:
+            only_paths = changed_paths(root, args.changed)
+        except RuntimeError as exc:
+            print(f"error: --changed: {exc}", file=sys.stderr)
+            return 2
+        if not only_paths:
+            print("reprocheck: no changed Python files")
+            return 0
 
     baseline_path = args.baseline or (root / DEFAULT_BASELINE)
     report = run_lint(
         root, targets=tuple(args.targets), rules=rule_ids,
         baseline_path=None if (args.no_baseline or args.write_baseline)
-        else baseline_path)
+        else baseline_path,
+        only_paths=only_paths)
 
     if args.write_baseline:
         save_baseline(baseline_path, report.findings)
@@ -119,6 +234,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.fmt == "json":
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif args.fmt == "sarif":
+        print(json.dumps(render_sarif(report), indent=2, sort_keys=True))
     else:
         print(_render_human(report, args.verbose))
     if report.parse_errors:

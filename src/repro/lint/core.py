@@ -1,21 +1,29 @@
 """Framework core for ``reprocheck`` (:mod:`repro.lint`).
 
-The linter is deliberately small: a :class:`Rule` is a named object with
-a :meth:`Rule.check` method that walks one parsed file
-(:class:`FileContext`) and yields :class:`Finding`\\ s.  Rules register
-themselves in a module-level registry via :func:`register`;
-:func:`run_lint` walks a file tree, parses each Python file once, runs
-every (selected) rule over it, and filters the results through two
+The linter has two kinds of rules.  A per-file :class:`Rule` is a named
+object whose :meth:`Rule.check` walks one parsed file
+(:class:`FileContext`) and yields :class:`Finding`\\ s.  A
+:class:`ProjectRule` instead implements :meth:`ProjectRule.check_project`
+over a :class:`Project` — every parsed file plus a lazily-built
+:class:`~repro.lint.graph.ProjectGraph` (symbol table, import graph,
+call graph) — which is what the cross-module rules (ND002, PK002, ...)
+need.  Rules register themselves in a module-level registry via
+:func:`register`; :func:`run_lint` walks a file tree, parses every
+Python file once, runs the per-file rules on each file and the project
+rules once over the whole project, then filters the results through two
 suppression layers:
 
 * **inline** — a ``# reprocheck: disable=ND001,DT001`` (or bare
   ``# reprocheck: disable``) comment on the flagged line suppresses the
-  named rules (or all rules) for that line only;
-* **baseline** — a committed JSON file of known findings (matched on
-  ``(rule, path, message)``, so unrelated edits moving line numbers do
-  not invalidate it).  The baseline exists to land the linter on a repo
-  with pre-existing findings; the intended steady state is an empty (or
-  near-empty) baseline with true positives fixed at the source.
+  named rules (or all rules) for that line only; rule ids are matched
+  case-insensitively and surrounding whitespace is ignored;
+* **baseline** — a committed JSON file of known findings, matched on
+  ``(rule, path, message)`` **as a multiset**: two identical findings in
+  one file need two baseline entries, so a freshly-introduced duplicate
+  of a baselined finding still surfaces.  The baseline exists to land
+  the linter on a repo with pre-existing findings; the intended steady
+  state is an empty (or near-empty) baseline with true positives fixed
+  at the source.
 
 Nothing here knows about the specific rules; they live in
 :mod:`repro.lint.rules`.
@@ -24,25 +32,32 @@ Nothing here knows about the specific rules; they live in
 from __future__ import annotations
 
 import ast
+import collections
 import dataclasses
 import json
 import pathlib
 import re
 import tokenize
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, Iterable, Iterator, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
 
 __all__ = [
-    "Finding", "Rule", "FileContext", "LintReport",
+    "Finding", "Rule", "ProjectRule", "FileContext", "Project", "LintReport",
     "register", "all_rules", "get_rule",
-    "run_lint", "lint_file", "lint_source", "iter_python_files",
-    "load_baseline", "save_baseline", "DEFAULT_TARGETS",
+    "run_lint", "lint_file", "lint_source", "lint_sources",
+    "iter_python_files", "load_baseline", "save_baseline", "DEFAULT_TARGETS",
 ]
 
 #: Directories (relative to the repo root) the linter walks by default.
 DEFAULT_TARGETS = ("src", "tools", "examples", "tests")
 
+#: Directory names never descended into by :func:`iter_python_files`:
+#: byte-compiled caches, generated artifacts, and anything hidden.
+SKIP_DIR_NAMES = ("__pycache__", "artifacts")
+
 _SUPPRESS_RE = re.compile(
-    r"#\s*reprocheck:\s*disable(?:=(?P<rules>[A-Z0-9,\s]+))?")
+    r"#\s*reprocheck:\s*disable(?:\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+))?",
+    re.IGNORECASE)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,7 +72,11 @@ class Finding:
 
     @property
     def baseline_key(self) -> Tuple[str, str, str]:
-        """Identity used for baseline matching (line-number independent)."""
+        """Identity used for baseline matching (line-number independent).
+
+        Matching is multiset-aware in :func:`run_lint`: N findings with
+        the same key need N baseline entries.
+        """
         return (self.rule, self.path, self.message)
 
     def to_json(self) -> Dict[str, object]:
@@ -95,19 +114,63 @@ class FileContext:
         return ""
 
 
+class Project:
+    """Every parsed file of one lint run, plus the cross-module graph.
+
+    The :class:`~repro.lint.graph.ProjectGraph` is built lazily on first
+    access so per-file-only runs (``--rules ND001``) pay nothing for it.
+    """
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        self.contexts: List[FileContext] = list(contexts)
+        self.by_path: Dict[str, FileContext] = {c.path: c for c in self.contexts}
+        self._graph = None
+
+    @property
+    def graph(self):
+        if self._graph is None:
+            from .graph import ProjectGraph
+            self._graph = ProjectGraph(self.contexts)
+        return self._graph
+
+    def context(self, path: str) -> Optional[FileContext]:
+        return self.by_path.get(path.replace("\\", "/"))
+
+
 class Rule:
-    """Base class for lint rules.  Subclasses set the class attributes
-    and implement :meth:`check`."""
+    """Base class for per-file lint rules.  Subclasses set the class
+    attributes and implement :meth:`check`."""
 
     id: str = "XX000"
     title: str = "abstract rule"
     rationale: str = ""
+    #: "file" rules see one FileContext at a time; "project" rules
+    #: (subclass :class:`ProjectRule`) see the whole parsed tree at once.
+    scope: str = "file"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
         return Finding(rule=self.id, path=ctx.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message)
+
+
+class ProjectRule(Rule):
+    """A rule that analyses the whole project at once (cross-module)."""
+
+    scope = "project"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())  # project rules do not run per file
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(rule=self.id, path=path.replace("\\", "/"),
                        line=getattr(node, "lineno", 1),
                        col=getattr(node, "col_offset", 0),
                        message=message)
@@ -141,7 +204,8 @@ def _suppressed_rules_by_line(text: str) -> Dict[int, Optional[Set[str]]]:
     """Map line number -> suppressed rule ids (``None`` = all rules).
 
     Comments are found with :mod:`tokenize` so string literals containing
-    the marker do not suppress anything.
+    the marker do not suppress anything.  Rule ids are normalised to
+    upper case, so ``# reprocheck: disable=nd001`` works.
     """
     out: Dict[int, Optional[Set[str]]] = {}
     try:
@@ -156,7 +220,7 @@ def _suppressed_rules_by_line(text: str) -> Dict[int, Optional[Set[str]]]:
             if names is None:
                 out[tok.start[0]] = None
             else:
-                ids = {n.strip() for n in names.split(",") if n.strip()}
+                ids = {n.strip().upper() for n in names.split(",") if n.strip()}
                 existing = out.get(tok.start[0], set())
                 out[tok.start[0]] = None if existing is None else existing | ids
     except tokenize.TokenError:
@@ -169,7 +233,7 @@ def _is_suppressed(finding: Finding,
     if finding.line not in table:
         return False
     rules = table[finding.line]
-    return rules is None or finding.rule in rules
+    return rules is None or finding.rule.upper() in rules
 
 
 # ---------------------------------------------------------------- baseline
@@ -225,22 +289,56 @@ class LintReport:
         }
 
 
+def _split_rules(rules: Sequence[Rule]) -> Tuple[List[Rule], List["ProjectRule"]]:
+    file_rules = [r for r in rules if r.scope == "file"]
+    project_rules = [r for r in rules if r.scope == "project"]
+    return file_rules, project_rules
+
+
+def _collect(contexts: Sequence[FileContext],
+             rules: Sequence[Rule]) -> List[Finding]:
+    """Run per-file + project rules over already-parsed contexts."""
+    file_rules, project_rules = _split_rules(rules)
+    out: List[Finding] = []
+    for ctx in contexts:
+        for rule in file_rules:
+            out.extend(rule.check(ctx))
+    if project_rules:
+        project = Project(contexts)
+        for rule in project_rules:
+            out.extend(rule.check_project(project))
+    return out
+
+
 def lint_source(text: str, path: str = "<string>",
                 rules: Optional[Sequence[Rule]] = None
                 ) -> Tuple[List[Finding], List[Finding]]:
     """Lint a source string; returns ``(findings, suppressed)``.
 
-    The unit-test entry point: no filesystem, no baseline.
+    The unit-test entry point: no filesystem, no baseline.  Project
+    rules see a single-file project.
     """
-    ctx = FileContext(path, text)
-    table = _suppressed_rules_by_line(text)
+    return lint_sources({path: text}, rules)
+
+
+def lint_sources(files: Mapping[str, str],
+                 rules: Optional[Sequence[Rule]] = None
+                 ) -> Tuple[List[Finding], List[Finding]]:
+    """Lint several in-memory sources as one project.
+
+    ``files`` maps repo-relative paths to source text — this is how the
+    cross-module rules are unit-tested without touching the filesystem.
+    """
     active = list(rules) if rules is not None else all_rules()
+    contexts = [FileContext(path, text) for path, text in files.items()]
+    tables = {ctx.path: _suppressed_rules_by_line(ctx.text)
+              for ctx in contexts}
     findings: List[Finding] = []
     suppressed: List[Finding] = []
-    for rule in active:
-        for finding in rule.check(ctx):
-            (suppressed if _is_suppressed(finding, table) else findings) \
-                .append(finding)
+    for finding in _collect(contexts, active):
+        table = tables.get(finding.path, {})
+        (suppressed if _is_suppressed(finding, table) else findings) \
+            .append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings, suppressed
 
@@ -256,6 +354,11 @@ def lint_file(root: pathlib.Path, path: pathlib.Path,
 def iter_python_files(root: pathlib.Path,
                       targets: Sequence[str] = DEFAULT_TARGETS
                       ) -> Iterator[pathlib.Path]:
+    """Yield the Python files under ``root``'s target directories.
+
+    Skips ``__pycache__``, ``artifacts/`` (generated caches/results) and
+    hidden directories (``.git``, ``.venv``, ...) at any depth.
+    """
     for target in targets:
         base = root / target
         if base.is_file() and base.suffix == ".py":
@@ -263,38 +366,69 @@ def iter_python_files(root: pathlib.Path,
             continue
         if not base.is_dir():
             continue
-        yield from sorted(base.rglob("*.py"))
+        for path in sorted(base.rglob("*.py")):
+            rel_parts = path.relative_to(base).parts[:-1]
+            if any(part in SKIP_DIR_NAMES or part.startswith(".")
+                   for part in rel_parts):
+                continue
+            yield path
 
 
 def run_lint(root: pathlib.Path,
              targets: Sequence[str] = DEFAULT_TARGETS,
              rules: Optional[Iterable[str]] = None,
-             baseline_path: Optional[pathlib.Path] = None) -> LintReport:
-    """Lint every Python file under ``root``'s target directories."""
+             baseline_path: Optional[pathlib.Path] = None,
+             only_paths: Optional[Set[str]] = None) -> LintReport:
+    """Lint every Python file under ``root``'s target directories.
+
+    ``only_paths`` (repo-relative, forward slashes) restricts *reported*
+    findings to those paths — the whole tree is still parsed so project
+    rules see every module — which is what ``--changed`` uses for fast
+    PR runs.
+    """
     selected = ([get_rule(r) for r in rules] if rules is not None
                 else all_rules())
     baseline = load_baseline(baseline_path) if baseline_path else []
-    baseline_keys = {(e["rule"], e["path"], e["message"]) for e in baseline}
-    seen_keys: Set[Tuple[str, str, str]] = set()
+    baseline_counts = collections.Counter(
+        (e["rule"], e["path"], e["message"]) for e in baseline)
+    matched: collections.Counter = collections.Counter()
 
     report = LintReport(findings=[], suppressed=[], baselined=[],
                         stale_baseline=[])
+    contexts: List[FileContext] = []
+    tables: Dict[str, Dict[int, Optional[Set[str]]]] = {}
     for path in iter_python_files(root, targets):
+        rel = path.relative_to(root).as_posix()
         try:
-            findings, suppressed = lint_file(root, path, selected)
-        except SyntaxError as exc:
+            text = path.read_text(encoding="utf-8")
+            ctx = FileContext(rel, text)
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
             report.parse_errors.append(f"{path}: {exc}")
             continue
+        contexts.append(ctx)
+        tables[rel] = _suppressed_rules_by_line(text)
         report.files_checked += 1
-        report.suppressed.extend(suppressed)
-        for finding in findings:
-            if finding.baseline_key in baseline_keys:
-                seen_keys.add(finding.baseline_key)
-                report.baselined.append(finding)
-            else:
-                report.findings.append(finding)
-    report.stale_baseline = [e for e in baseline
-                             if (e["rule"], e["path"], e["message"])
-                             not in seen_keys]
-    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    raw = _collect(contexts, selected)
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    for finding in raw:
+        if only_paths is not None and finding.path not in only_paths:
+            continue
+        if _is_suppressed(finding, tables.get(finding.path, {})):
+            report.suppressed.append(finding)
+            continue
+        key = finding.baseline_key
+        if matched[key] < baseline_counts[key]:
+            matched[key] += 1
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+
+    leftover = baseline_counts - matched
+    for entry in baseline:
+        key = (entry["rule"], entry["path"], entry["message"])
+        if leftover[key] > 0:
+            leftover[key] -= 1
+            if only_paths is None or entry["path"] in only_paths:
+                report.stale_baseline.append(entry)
     return report

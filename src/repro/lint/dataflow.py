@@ -1,0 +1,317 @@
+"""Intraprocedural dataflow engine over an abstract-value lattice.
+
+Rules that need more than syntax — "does a ``hash()`` result reach this
+seed argument", "is this array float32 or float64 by the time it hits the
+hot path" — opt into this engine instead of hand-rolling per-rule
+trackers.  The design is a classic reaching-definitions analysis
+specialised to a **tag lattice**:
+
+* an abstract value is a ``frozenset`` of string tags (``{"rng"}``,
+  ``{"float32"}``, ``{"hash", "int"}``);
+* ``join`` is set union, so merging branches keeps every tag either arm
+  produced — the analysis over-approximates, and rules must only flag
+  when a *bad* tag is definitely present;
+* loops run to a fixpoint (the lattice is finite: tags come from the
+  rule's transfer function, so the chain height is bounded).
+
+A rule supplies a :class:`TransferRules` with two hooks:
+
+``eval_expr(expr, env, engine)``
+    abstract value of an expression under ``env`` (return ``None`` to
+    fall back to the engine's structural default, which joins the values
+    of sub-expressions);
+
+``on_call(call, env, engine)``
+    observe a call site with the *current* environment — this is where
+    rules check "tainted value flows into argument N of ``f``".
+
+The engine walks one function body (or a module top level) statement by
+statement, maintaining ``env: name -> frozenset[tag]``.  It is
+deliberately flow-sensitive but path-insensitive: ``if``/``else`` arms
+are analysed independently then joined, ``while``/``for`` bodies are
+iterated until the environment stabilises (capped at
+:data:`MAX_LOOP_PASSES` for safety; the cap is unreachable for finite
+tag sets).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, Optional
+
+__all__ = ["AbstractValue", "Env", "TransferRules", "DataflowEngine",
+           "BOTTOM", "join", "join_envs"]
+
+AbstractValue = FrozenSet[str]
+Env = Dict[str, AbstractValue]
+
+#: The empty tag set: "no interesting property known".
+BOTTOM: AbstractValue = frozenset()
+
+#: Fixpoint-iteration cap for loop bodies.  With a finite tag alphabet the
+#: environment lattice has finite height and iteration converges long
+#: before this; the cap only guards against a pathological transfer
+#: function that mints unbounded fresh tags.
+MAX_LOOP_PASSES = 20
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    return a | b
+
+
+def join_envs(a: Env, b: Env) -> Env:
+    out = dict(a)
+    for name, val in b.items():
+        out[name] = out.get(name, BOTTOM) | val
+    return out
+
+
+class TransferRules:
+    """Hook bundle a rule hands to the engine.  Override what you need."""
+
+    def eval_expr(self, expr: ast.AST, env: Env,
+                  engine: "DataflowEngine") -> Optional[AbstractValue]:
+        """Abstract value of ``expr``, or ``None`` for the default."""
+        return None
+
+    def on_call(self, call: ast.Call, env: Env,
+                engine: "DataflowEngine") -> None:
+        """Observe a call site under the current environment."""
+
+    def on_assign(self, target: str, value: AbstractValue,
+                  node: ast.stmt, engine: "DataflowEngine") -> None:
+        """Observe a binding of ``target`` to abstract value ``value``."""
+
+
+class DataflowEngine:
+    """Flow-sensitive tag propagation over one function/module body."""
+
+    def __init__(self, rules: TransferRules,
+                 initial_env: Optional[Env] = None) -> None:
+        self.rules = rules
+        self.initial_env: Env = dict(initial_env or {})
+
+    # ------------------------------------------------------------- driving
+    def run_body(self, body: Iterable[ast.stmt],
+                 env: Optional[Env] = None) -> Env:
+        """Analyse a statement list, returning the out-environment."""
+        current: Env = dict(self.initial_env if env is None else env)
+        for stmt in body:
+            current = self._transfer_stmt(stmt, current)
+        return current
+
+    def run_function(self, fn: ast.AST,
+                     env: Optional[Env] = None) -> Env:
+        """Analyse a function body; parameters start at ``BOTTOM``."""
+        start: Env = dict(self.initial_env if env is None else env)
+        args = getattr(fn, "args", None)
+        if args is not None:
+            for arg in (list(args.posonlyargs) if hasattr(args, "posonlyargs")
+                        else []) + list(args.args) + list(args.kwonlyargs):
+                start.setdefault(arg.arg, BOTTOM)
+            for extra in (args.vararg, args.kwarg):
+                if extra is not None:
+                    start.setdefault(extra.arg, BOTTOM)
+        return self.run_body(getattr(fn, "body", []), start)
+
+    # ------------------------------------------------------- statement step
+    def _transfer_stmt(self, stmt: ast.stmt, env: Env) -> Env:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval_expr(stmt.value, env)
+            env = dict(env)
+            for target in stmt.targets:
+                self._bind_target(target, value, stmt, env)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            env = dict(env)
+            if stmt.value is not None:
+                value = self.eval_expr(stmt.value, env)
+                self._bind_target(stmt.target, value, stmt, env)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            value = self.eval_expr(stmt.value, env)
+            env = dict(env)
+            if isinstance(stmt.target, ast.Name):
+                old = env.get(stmt.target.id, BOTTOM)
+                merged = old | value
+                env[stmt.target.id] = merged
+                self.rules.on_assign(stmt.target.id, merged, stmt, self)
+            return env
+        if isinstance(stmt, (ast.Expr, ast.Return)):
+            if stmt.value is not None:
+                self.eval_expr(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.If):
+            self.eval_expr(stmt.test, env)
+            then_env = self.run_body(stmt.body, env)
+            else_env = self.run_body(stmt.orelse, env)
+            return join_envs(then_env, else_env)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._transfer_loop(stmt, env, is_for=True)
+        if isinstance(stmt, ast.While):
+            return self._transfer_loop(stmt, env, is_for=False)
+        if isinstance(stmt, ast.Try):
+            body_env = self.run_body(stmt.body, env)
+            out = body_env
+            for handler in stmt.handlers:
+                # a handler may run after any prefix of the body: start it
+                # from the join of entry and full-body environments
+                hand_env = self.run_body(handler.body, join_envs(env, body_env))
+                out = join_envs(out, hand_env)
+            out = self.run_body(stmt.orelse, out)
+            return self.run_body(stmt.finalbody, out)
+        if isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            env = dict(env)
+            for item in stmt.items:
+                value = self.eval_expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, value, stmt, env)
+            return self.run_body(stmt.body, env)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # nested scopes are analysed separately by the rule if at all;
+            # the name binds to BOTTOM here
+            env = dict(env)
+            env[stmt.name] = BOTTOM
+            return env
+        if isinstance(stmt, ast.Delete):
+            env = dict(env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return env
+        # Import/Global/Nonlocal/Pass/Break/Continue/Raise/Assert: no
+        # tag-relevant binding (Raise/Assert operands still get evaluated
+        # so on_call fires inside them)
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval_expr(stmt.exc, env)
+            return env
+        if isinstance(stmt, ast.Assert):
+            self.eval_expr(stmt.test, env)
+            return env
+        return env
+
+    def _transfer_loop(self, stmt, env: Env, *, is_for: bool) -> Env:
+        out = dict(env)
+        for _ in range(MAX_LOOP_PASSES):
+            trial = dict(out)
+            if is_for:
+                iter_val = self.eval_expr(stmt.iter, trial)
+                self._bind_target(stmt.target, iter_val, stmt, trial)
+            else:
+                self.eval_expr(stmt.test, trial)
+            trial = self.run_body(stmt.body, trial)
+            merged = join_envs(out, trial)
+            if merged == out:
+                break
+            out = merged
+        return self.run_body(stmt.orelse, out)
+
+    def _bind_target(self, target: ast.AST, value: AbstractValue,
+                     stmt: ast.stmt, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            self.rules.on_assign(target.id, value, stmt, self)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, value, stmt, env)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, value, stmt, env)
+        # attribute/subscript targets: no named binding to track
+
+    # ------------------------------------------------------ expression step
+    def eval_expr(self, expr: ast.AST, env: Env) -> AbstractValue:
+        """Abstract value of ``expr``; fires ``on_call`` on every Call."""
+        custom = self.rules.eval_expr(expr, env, self)
+        if custom is not None:
+            # still surface nested calls to the rule (a custom value for
+            # `f(g())` must not hide the call to g)
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    self.rules.on_call(node, env, self)
+            return custom
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, BOTTOM)
+        if isinstance(expr, ast.Call):
+            value = BOTTOM
+            for arg in expr.args:
+                value |= self.eval_expr(arg, env)
+            for kw in expr.keywords:
+                value |= self.eval_expr(kw.value, env)
+            self.eval_expr(expr.func, env)
+            self.rules.on_call(expr, env, self)
+            return value
+        if isinstance(expr, ast.BinOp):
+            return self.eval_expr(expr.left, env) | \
+                self.eval_expr(expr.right, env)
+        if isinstance(expr, ast.BoolOp):
+            value = BOTTOM
+            for operand in expr.values:
+                value |= self.eval_expr(operand, env)
+            return value
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval_expr(expr.operand, env)
+        if isinstance(expr, ast.Compare):
+            self.eval_expr(expr.left, env)
+            for comparator in expr.comparators:
+                self.eval_expr(comparator, env)
+            return BOTTOM
+        if isinstance(expr, ast.IfExp):
+            self.eval_expr(expr.test, env)
+            return self.eval_expr(expr.body, env) | \
+                self.eval_expr(expr.orelse, env)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            value = BOTTOM
+            for element in expr.elts:
+                value |= self.eval_expr(element, env)
+            return value
+        if isinstance(expr, ast.Dict):
+            value = BOTTOM
+            for key in expr.keys:
+                if key is not None:
+                    value |= self.eval_expr(key, env)
+            for val in expr.values:
+                value |= self.eval_expr(val, env)
+            return value
+        if isinstance(expr, ast.Subscript):
+            value = self.eval_expr(expr.value, env)
+            self.eval_expr(expr.slice, env)
+            return value
+        if isinstance(expr, ast.Attribute):
+            return self.eval_expr(expr.value, env)
+        if isinstance(expr, ast.Starred):
+            return self.eval_expr(expr.value, env)
+        if isinstance(expr, (ast.JoinedStr, ast.FormattedValue)):
+            for node in ast.iter_child_nodes(expr):
+                if isinstance(node, ast.expr):
+                    self.eval_expr(node, env)
+            return BOTTOM
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return self._eval_comprehension(expr, env)
+        if isinstance(expr, ast.Lambda):
+            return BOTTOM
+        if isinstance(expr, ast.NamedExpr):
+            value = self.eval_expr(expr.value, env)
+            if isinstance(expr.target, ast.Name):
+                env[expr.target.id] = value
+            return value
+        if isinstance(expr, ast.Slice):
+            for part in (expr.lower, expr.upper, expr.step):
+                if part is not None:
+                    self.eval_expr(part, env)
+            return BOTTOM
+        return BOTTOM
+
+    def _eval_comprehension(self, expr, env: Env) -> AbstractValue:
+        inner = dict(env)
+        for gen in expr.generators:
+            iter_val = self.eval_expr(gen.iter, inner)
+            self._bind_target(gen.target, iter_val, expr, inner)
+            for cond in gen.ifs:
+                self.eval_expr(cond, inner)
+        if isinstance(expr, ast.DictComp):
+            return self.eval_expr(expr.key, inner) | \
+                self.eval_expr(expr.value, inner)
+        return self.eval_expr(expr.elt, inner)

@@ -1,0 +1,350 @@
+"""Project-wide symbol table, import graph, and call graph.
+
+The v1 rules see one file at a time, which is exactly the blind spot the
+cross-module invariants live in: a cell function imported from another
+module, a ``Generator`` re-exported through a package ``__init__``, a
+quantizer subclass defined two hops away from its base.  This module
+builds — once per lint run — a :class:`ProjectGraph` over every parsed
+:class:`~repro.lint.core.FileContext`:
+
+* a **symbol table** per module (top-level defs, classes, assignments,
+  nested defs),
+* an **import graph** (local name -> defining module/symbol, including
+  relative imports and re-export chains), and
+* a **call graph** (function -> resolved callee symbols) with a
+  reachability query.
+
+Resolution is deliberately conservative: anything dynamic (``getattr``,
+star imports, monkey-patching) resolves to ``None`` and rules must treat
+"unknown" as "do not flag".  Names that leave the project (``numpy``,
+stdlib) resolve to an :class:`ExternalRef` carrying the fully-qualified
+dotted target so rules can still match on it.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "SymbolDef", "ExternalRef", "ModuleTable", "ProjectGraph",
+    "module_name_for",
+]
+
+#: Maximum re-export / alias hops followed during resolution; chains this
+#: deep are almost certainly cyclic.
+_MAX_HOPS = 16
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of a repo-relative source path.
+
+    ``src/repro/formats/base.py`` -> ``repro.formats.base`` (the name the
+    package is importable as); everything else keeps its directory prefix
+    (``tests/lint/test_core.py`` -> ``tests.lint.test_core``) so the
+    graph can hold test/tool/example modules without collisions.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+@dataclasses.dataclass(frozen=True)
+class SymbolDef:
+    """A name defined in a project module."""
+
+    module: str
+    name: str
+    kind: str                 # "function" | "class" | "assign"
+    lineno: int
+    path: str
+    nested: bool = False      # defined inside a function body
+    #: AST node of the definition (FunctionDef/ClassDef, or the Assign
+    #: *value* expression for plain assignments).
+    node: Optional[ast.AST] = dataclasses.field(
+        default=None, compare=False, hash=False, repr=False)
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ExternalRef:
+    """A name that resolves outside the project (stdlib, numpy, ...)."""
+
+    target: str               # fully-qualified dotted path, e.g. "numpy.random.default_rng"
+
+
+Resolved = Union[SymbolDef, ExternalRef]
+
+
+class ModuleTable:
+    """Symbol table of one module: defs, imports, and aliases."""
+
+    def __init__(self, name: str, path: str, tree: ast.AST,
+                 is_package: bool) -> None:
+        self.name = name
+        self.path = path
+        self.tree = tree
+        self.is_package = is_package
+        #: top-level function/class defs and plain-Name assignments
+        self.defs: Dict[str, SymbolDef] = {}
+        #: defs nested inside functions (unpicklable as cell callables)
+        self.nested_defs: Dict[str, SymbolDef] = {}
+        #: local name -> ("module", "pkg.mod") or ("symbol", "pkg.mod", "orig")
+        self.imports: Dict[str, Tuple[str, ...]] = {}
+        #: modules star-imported at top level (resolution falls back here)
+        self.star_imports: List[str] = []
+        self._collect(tree)
+
+    # ----------------------------------------------------------- building
+    def _collect(self, tree: ast.AST) -> None:
+        for node in self._top_level(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_def(node.name, "function", node)
+                self._collect_nested(node)
+            elif isinstance(node, ast.ClassDef):
+                self._add_def(node.name, "class", node)
+            elif isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".")[0]
+                    target = item.name if item.asname else item.name.split(".")[0]
+                    self.imports[local] = ("module", target)
+            elif isinstance(node, ast.ImportFrom):
+                self._add_import_from(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        value = getattr(node, "value", None)
+                        self.defs[target.id] = SymbolDef(
+                            module=self.name, name=target.id, kind="assign",
+                            lineno=node.lineno, path=self.path, node=value)
+
+    def _top_level(self, tree: ast.AST) -> Iterator[ast.stmt]:
+        """Module-level statements, looking through If/Try guards."""
+        for node in ast.iter_child_nodes(tree):
+            if isinstance(node, ast.If):
+                for sub in node.body + node.orelse:
+                    yield from self._expand(sub)
+            elif isinstance(node, ast.Try):
+                for sub in (node.body + node.orelse + node.finalbody
+                            + [s for h in node.handlers for s in h.body]):
+                    yield from self._expand(sub)
+            else:
+                yield node
+
+    def _expand(self, node: ast.stmt) -> Iterator[ast.stmt]:
+        if isinstance(node, (ast.If, ast.Try)):
+            yield from self._top_level_wrapper(node)
+        else:
+            yield node
+
+    def _top_level_wrapper(self, node: ast.stmt) -> Iterator[ast.stmt]:
+        # one nesting level of If/Try inside If/Try is enough in practice
+        for sub in ast.iter_child_nodes(node):
+            if isinstance(sub, ast.stmt):
+                yield sub
+
+    def _add_def(self, name: str, kind: str, node: ast.AST) -> None:
+        self.defs[name] = SymbolDef(module=self.name, name=name, kind=kind,
+                                    lineno=node.lineno, path=self.path,
+                                    node=node)
+
+    def _collect_nested(self, fn: ast.AST) -> None:
+        for child in ast.walk(fn):
+            if child is not fn and isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.nested_defs[child.name] = SymbolDef(
+                    module=self.name, name=child.name, kind="function",
+                    lineno=child.lineno, path=self.path, nested=True,
+                    node=child)
+
+    def _add_import_from(self, node: ast.ImportFrom) -> None:
+        base = self._resolve_relative(node.module, node.level)
+        if base is None:
+            return
+        for item in node.names:
+            if item.name == "*":
+                self.star_imports.append(base)
+                continue
+            local = item.asname or item.name
+            self.imports[local] = ("symbol", base, item.name)
+
+    def _resolve_relative(self, module: Optional[str], level: int) -> Optional[str]:
+        if level == 0:
+            return module
+        parts = self.name.split(".")
+        if not self.is_package:
+            parts = parts[:-1]
+        drop = level - 1
+        if drop > len(parts):
+            return None
+        base = parts[:len(parts) - drop] if drop else parts
+        if module:
+            base = base + module.split(".")
+        return ".".join(base) if base else None
+
+
+class ProjectGraph:
+    """Cross-module symbol resolution + call graph over parsed files.
+
+    Built from the ``FileContext`` objects of one lint run (anything with
+    ``.path``, ``.tree`` attributes works).
+    """
+
+    def __init__(self, contexts: Iterable) -> None:
+        self.modules: Dict[str, ModuleTable] = {}
+        self.paths: Dict[str, str] = {}          # path -> module name
+        for ctx in contexts:
+            name = module_name_for(ctx.path)
+            is_package = ctx.path.endswith("__init__.py")
+            table = ModuleTable(name, ctx.path, ctx.tree, is_package)
+            self.modules[name] = table
+            self.paths[ctx.path] = name
+        self._callees: Dict[str, Set[str]] = {}
+
+    # ---------------------------------------------------------- resolution
+    def table_for_path(self, path: str) -> Optional[ModuleTable]:
+        name = self.paths.get(path.replace("\\", "/"))
+        return self.modules.get(name) if name else None
+
+    def resolve(self, module: str, dotted: str,
+                _hops: int = 0) -> Optional[Resolved]:
+        """Resolve a (possibly dotted) name used in ``module``.
+
+        Returns the defining :class:`SymbolDef`, an :class:`ExternalRef`
+        for names leaving the project, or ``None`` when resolution is
+        ambiguous/dynamic.
+        """
+        if _hops > _MAX_HOPS:
+            return None
+        table = self.modules.get(module)
+        if table is None:
+            return None
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+
+        if head in table.defs and not rest:
+            return self._follow_alias(table.defs[head], _hops)
+        if head in table.defs:                   # attribute on a local def
+            return None
+        if head in table.imports:
+            entry = table.imports[head]
+            if entry[0] == "module":
+                return self._resolve_in_module(entry[1], rest, _hops + 1)
+            _, src_mod, src_name = entry
+            return self._resolve_in_module(src_mod, [src_name] + rest,
+                                           _hops + 1)
+        for star in table.star_imports:
+            hit = self._resolve_in_module(star, parts, _hops + 1)
+            if hit is not None:
+                return hit
+        return None
+
+    def _resolve_in_module(self, module: str, parts: Sequence[str],
+                           _hops: int) -> Optional[Resolved]:
+        if _hops > _MAX_HOPS:
+            return None
+        if module not in self.modules:
+            # left the project: keep the fully-qualified dotted target
+            return ExternalRef(".".join([module] + list(parts)))
+        if not parts:
+            return ExternalRef(module)           # a project module object
+        table = self.modules[module]
+        head, rest = parts[0], list(parts[1:])
+        if head in table.defs:
+            sym = table.defs[head]
+            return self._follow_alias(sym, _hops) if not rest else None
+        if head in table.imports:
+            entry = table.imports[head]
+            if entry[0] == "module":
+                return self._resolve_in_module(entry[1], rest, _hops + 1)
+            _, src_mod, src_name = entry
+            return self._resolve_in_module(src_mod, [src_name] + rest,
+                                           _hops + 1)
+        # maybe `head` is a submodule of a package
+        sub = f"{module}.{head}"
+        if sub in self.modules:
+            return self._resolve_in_module(sub, rest, _hops + 1)
+        for star in table.star_imports:
+            hit = self._resolve_in_module(star, parts, _hops + 1)
+            if hit is not None:
+                return hit
+        return None
+
+    def _follow_alias(self, sym: SymbolDef, _hops: int) -> Optional[Resolved]:
+        """Follow ``run = _impl``-style assignment aliases to the def."""
+        if sym.kind != "assign" or _hops > _MAX_HOPS:
+            return sym
+        value = sym.node
+        if isinstance(value, ast.Name):
+            target = self.resolve(sym.module, value.id, _hops + 1)
+            return target if target is not None else sym
+        return sym
+
+    # ---------------------------------------------------------- call graph
+    def callees(self, sym: SymbolDef) -> Set[str]:
+        """Qualified names of project functions called by ``sym``."""
+        key = sym.qualified
+        if key in self._callees:
+            return self._callees[key]
+        out: Set[str] = set()
+        node = sym.node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                chain = _dotted(call.func)
+                if chain is None:
+                    continue
+                hit = self.resolve(sym.module, chain)
+                if isinstance(hit, SymbolDef) and hit.kind in ("function",
+                                                               "class"):
+                    out.add(hit.qualified)
+        self._callees[key] = out
+        return out
+
+    def lookup_qualified(self, qualified: str) -> Optional[SymbolDef]:
+        module, _, name = qualified.rpartition(".")
+        table = self.modules.get(module)
+        if table is None:
+            return None
+        return table.defs.get(name) or table.nested_defs.get(name)
+
+    def reachable(self, sym: SymbolDef) -> List[SymbolDef]:
+        """Project functions/classes reachable from ``sym`` (BFS, sym first)."""
+        seen: Set[str] = {sym.qualified}
+        order: List[SymbolDef] = [sym]
+        frontier = [sym]
+        while frontier:
+            current = frontier.pop()
+            for callee in sorted(self.callees(current)):
+                if callee in seen:
+                    continue
+                seen.add(callee)
+                target = self.lookup_qualified(callee)
+                if target is not None:
+                    order.append(target)
+                    frontier.append(target)
+        return order
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

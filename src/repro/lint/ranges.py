@@ -1,0 +1,173 @@
+"""HW001: static accumulator-overflow analysis of the PE datapaths.
+
+The paper's co-design contract (Fig. 5) sizes the saturating MAC
+accumulators as ``2n + log2(H)`` (INT PE) and ``2(2^e-1) + 2m + log2(H)``
+(HFINT PE).  This module is an abstract interpreter over **exact integer
+intervals**: for every registry format it takes the format's exact
+representable range (:func:`repro.formats.exact_range`), pushes it
+through the width arithmetic the simulator itself exposes as data
+(:class:`repro.hardware.datapath.MacWidthSpec`), and decides two
+separate questions per ``(format, bits, H)``:
+
+1. **Soundness** (CI-gated): can the accumulation *wrap* before the
+   saturation logic fires?  This covers both the physical presaturation
+   adder (one register-window value plus one worst-case product) and the
+   simulator's int64 arithmetic — if either can wrap, the saturating
+   semantics silently corrupt, which is a bug to fix, not a property to
+   document.  ``sound=False`` rows become HW001 findings.
+
+2. **Saturation reachability** (informational): can a worst-case
+   H-term dot product actually reach the clamp?  Where the register
+   provably covers every exact sum (``sum_max <= 2**(acc_width-1)-1``)
+   the analysis *proves* non-overflow; where it cannot, it *refutes*
+   with a concrete witness ``(format, bits, H)`` plus the exact operand
+   words/levels that realise it and the predicted clamped value — the
+   tests replay each witness through the bit-accurate simulator and
+   check the prediction.
+
+Formats without a modeled PE (posit, logquant, fp32) get informational
+rows carrying the exact accumulator width a hypothetical datapath would
+need, so the table documents *why* they are out of scope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..formats.registry import FORMAT_NAMES, FormatRange, exact_range
+from ..hardware.datapath import (MacWidthSpec, hfint_width_spec,
+                                 int_width_spec)
+
+__all__ = [
+    "AccumulatorProof", "analyze_format", "analyze_registry",
+    "proof_table", "PAPER_BITS", "PAPER_ACCUM_LENGTH",
+]
+
+#: The paper's PE configurations: word sizes of Tables 2/3 ...
+PAPER_BITS: Tuple[int, ...] = (4, 8)
+#: ... and the Fig. 5 reduction length.
+PAPER_ACCUM_LENGTH = 256
+
+_INT64_MAX = 2 ** 63 - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class AccumulatorProof:
+    """Verdict for one ``(format, bits, H)`` against its PE datapath."""
+
+    format: str
+    bits: int
+    accum_length: int
+    pe: Optional[str]                # "int" | "hfint" | None (no datapath)
+    acc_width: Optional[int]         # the paper register width
+    required_width: Optional[int]    # exact signed width for any H-term sum
+    sum_max: Optional[int]           # exact worst-case |unsaturated sum|
+    #: soundness verdict: True = cannot wrap before saturation (adder and
+    #: simulator arithmetic both cover the worst case); None = no datapath
+    sound: Optional[bool]
+    #: reachability verdict: True = a representable dot product can hit
+    #: the clamp; False = proved unreachable; None = no datapath
+    saturates: Optional[bool]
+    #: when ``saturates``: exact operands realising the clamp, replayable
+    #: through the simulator ({"w_word"/"w_level", ..., "clamp"})
+    witness: Optional[Dict[str, int]]
+    note: str = ""
+
+    @property
+    def proved(self) -> bool:
+        """True when non-overflow is proved: sound and clamp unreachable."""
+        return bool(self.sound) and self.saturates is False
+
+
+def _spec_for(rng: FormatRange, accum_length: int) -> Optional[MacWidthSpec]:
+    if rng.pe == "int":
+        return int_width_spec(rng.bits, accum_length, level_max=rng.level_max)
+    if rng.pe == "hfint":
+        return hfint_width_spec(rng.bits, rng.exp_bits, accum_length)
+    return None
+
+
+def _witness_for(rng: FormatRange, spec: MacWidthSpec) -> Dict[str, int]:
+    """Exact max-magnitude operand pair plus the predicted clamp."""
+    clamp = spec.window_max
+    if rng.pe == "int":
+        return {"w_level": rng.level_max, "a_level": rng.level_max,
+                "clamp": clamp}
+    # hfint: all-ones exponent and mantissa, sign 0 — the largest word
+    word = ((2 ** rng.exp_bits - 1) << rng.mant_bits) \
+        + (2 ** rng.mant_bits - 1)
+    return {"w_word": word, "a_word": word, "clamp": clamp}
+
+
+def analyze_format(name: str, bits: int, accum_length: int = PAPER_ACCUM_LENGTH,
+                   **overrides) -> AccumulatorProof:
+    """Prove or refute non-overflow for one format at one PE config."""
+    rng = exact_range(name, bits, **overrides)
+    spec = _spec_for(rng, accum_length)
+    if spec is None:
+        # no modeled PE: report the width a hypothetical accumulator of
+        # H max-magnitude squares would need (in the format's own units)
+        worst = accum_length * rng.sig_max * rng.sig_max \
+            * (1 << max(0, 2 * rng.sig_exp)) if rng.sig_max else 0
+        required = worst.bit_length() + 1 if worst else None
+        return AccumulatorProof(
+            format=rng.name, bits=rng.bits, accum_length=accum_length,
+            pe=None, acc_width=None, required_width=required,
+            sum_max=worst or None, sound=None, saturates=None,
+            witness=None, note=rng.note)
+    sound = spec.fast_path_exact or spec.cycle_max <= _INT64_MAX
+    saturates = not spec.overflow_free
+    return AccumulatorProof(
+        format=rng.name, bits=rng.bits, accum_length=accum_length,
+        pe=rng.pe, acc_width=spec.acc_width,
+        required_width=spec.presat_bits, sum_max=spec.sum_max,
+        sound=sound, saturates=saturates,
+        witness=_witness_for(rng, spec) if saturates else None,
+        note=rng.note)
+
+
+def analyze_registry(accum_length: int = PAPER_ACCUM_LENGTH,
+                     bits_list: Sequence[int] = PAPER_BITS
+                     ) -> List[AccumulatorProof]:
+    """The full proof table: every registry format at the paper configs."""
+    out: List[AccumulatorProof] = []
+    for bits in bits_list:
+        for name in FORMAT_NAMES:
+            out.append(analyze_format(name, bits, accum_length))
+    return out
+
+
+def _fmt_width(value: Optional[int]) -> str:
+    return "-" if value is None else str(value)
+
+
+def proof_table(proofs: Optional[Sequence[AccumulatorProof]] = None) -> str:
+    """Human-readable rendering of the proof table (``--hw-table``)."""
+    rows = list(proofs) if proofs is not None else analyze_registry()
+    header = (f"{'format':<14}{'bits':>5}{'H':>6}{'PE':>7}"
+              f"{'acc':>5}{'need':>6}  verdict")
+    lines = [header, "-" * len(header)]
+    for p in rows:
+        if p.pe is None:
+            verdict = "no PE datapath" + (f" (need {p.required_width}b)"
+                                          if p.required_width else "")
+        elif not p.sound:
+            verdict = "UNSOUND: can wrap before saturation"
+        elif p.saturates:
+            w = p.witness or {}
+            operand = w.get("w_word", w.get("w_level"))
+            verdict = (f"saturation reachable (witness word {operand:#x} "
+                       f"-> clamp {w.get('clamp')})"
+                       if operand is not None else "saturation reachable")
+        else:
+            verdict = "PROVED: overflow-free (clamp unreachable)"
+        lines.append(f"{p.format:<14}{p.bits:>5}{p.accum_length:>6}"
+                     f"{(p.pe or '-'):>7}{_fmt_width(p.acc_width):>5}"
+                     f"{_fmt_width(p.required_width):>6}  {verdict}")
+    lines.append("")
+    lines.append("sound = saturating semantics exact (adder and simulator "
+                 "cannot wrap pre-saturation)")
+    lines.append(f"paper widths: INT 2n+log2(H), HFINT 2(2^e-1)+2m+log2(H); "
+                 f"H={rows[0].accum_length if rows else PAPER_ACCUM_LENGTH}")
+    return "\n".join(lines)

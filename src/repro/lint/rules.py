@@ -1,7 +1,8 @@
 """The repo-specific ``reprocheck`` rules.
 
 Each rule guards one determinism/correctness invariant this reproduction
-depends on (see ``docs/static-analysis.md`` for the full write-up):
+depends on (see ``docs/static-analysis.md`` for the full write-up).
+Per-file rules (v1):
 
 ========  ==============================================================
 ND001     unseeded RNG construction outside ``repro.rng`` helpers
@@ -11,6 +12,22 @@ PK001     non-module-level callable handed to the parallel sweep runner
 API001    ``__all__`` vs actual public exports drift
 CB001     ``Quantizer`` subclass bypassing the codebook fast path
 ========  ==============================================================
+
+Project-wide rules (v2, built on :mod:`repro.lint.graph` and
+:mod:`repro.lint.dataflow`):
+
+========  ==============================================================
+ND002     seed taint: Generators born outside ``repro.rng``, escaping to
+          module scope, or seeded from ``hash()``/time/pid values
+DT002     dtype propagation: silently mixed float32/float64 arithmetic
+          in the ``formats``/``nn`` hot paths
+PK002     call-graph picklability of ``run_cells`` submissions resolved
+          across modules (lambda aliases, nested defs, nested dispatch)
+CK001     cache-key purity: unordered/nondeterministic values flowing
+          into ``cache.content_key``/``store_cached_json``/cell hashes
+HW001     accumulator-overflow prover for the PE datapaths (exact-range
+          abstract interpretation; see :mod:`repro.lint.ranges`)
+========  ==============================================================
 """
 
 from __future__ import annotations
@@ -18,11 +35,15 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from .core import FileContext, Finding, Rule, register
+from .core import FileContext, Finding, Project, ProjectRule, Rule, register
+from .dataflow import DataflowEngine, Env, TransferRules
+from .graph import ExternalRef, ProjectGraph, SymbolDef
 
 __all__ = [
     "UnseededRandomRule", "DtypeDriftRule", "AutogradMutationRule",
     "PicklabilityRule", "PublicApiDriftRule", "CodebookBypassRule",
+    "SeedTaintRule", "DtypeFlowRule", "CallGraphPicklabilityRule",
+    "CacheKeyPurityRule", "AccumulatorOverflowRule",
 ]
 
 
@@ -448,3 +469,495 @@ class CodebookBypassRule(Rule):
                         f"{node.name}.{item.name} overrides the codebook "
                         "fast-path entry point; implement the _analytic "
                         "hooks (and _codebook_key gating) instead")
+
+
+# ===================================================== v2 project-wide rules
+def _dedup(findings: List[Finding]) -> Iterator[Finding]:
+    seen: Set[Tuple[str, str, int, int, str]] = set()
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        key = (f.rule, f.path, f.line, f.col, f.message)
+        if key not in seen:
+            seen.add(key)
+            yield f
+
+
+#: call targets that construct a Generator (fully-qualified)
+_RNG_CTORS_EXTERNAL = {"numpy.random.default_rng", "numpy.random.Generator"}
+_RNG_CTORS_PROJECT = {("repro.rng", "default_rng"), ("repro.rng", "fresh_rng")}
+
+#: value sources that are nondeterministic across processes/runs
+_TAINT_CALLS = {
+    "hash": "hash", "id": "id",
+    "time.time": "time", "time.perf_counter": "time",
+    "time.monotonic": "time", "time.time_ns": "time",
+    "datetime.datetime.now": "time", "datetime.datetime.utcnow": "time",
+    "datetime.datetime.today": "time", "datetime.date.today": "time",
+    "os.getpid": "pid", "os.urandom": "entropy",
+    "uuid.uuid1": "uuid", "uuid.uuid4": "uuid",
+}
+
+
+def _is_rng_ctor(resolved) -> bool:
+    if isinstance(resolved, ExternalRef):
+        return resolved.target in _RNG_CTORS_EXTERNAL
+    if isinstance(resolved, SymbolDef):
+        return (resolved.module, resolved.name) in _RNG_CTORS_PROJECT
+    return False
+
+
+class _TaintTransfer(TransferRules):
+    """Tags values produced by nondeterministic sources (shared by
+    ND002 and CK001); subclasses add their own sources and sinks."""
+
+    def __init__(self, graph: ProjectGraph, module: str,
+                 sink: "Callable[[ast.Call, Env, DataflowEngine], None]"
+                 ) -> None:
+        self.graph = graph
+        self.module = module
+        self.sink = sink
+
+    def taint_of_call(self, call: ast.Call) -> Optional[str]:
+        chain = _attr_chain(call.func)
+        if chain is None:
+            return None
+        tag = _TAINT_CALLS.get(chain)
+        if tag in ("hash", "id"):
+            # only the *builtin* hash/id taint; a local def shadows it
+            if self.graph.resolve(self.module, chain) is not None:
+                return None
+        return tag
+
+    def eval_expr(self, expr, env, engine):
+        if isinstance(expr, ast.Call):
+            tag = self.taint_of_call(expr)
+            if tag is not None:
+                value = frozenset({tag})
+                for arg in expr.args:
+                    value |= engine.eval_expr(arg, env)
+                return value
+        return None
+
+    def on_call(self, call, env, engine):
+        self.sink(call, env, engine)
+
+
+@register
+class SeedTaintRule(ProjectRule):
+    """ND002: Generator lifecycle and seed-taint tracking across modules.
+
+    Three invariants, all feeding the cell cache's byte-identity story:
+
+    * Generators must be *born* in :mod:`repro.rng` — a direct
+      ``np.random.default_rng(seed)`` elsewhere in ``src`` bypasses the
+      sanctioned constructors (and their seed conventions);
+    * a Generator bound at **module scope** is hidden shared state:
+      its stream position depends on import order and on how many cells
+      ran before, so identical cells stop being identical;
+    * a seed built from ``hash()`` / ``id()`` / time / pid is
+      process-dependent (``PYTHONHASHSEED``!), making the "seeded"
+      generator nondeterministic anyway — tracked by dataflow so
+      ``seed + hash(name) % k`` is caught through intermediate bindings.
+    """
+
+    id = "ND002"
+    title = "Generator born outside repro.rng, escaping to module scope, " \
+            "or seeded from process-dependent values"
+    rationale = ("cell caches assume byte-identical reruns; generator "
+                 "provenance and seed purity are what guarantee it")
+
+    _EXEMPT = (("rng",), ("nn", "init"))
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph
+        out: List[Finding] = []
+        for ctx in project.contexts:
+            if ctx.role != "src":
+                continue
+            if any(ctx.in_package(*parts) for parts in self._EXEMPT):
+                continue
+            module = graph.paths.get(ctx.path)
+            if module is None:
+                continue
+            out.extend(self._check_module(ctx, graph, module))
+        return _dedup(out)
+
+    def _check_module(self, ctx: FileContext, graph: ProjectGraph,
+                      module: str) -> List[Finding]:
+        findings: List[Finding] = []
+        table = graph.modules[module]
+
+        # 1. module-scope Generator bindings (shared stream state)
+        for sym in table.defs.values():
+            if sym.kind != "assign" or not isinstance(sym.node, ast.Call):
+                continue
+            chain = _attr_chain(sym.node.func)
+            if chain and _is_rng_ctor(graph.resolve(module, chain)):
+                findings.append(self.finding_at(
+                    ctx.path, sym.node,
+                    f"Generator bound at module scope as {sym.name!r}; its "
+                    "stream position becomes hidden shared state across "
+                    "cells — construct per-use via repro.rng.fresh_rng"))
+
+        # 2. Generators born outside repro.rng
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None:
+                continue
+            resolved = graph.resolve(module, chain)
+            if isinstance(resolved, ExternalRef) \
+                    and resolved.target in _RNG_CTORS_EXTERNAL:
+                findings.append(self.finding_at(
+                    ctx.path, node,
+                    "Generator constructed directly via "
+                    f"'{chain}'; route through repro.rng.fresh_rng(seed) "
+                    "so generator provenance stays auditable"))
+
+        # 3. tainted seeds flowing into any RNG constructor
+        def sink(call: ast.Call, env: Env, engine: DataflowEngine) -> None:
+            chain = _attr_chain(call.func)
+            if chain is None or not _is_rng_ctor(graph.resolve(module, chain)):
+                return
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                tags = engine.eval_expr(arg, env) & \
+                    {"hash", "id", "time", "pid", "entropy", "uuid"}
+                for tag in sorted(tags):
+                    findings.append(self.finding_at(
+                        ctx.path, call,
+                        f"RNG seed derived from process-dependent "
+                        f"'{tag}' value; seeds must be pure functions of "
+                        "the cell descriptor (e.g. zlib.crc32 of a name, "
+                        "not hash())"))
+
+        transfer = _TaintTransfer(graph, module, sink)
+        engine = DataflowEngine(transfer)
+        engine.run_body(ctx.tree.body)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                DataflowEngine(transfer).run_function(node)
+        return findings
+
+
+_F32 = {"float32", "f4"}
+_F64 = {"float64", "f8", "double"}
+
+
+def _dtype_tag(expr: ast.AST) -> Optional[str]:
+    """Tag of an explicit dtype expression, if recognizable."""
+    chain = _attr_chain(expr)
+    if chain is not None:
+        leaf = chain.split(".")[-1]
+        if leaf in _F32:
+            return "float32"
+        if leaf in _F64 or chain == "float":
+            return "float64"
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        if expr.value in _F32:
+            return "float32"
+        if expr.value in _F64:
+            return "float64"
+    return None
+
+
+class _DtypeTransfer(TransferRules):
+    def __init__(self, report) -> None:
+        self.report = report
+
+    def eval_expr(self, expr, env, engine):
+        if isinstance(expr, ast.Call):
+            for kw in expr.keywords:
+                if kw.arg == "dtype":
+                    tag = _dtype_tag(kw.value)
+                    if tag is not None:
+                        return frozenset({tag})
+            func = expr.func
+            if isinstance(func, ast.Attribute) and func.attr == "astype" \
+                    and expr.args:
+                tag = _dtype_tag(expr.args[0])
+                if tag is not None:
+                    return frozenset({tag})
+        if isinstance(expr, ast.BinOp):
+            left = engine.eval_expr(expr.left, env)
+            right = engine.eval_expr(expr.right, env)
+            if ("float32" in left and "float64" in right) \
+                    or ("float64" in left and "float32" in right):
+                self.report(expr)
+            return left | right
+        return None
+
+
+@register
+class DtypeFlowRule(ProjectRule):
+    """DT002: inferred-dtype mixing in the ``formats``/``nn`` hot paths.
+
+    DT001 demands explicit dtypes at construction; this rule *propagates*
+    those declared dtypes through bindings and flags arithmetic that
+    silently mixes float32 and float64 operands — numpy widens the
+    result, so a single mixed op quietly upgrades a whole pipeline (or,
+    on assignment back into a float32 buffer, silently downcasts) and
+    the format-comparison tables stop measuring what they claim.
+    """
+
+    id = "DT002"
+    title = "mixed float32/float64 arithmetic in formats/nn hot paths"
+    rationale = ("silent widening/downcasting makes format-quality "
+                 "comparisons incomparable across code paths")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        out: List[Finding] = []
+        for ctx in project.contexts:
+            if not (ctx.in_package("formats") or ctx.in_package("nn")):
+                continue
+
+            def report(node: ast.AST, _ctx=ctx) -> None:
+                out.append(self.finding_at(
+                    _ctx.path, node,
+                    "arithmetic mixes float32 and float64 operands; numpy "
+                    "silently widens — cast explicitly at the boundary"))
+
+            transfer = _DtypeTransfer(report)
+            DataflowEngine(transfer).run_body(ctx.tree.body)
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    DataflowEngine(transfer).run_function(node)
+        return _dedup(out)
+
+
+@register
+class CallGraphPicklabilityRule(ProjectRule):
+    """PK002: cross-module picklability of ``run_cells`` submissions.
+
+    PK001 sees one file: it cannot tell whether an *imported* name is a
+    module-level def in its home module, a re-exported lambda, or a
+    nested function leaked through an attribute.  This rule resolves the
+    submitted callable through the import graph and also walks its call
+    graph for nested ``run_cells`` dispatch — a worker process
+    re-entering the pool deadlocks under ``--jobs``.
+    """
+
+    id = "PK002"
+    title = "run_cells submission unresolvable to a module-level def, " \
+            "or reachable nested dispatch"
+    rationale = ("workers re-import the cell fn by qualified name; "
+                 "anything else fails to pickle or deadlocks the pool")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph
+        out: List[Finding] = []
+        for ctx in project.contexts:
+            module = graph.paths.get(ctx.path)
+            if module is None:
+                continue
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = _attr_chain(node.func)
+                if chain is None or chain.split(".")[-1] != "run_cells":
+                    continue
+                resolved = graph.resolve(module, chain)
+                is_runner = (isinstance(resolved, SymbolDef)
+                             and resolved.module == "repro.experiments.runner"
+                             and resolved.name == "run_cells") \
+                    or module == "repro.experiments.runner"
+                if not is_runner or not node.args:
+                    continue
+                out.extend(self._check_submission(ctx, graph, module, node))
+        return _dedup(out)
+
+    def _check_submission(self, ctx: FileContext, graph: ProjectGraph,
+                          module: str, call: ast.Call) -> List[Finding]:
+        fn = call.args[0]
+        chain = _attr_chain(fn)
+        if chain is None:
+            return []  # lambda / call-site construction: PK001's findings
+        sym = graph.resolve(module, chain)
+        if not isinstance(sym, SymbolDef):
+            return []
+        if sym.nested:
+            return [self.finding_at(
+                ctx.path, fn,
+                f"'{chain}' resolves to nested function "
+                f"'{sym.qualified}' ({sym.path}:{sym.lineno}); workers "
+                "cannot re-import it — move it to module level")]
+        if sym.kind == "assign" and isinstance(sym.node, ast.Lambda):
+            return [self.finding_at(
+                ctx.path, fn,
+                f"'{chain}' resolves to module-level lambda "
+                f"'{sym.qualified}' ({sym.path}:{sym.lineno}); lambdas do "
+                "not pickle — use a def")]
+        if sym.kind != "function":
+            return []
+        findings: List[Finding] = []
+        for reached in graph.reachable(sym):
+            if reached.qualified == sym.qualified:
+                continue
+            if "repro.experiments.runner.run_cells" in graph.callees(reached):
+                findings.append(self.finding_at(
+                    ctx.path, fn,
+                    f"cell function '{sym.qualified}' reaches "
+                    f"'{reached.qualified}' which dispatches run_cells "
+                    "again; nested pools deadlock under --jobs"))
+        return findings
+
+
+#: cache-key sinks: fully-resolved (module, name) plus bare local names
+_CACHE_SINKS = {("repro.cache", "content_key"),
+                ("repro.cache", "store_cached_json")}
+_CACHE_SINK_NAMES = {"content_key", "store_cached_json",
+                     "cell_hash", "_cell_hash", "_cell_key"}
+
+
+class _CacheTaintTransfer(_TaintTransfer):
+    def eval_expr(self, expr, env, engine):
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return frozenset({"set"})
+        if isinstance(expr, ast.Call):
+            chain = _attr_chain(expr.func)
+            if chain in ("set", "frozenset") \
+                    and self.graph.resolve(self.module, chain) is None:
+                value = frozenset({"set"})
+                for arg in expr.args:
+                    value |= engine.eval_expr(arg, env)
+                return value
+            if chain == "sorted" \
+                    and self.graph.resolve(self.module, chain) is None:
+                # sorted() is the sanctioned sanitizer: it restores a
+                # deterministic order, clearing the 'set' taint (other
+                # taints — hash/time/... — survive the sort unchanged)
+                value = frozenset()
+                for arg in expr.args:
+                    value |= engine.eval_expr(arg, env)
+                return value - {"set"}
+        return super().eval_expr(expr, env, engine)
+
+
+@register
+class CacheKeyPurityRule(ProjectRule):
+    """CK001: only JSON-stable, deterministic values may reach cache keys.
+
+    ``cache.content_key`` hashes ``json.dumps(payload, sort_keys=True)``
+    and every cached result is keyed by it, so any payload component
+    with unstable identity poisons the cache: ``set`` iteration order is
+    arbitrary (``sort_keys`` only sorts dict keys), ``hash()`` varies
+    per process, timestamps/pids/uuids vary per run.  Dataflow tracks
+    those sources into the arguments of ``content_key`` /
+    ``store_cached_json`` and the cell-hash helpers.
+    """
+
+    id = "CK001"
+    title = "unordered or nondeterministic value flows into a cache key"
+    rationale = ("cache hits must mean 'same computation'; unstable keys "
+                 "either miss forever or collide across semantics")
+
+    _BAD = {"set", "hash", "id", "time", "pid", "entropy", "uuid"}
+    _EXPLAIN = {
+        "set": "set iteration order is arbitrary in JSON payloads",
+        "hash": "hash() varies with PYTHONHASHSEED",
+        "id": "id() is an address, unique per process",
+        "time": "timestamps differ per run",
+        "pid": "process ids differ per run",
+        "entropy": "os.urandom is nondeterministic",
+        "uuid": "uuids differ per run",
+    }
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph
+        out: List[Finding] = []
+        for ctx in project.contexts:
+            module = graph.paths.get(ctx.path)
+            if module is None:
+                continue
+            out.extend(self._check_module(ctx, graph, module))
+        return _dedup(out)
+
+    def _is_sink(self, graph: ProjectGraph, module: str,
+                 chain: str) -> bool:
+        leaf = chain.split(".")[-1]
+        if leaf not in _CACHE_SINK_NAMES:
+            return False
+        resolved = graph.resolve(module, chain)
+        if isinstance(resolved, SymbolDef):
+            return (resolved.module, resolved.name) in _CACHE_SINKS \
+                or resolved.name in _CACHE_SINK_NAMES
+        # unresolved but names a known sink defined in this very module?
+        return leaf in _CACHE_SINK_NAMES and resolved is None \
+            and module.startswith("repro.")
+
+    def _check_module(self, ctx: FileContext, graph: ProjectGraph,
+                      module: str) -> List[Finding]:
+        findings: List[Finding] = []
+
+        def sink(call: ast.Call, env: Env, engine: DataflowEngine) -> None:
+            chain = _attr_chain(call.func)
+            if chain is None or not self._is_sink(graph, module, chain):
+                return
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                tags = engine.eval_expr(arg, env) & self._BAD
+                for tag in sorted(tags):
+                    findings.append(self.finding_at(
+                        ctx.path, call,
+                        f"value tainted by '{tag}' flows into "
+                        f"'{chain.split('.')[-1]}': "
+                        f"{self._EXPLAIN[tag]}"))
+
+        transfer = _CacheTaintTransfer(graph, module, sink)
+        DataflowEngine(transfer).run_body(ctx.tree.body)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                DataflowEngine(transfer).run_function(node)
+        return findings
+
+
+@register
+class AccumulatorOverflowRule(ProjectRule):
+    """HW001: the PE accumulators cannot wrap before saturation.
+
+    Runs the exact-range abstract interpreter
+    (:func:`repro.lint.ranges.analyze_registry`) over every registry
+    format at the paper's PE configurations and turns **soundness
+    failures** into findings: a configuration where the presaturation
+    adder or the simulator's int64 arithmetic can wrap means the
+    saturating semantics themselves are corrupt.  Saturation
+    *reachability* is not a finding — it is the documented contract of a
+    saturating accumulator — but every reachable clamp carries a
+    concrete witness ``(format, bits, H)`` that the test suite replays
+    through the bit-accurate simulator (``--hw-table`` prints the full
+    proof table).
+    """
+
+    id = "HW001"
+    title = "PE accumulator can wrap before saturation"
+    rationale = ("the Fig. 5 co-design contract: register widths must "
+                 "cover every representable worst case up to the clamp")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        ctx = next((c for c in project.contexts
+                    if c.path == "src/repro/hardware/datapath.py"), None)
+        if ctx is None:
+            return iter(())
+        from .ranges import analyze_registry
+        anchors = {
+            "int": self._class_def(ctx, "IntVectorMac"),
+            "hfint": self._class_def(ctx, "HFIntVectorMac"),
+        }
+        out: List[Finding] = []
+        for proof in analyze_registry():
+            if proof.sound is False:
+                node = anchors.get(proof.pe) or ctx.tree
+                out.append(self.finding_at(
+                    ctx.path, node,
+                    f"{proof.format}/{proof.bits}b at "
+                    f"H={proof.accum_length}: worst-case sum needs "
+                    f"{proof.required_width} bits but the presaturation "
+                    f"arithmetic can wrap (acc_width={proof.acc_width}); "
+                    "widen the presat path or gate the fast path on "
+                    "MacWidthSpec.fast_path_exact"))
+        return iter(out)
+
+    @staticmethod
+    def _class_def(ctx: FileContext, name: str) -> Optional[ast.AST]:
+        for node in ast.iter_child_nodes(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return node
+        return None

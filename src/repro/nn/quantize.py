@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
 import numpy as np
 
 from ..formats import AdaptiveQuantizer, Quantizer, make_quantizer
+from ..rng import fresh_rng
 from . import functional as F
 from .layers import Conv2d, Embedding, Linear, LSTMCell
 from .module import Module
@@ -144,7 +145,7 @@ class ActFakeQuant:
         self.percentile = percentile
         self.mode = "bypass"
         self.max_abs = 0.0
-        self._sample_rng = np.random.default_rng(sample_seed)
+        self._sample_rng = fresh_rng(sample_seed)
         self._sample_keys: Optional[np.ndarray] = None
         self._sample_vals: Optional[np.ndarray] = None
         self._sample_count = 0

@@ -66,6 +66,7 @@ from ..cache import content_key
 from ..formats import FORMAT_NAMES, make_quantizer
 from ..formats.base import AdaptiveQuantizer
 from ..nn.quantize import DEFAULT_QUANTIZED_LAYERS, _target_modules
+from ..rng import fresh_rng
 from ..experiments.common import MODEL_NAMES, PROFILES, get_bundle, trained_model
 from ..experiments.runner import run_cells, shard_ranges
 from .engine import TrialEngine
@@ -297,7 +298,7 @@ def run_chunk(cell: Dict) -> Dict:
     flips_total = 0
     t0 = time.perf_counter()
     for trial in range(start, start + count):
-        rng = np.random.default_rng([ctx.seed, ctx.hash, trial])
+        rng = fresh_rng([ctx.seed, ctx.hash, trial])
         target = ctx.pick_target(rng)
         restore = None
         # An injected fault is *supposed* to be able to overflow float32
@@ -594,7 +595,7 @@ def measure_injection_throughput(profile: str = "tiny",
     digests: List[str] = []
     t0 = time.perf_counter()
     for trial in range(int(trials)):
-        rng = np.random.default_rng([ctx.seed, ctx.hash, trial])
+        rng = fresh_rng([ctx.seed, ctx.hash, trial])
         target = ctx.pick_target(rng)
         if engine:
             with np.errstate(all="ignore"):

@@ -19,7 +19,7 @@ for backwards compatibility.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -42,8 +42,13 @@ def default_rng(rng: Optional[np.random.Generator] = None) -> np.random.Generato
     return _shared_rng
 
 
-def fresh_rng(seed: int) -> np.random.Generator:
-    """An independent generator for an explicit stream seed."""
+def fresh_rng(seed: Union[int, Sequence[int]]) -> np.random.Generator:
+    """An independent generator for an explicit stream seed.
+
+    Accepts anything ``np.random.default_rng`` does for a *seeded*
+    stream: an int, or a sequence of ints for hierarchical per-stream
+    keys (e.g. ``[campaign_seed, cell_hash, trial]``).
+    """
     return np.random.default_rng(seed)
 
 

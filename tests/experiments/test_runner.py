@@ -51,6 +51,21 @@ class TestRunCells:
         with pytest.raises(ValueError):
             run_cells(square_cell, CELLS, jobs=0)
 
+    def test_lambda_rejected_under_jobs(self):
+        with pytest.raises(ValueError, match="module-level"):
+            run_cells(lambda c: c, CELLS, jobs=2)  # reprocheck: disable=PK001
+
+    def test_nested_function_rejected_under_jobs(self):
+        def local_cell(cell):
+            return cell["n"]
+        with pytest.raises(ValueError, match="module-level"):
+            run_cells(local_cell, CELLS, jobs=2)  # reprocheck: disable=PK001
+
+    def test_nested_function_allowed_serially(self):
+        def local_cell(cell):
+            return cell["n"]
+        assert run_cells(local_cell, CELLS) == list(range(6))  # reprocheck: disable=PK001
+
     def test_worker_exception_propagates(self):
         with pytest.raises(RuntimeError):
             run_cells(failing_cell, CELLS)
@@ -131,6 +146,8 @@ class TestCellCache:
     def test_failed_store_leaves_no_partial_file(self, tmp_path):
         key = content_key({"cell": {"n": 0}, "salt": "v1"})
         with pytest.raises(TypeError):
-            store_cached_json("toy", key, {"bad": {1, 2}})
+            # a set payload is deliberately unserializable here
+            store_cached_json("toy", key,  # reprocheck: disable=CK001
+                              {"bad": {1, 2}})
         assert list((tmp_path / "cells").rglob("*")) == [] or not any(
             p.suffix == ".json" for p in (tmp_path / "cells").rglob("*"))

@@ -93,3 +93,58 @@ class TestQuantizedTensor:
                              format_spec=q.spec(), params=params)
         assert qt.nbytes_packed == (100 * 6 + 7) // 8
         assert qt.format_spec["name"] == "adaptivfloat"
+
+
+class TestExactRange:
+    """FormatRange: the exact integer range metadata the HW001 prover
+    consumes (defaults must mirror make_quantizer exactly)."""
+
+    def test_adaptivfloat_matches_quantizer_defaults(self):
+        from repro.formats import exact_range
+        rng = exact_range("adaptivfloat", 8)
+        q = make_quantizer("adaptivfloat", 8)
+        assert rng.exp_bits == q.exp_bits == 3
+        assert rng.mant_bits == 8 - 3 - 1
+        assert rng.pe == "hfint" and rng.scale_dependent
+        assert rng.sig_max == 2 ** 5 - 1       # mantissa with implied one
+        assert rng.sig_exp == (2 ** 3 - 1) - 4  # bias-relative top binade
+
+    def test_float_uses_ieee_max_exp(self):
+        from repro.formats import exact_range
+        rng = exact_range("float", 8)
+        fmt = FloatIEEE(8, exp_bits=4)
+        assert rng.exp_bits == 4
+        assert rng.sig_exp == fmt.max_exp - rng.mant_bits
+        assert rng.value_max == pytest.approx(
+            float(2 ** (rng.mant_bits + 1) - 1) * 2.0 ** rng.sig_exp)
+
+    def test_int_grid_formats(self):
+        from repro.formats import exact_range
+        for name in ("uniform", "bfp"):
+            rng = exact_range(name, 8)
+            assert rng.pe == "int" and rng.level_max == 127
+        assert exact_range("uniform", 4).level_max == 7
+
+    def test_overrides_flow_through(self):
+        from repro.formats import exact_range
+        rng = exact_range("adaptivfloat", 8, exp_bits=5)
+        assert rng.exp_bits == 5 and rng.mant_bits == 2
+
+    def test_no_pe_formats(self):
+        from repro.formats import exact_range
+        assert exact_range("posit", 8).pe is None
+        assert exact_range("logquant", 8).pe is None
+        assert exact_range("fp32", 8).bits == 32
+
+    def test_unknown_format_raises(self):
+        from repro.formats import exact_range
+        with pytest.raises(ValueError):
+            exact_range("nosuch", 8)
+
+    def test_every_registry_format_has_a_range(self):
+        from repro.formats import exact_range
+        for name in FORMAT_NAMES:
+            for bits in (4, 8):
+                rng = exact_range(name, bits)
+                assert rng.pe in ("int", "hfint", None)
+                assert rng.sig_max >= 0

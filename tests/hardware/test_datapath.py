@@ -244,3 +244,57 @@ def test_empty_reduction_is_zero():
     out = mac.accumulate(np.zeros((3, 0), dtype=np.int64),
                          np.zeros(0, dtype=np.int64))
     np.testing.assert_array_equal(out, np.zeros(3, dtype=np.int64))
+
+
+# ------------------------------------------------------------ width specs
+class TestMacWidthSpec:
+    def test_int_spec_exact_values(self):
+        from repro.hardware.datapath import int_width_spec
+        spec = int_width_spec(8, 256)
+        assert spec.acc_width == 24
+        assert spec.term_max == 127 * 127
+        assert spec.sum_max == 256 * 127 * 127
+        assert spec.window_max == 2 ** 23 - 1
+        assert spec.presat_bits == 23
+        assert spec.overflow_free and spec.fast_path_exact
+
+    def test_hfint_spec_exact_values(self):
+        from repro.hardware.datapath import hfint_width_spec
+        spec = hfint_width_spec(8, 3, 256)
+        assert spec.acc_width == 30
+        assert spec.exp_shift_max == 14
+        assert spec.term_max == 31 * 31 * 2 ** 14  # (2**(m+1)-1)**2 << 2(2**e-1)
+        assert spec.sum_max == 256 * spec.term_max
+        assert not spec.overflow_free       # the clamp is reachable...
+        assert spec.fast_path_exact          # ...but int64 sums are exact
+
+    def test_macs_expose_their_spec(self):
+        assert IntVectorMac(8, 256).width_spec.pe == "int"
+        assert HFIntVectorMac(8, 3).width_spec.pe == "hfint"
+
+    def test_fast_path_gate_is_exact_not_width_based(self):
+        """Regression: the old gate compared acc_width against a fixed
+        62-bit threshold, which mislabels wide-exponent HFINT configs —
+        (17, e=4, H=256) has acc_width == 62 yet its unsaturated prefix
+        sums overflow int64, so cumsum-based row classification would
+        silently wrap."""
+        from repro.hardware.datapath import hfint_width_spec
+        spec = hfint_width_spec(17, 4, 256)
+        assert spec.acc_width == 62
+        assert spec.sum_max > 2 ** 63 - 1
+        assert not spec.fast_path_exact
+        assert spec.cycle_max <= 2 ** 63 - 1  # sequential path still exact
+
+    def test_wide_config_takes_sequential_path_exactly(self):
+        mac = HFIntVectorMac(bits=17, exp_bits=4, accum_length=256)
+        assert not mac.width_spec.fast_path_exact
+        word = (0xF << 12) | 0xFFF          # max magnitude, sign 0
+        w = np.full((1, 256), word, dtype=np.int64)
+        a = np.full(256, word, dtype=np.int64)
+        acc = mac.accumulate(w, a)
+        assert acc[0] == 2 ** (mac.acc_width - 1) - 1  # clamped, no wrap
+
+    def test_unsimulatable_config_rejected_at_construction(self):
+        # (20, e=4): even one saturate-per-cycle step exceeds int64
+        with pytest.raises(ValueError):
+            HFIntVectorMac(bits=20, exp_bits=4, accum_length=256)

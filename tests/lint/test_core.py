@@ -10,7 +10,7 @@ import pytest
 from repro.lint import (all_rules, lint_source, load_baseline, run_lint,
                         save_baseline)
 from repro.lint.cli import DEFAULT_BASELINE, find_repo_root, main
-from repro.lint.core import Finding
+from repro.lint.core import Finding, iter_python_files
 
 REPO_ROOT = find_repo_root(pathlib.Path(__file__).resolve().parent)
 
@@ -49,6 +49,56 @@ class TestInlineSuppression:
                "x = np.random.randn(4)\n")
         found, _ = lint_source(src, self.PATH)
         assert [f.rule for f in found] == ["ND001"]
+
+    def test_mixed_case_and_whitespace_rule_list(self):
+        src = ("import numpy as np\n"
+               "x = np.random.randn(4)  # RePrOcHeCk: Disable = nd001 , DT001\n")
+        found, suppressed = lint_source(src, self.PATH)
+        assert found == []
+        assert [f.rule for f in suppressed] == ["ND001"]
+
+    def test_first_line_of_multiline_statement(self):
+        # findings anchor on the statement's first line, so that is
+        # where the marker must sit — not on a continuation line
+        src = ("import numpy as np\n"
+               "x = np.random.randn(  # reprocheck: disable=ND001\n"
+               "    4)\n")
+        found, suppressed = lint_source(src, self.PATH)
+        assert found == [] and len(suppressed) == 1
+
+    def test_continuation_line_marker_does_not_suppress(self):
+        src = ("import numpy as np\n"
+               "x = np.random.randn(\n"
+               "    4)  # reprocheck: disable=ND001\n")
+        found, _ = lint_source(src, self.PATH)
+        assert [f.rule for f in found] == ["ND001"]
+
+    def test_decorated_def_suppression_on_def_line(self):
+        # CB001 anchors on the `def` line (not the decorator), so the
+        # marker goes there even for decorated entry points
+        src = textwrap.dedent("""
+            from .base import Quantizer
+
+            class MyFormat(Quantizer):
+                @staticmethod
+                def quantize(x):  # reprocheck: disable=CB001
+                    return x
+        """)
+        found, suppressed = lint_source(src, "src/repro/formats/custom.py")
+        assert [f.rule for f in found] == []
+        assert [f.rule for f in suppressed] == ["CB001"]
+
+    def test_decorated_def_fires_without_marker(self):
+        src = textwrap.dedent("""
+            from .base import Quantizer
+
+            class MyFormat(Quantizer):
+                @staticmethod
+                def quantize(x):
+                    return x
+        """)
+        found, _ = lint_source(src, "src/repro/formats/custom.py")
+        assert [f.rule for f in found] == ["CB001"]
 
 
 # ----------------------------------------------------------------- baseline
@@ -105,6 +155,89 @@ class TestBaseline:
         assert report.findings[0].path.endswith("extra.py")
 
 
+class TestBaselineMultiset:
+    """Identical findings are matched as a multiset: N occurrences need
+    N baseline entries, so a freshly-introduced duplicate still surfaces."""
+
+    DUPLICATED = ("import numpy as np\n"
+                  "x = np.random.randn(4)\n"
+                  "y = np.random.randn(4)\n")
+
+    @pytest.fixture
+    def dup_repo(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "data"
+        pkg.mkdir(parents=True)
+        (pkg / "streams.py").write_text(self.DUPLICATED, encoding="utf-8")
+        (tmp_path / "pyproject.toml").write_text("[project]\n",
+                                                 encoding="utf-8")
+        return tmp_path
+
+    def test_duplicate_not_absorbed_by_single_entry(self, dup_repo):
+        report = run_lint(dup_repo)
+        assert len(report.findings) == 2
+        keys = {f.baseline_key for f in report.findings}
+        assert len(keys) == 1  # same (rule, path, message) twice
+
+        baseline = dup_repo / DEFAULT_BASELINE
+        save_baseline(baseline, report.findings[:1])  # only ONE entry
+        again = run_lint(dup_repo, baseline_path=baseline)
+        assert len(again.baselined) == 1
+        assert len(again.findings) == 1  # the duplicate still surfaces
+
+    def test_two_entries_absorb_both(self, dup_repo):
+        baseline = dup_repo / DEFAULT_BASELINE
+        save_baseline(baseline, run_lint(dup_repo).findings)
+        assert len(load_baseline(baseline)) == 2
+        again = run_lint(dup_repo, baseline_path=baseline)
+        assert again.findings == [] and len(again.baselined) == 2
+
+    def test_excess_entries_go_stale_individually(self, dup_repo):
+        baseline = dup_repo / DEFAULT_BASELINE
+        save_baseline(baseline, run_lint(dup_repo).findings)  # 2 entries
+        target = dup_repo / "src" / "repro" / "data" / "streams.py"
+        target.write_text("import numpy as np\nx = np.random.randn(4)\n",
+                          encoding="utf-8")  # one occurrence fixed
+        report = run_lint(dup_repo, baseline_path=baseline)
+        assert report.findings == []
+        assert len(report.baselined) == 1
+        assert len(report.stale_baseline) == 1
+
+
+# ------------------------------------------------------------ file walking
+class TestIterPythonFiles:
+    def test_skips_caches_artifacts_and_hidden_dirs(self, tmp_path):
+        src = tmp_path / "src"
+        keep = src / "repro" / "ok.py"
+        skipped = [
+            src / "repro" / "__pycache__" / "ok.cpython-39.py",
+            src / "repro" / "artifacts" / "generated.py",
+            src / "repro" / ".hidden" / "secret.py",
+            src / "__pycache__" / "stale.py",
+            src / ".venv" / "lib" / "site.py",
+        ]
+        for path in [keep] + skipped:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text("x = 1\n", encoding="utf-8")
+        found = list(iter_python_files(tmp_path, targets=("src",)))
+        assert found == [keep]
+
+    def test_nested_skip_dirs(self, tmp_path):
+        deep = tmp_path / "tests" / "lint" / "__pycache__" / "sub" / "x.py"
+        deep.parent.mkdir(parents=True)
+        deep.write_text("x = 1\n", encoding="utf-8")
+        ok = tmp_path / "tests" / "lint" / "test_ok.py"
+        ok.write_text("x = 1\n", encoding="utf-8")
+        found = list(iter_python_files(tmp_path, targets=("tests",)))
+        assert found == [ok]
+
+    def test_single_file_target(self, tmp_path):
+        single = tmp_path / "tools" / "reprocheck.py"
+        single.parent.mkdir()
+        single.write_text("x = 1\n", encoding="utf-8")
+        assert list(iter_python_files(
+            tmp_path, targets=("tools/reprocheck.py",))) == [single]
+
+
 # ---------------------------------------------------------------------- CLI
 class TestCli:
     def test_exit_one_on_findings(self, fake_repo, capsys):
@@ -130,6 +263,39 @@ class TestCli:
 
     def test_unknown_rule_is_usage_error(self, fake_repo, capsys):
         assert main(["--root", str(fake_repo), "--rules", "XX999"]) == 2
+
+    def test_all_unknown_rules_reported_at_once(self, fake_repo, capsys):
+        assert main(["--root", str(fake_repo),
+                     "--rules", "BOGUS,ND001,NOPE"]) == 2
+        err = capsys.readouterr().err
+        assert "BOGUS" in err and "NOPE" in err and "known:" in err
+
+    def test_sarif_format(self, fake_repo, capsys):
+        assert main(["--root", str(fake_repo), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprocheck"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"ND001", "HW001"} <= rule_ids
+        results = run["results"]
+        assert results[0]["ruleId"] == "ND001"
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("streams.py")
+        assert location["region"]["startLine"] >= 1
+        assert run["invocations"][0]["executionSuccessful"]
+
+    def test_sarif_clean_tree_has_empty_results(self, fake_repo, capsys):
+        assert main(["--root", str(fake_repo), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["--root", str(fake_repo), "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+    def test_hw_table(self, capsys):
+        assert main(["--hw-table"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptivfloat" in out and "PROVED" in out
 
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0

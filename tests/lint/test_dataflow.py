@@ -1,0 +1,174 @@
+"""Dataflow-engine tests: tag propagation, branch joins, loop fixpoints,
+and call-site observation — the machinery under ND002/DT002/CK001."""
+
+import ast
+import textwrap
+
+from repro.lint.dataflow import (BOTTOM, DataflowEngine, TransferRules,
+                                 join, join_envs)
+
+TAINT = frozenset({"taint"})
+
+
+class Tainter(TransferRules):
+    """Tags the result of any ``taint()`` call; records ``sink(x)`` hits."""
+
+    def __init__(self):
+        self.sink_hits = []
+
+    def eval_expr(self, expr, env, engine):
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+                and expr.func.id == "taint":
+            return TAINT
+        return None
+
+    def on_call(self, call, env, engine):
+        if isinstance(call.func, ast.Name) and call.func.id == "sink":
+            for arg in call.args:
+                self.sink_hits.append(engine.eval_expr(arg, env))
+
+
+def run(src, function=None):
+    tree = ast.parse(textwrap.dedent(src))
+    rules = Tainter()
+    engine = DataflowEngine(rules)
+    if function is None:
+        env = engine.run_body(tree.body)
+    else:
+        fn = next(n for n in ast.walk(tree)
+                  if isinstance(n, ast.FunctionDef) and n.name == function)
+        env = engine.run_function(fn)
+    return env, rules
+
+
+class TestPropagation:
+    def test_assignment_chains(self):
+        env, _ = run("""
+            a = taint()
+            b = a
+            c = b + 1
+        """)
+        assert env["a"] == env["b"] == env["c"] == TAINT
+
+    def test_untainted_stays_bottom(self):
+        env, _ = run("x = 1\ny = x * 2\n")
+        assert env["x"] == env["y"] == BOTTOM
+
+    def test_rebinding_clears_the_tag(self):
+        env, _ = run("a = taint()\na = 0\n")
+        assert env["a"] == BOTTOM
+
+    def test_augassign_merges(self):
+        env, _ = run("a = 1\na += taint()\n")
+        assert env["a"] == TAINT
+
+    def test_tuple_unpacking(self):
+        env, _ = run("a, (b, c) = taint()\n")
+        assert env["a"] == env["b"] == env["c"] == TAINT
+
+    def test_call_result_unions_argument_tags(self):
+        env, _ = run("a = taint()\nb = f(1, key=a)\n")
+        assert env["b"] == TAINT
+
+    def test_containers_union_elements(self):
+        env, _ = run("a = taint()\nb = [1, a]\nc = {'k': a}\n")
+        assert env["b"] == TAINT and env["c"] == TAINT
+
+    def test_walrus_binds(self):
+        env, _ = run("y = (x := taint())\n")
+        assert env["x"] == TAINT and env["y"] == TAINT
+
+    def test_del_removes_binding(self):
+        env, _ = run("a = taint()\ndel a\n")
+        assert "a" not in env
+
+
+class TestControlFlow:
+    def test_branches_join(self):
+        env, _ = run("""
+            if cond:
+                a = taint()
+            else:
+                a = 0
+        """)
+        assert env["a"] == TAINT  # over-approximation keeps the tag
+
+    def test_loop_reaches_fixpoint(self):
+        env, _ = run("""
+            a = 0
+            for i in items:
+                b = a
+                a = taint()
+        """)
+        # second pass sees the tainted `a` from the first: fixpoint needed
+        assert env["a"] == TAINT and env["b"] == TAINT
+
+    def test_while_loop_carried_taint(self):
+        env, _ = run("""
+            a = 0
+            while a < 10:
+                a = a + taint()
+        """)
+        assert env["a"] == TAINT
+
+    def test_try_except_joins(self):
+        env, _ = run("""
+            a = 0
+            try:
+                a = taint()
+            except ValueError:
+                b = a
+        """)
+        # handler may run after the body assigned: b sees the join
+        assert env["a"] == TAINT and env["b"] == TAINT
+
+    def test_with_binds_context_value(self):
+        env, _ = run("with taint() as h:\n    x = h\n")
+        assert env["h"] == TAINT and env["x"] == TAINT
+
+    def test_comprehension_target_scoped(self):
+        env, _ = run("out = [v for v in taint()]\n")
+        assert env["out"] == TAINT and "v" not in env
+
+
+class TestFunctionsAndSinks:
+    def test_parameters_start_bottom(self):
+        env, _ = run("""
+            def f(a, b, *args, k=None, **kw):
+                c = a
+        """, function="f")
+        for name in ("a", "b", "args", "k", "kw", "c"):
+            assert env[name] == BOTTOM
+
+    def test_sink_observes_current_env(self):
+        _, rules = run("""
+            a = taint()
+            sink(a)
+            sink(1)
+        """)
+        assert rules.sink_hits == [TAINT, BOTTOM]
+
+    def test_sink_sees_taint_through_intermediates(self):
+        _, rules = run("""
+            s = taint() % 100
+            key = {"seed": s}
+            sink(key)
+        """)
+        assert rules.sink_hits == [TAINT]
+
+    def test_nested_call_still_observed_under_custom_value(self):
+        # taint(sink(x)) returns a custom value; sink must still fire
+        _, rules = run("x = 1\na = taint(sink(x))\n")
+        assert rules.sink_hits == [BOTTOM]
+
+
+class TestLattice:
+    def test_join_is_union(self):
+        assert join(frozenset({"a"}), frozenset({"b"})) == frozenset({"a", "b"})
+        assert join(BOTTOM, TAINT) == TAINT
+
+    def test_join_envs_unions_per_name(self):
+        a = {"x": frozenset({"t1"})}
+        b = {"x": frozenset({"t2"}), "y": TAINT}
+        merged = join_envs(a, b)
+        assert merged == {"x": frozenset({"t1", "t2"}), "y": TAINT}

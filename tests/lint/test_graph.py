@@ -1,0 +1,166 @@
+"""ProjectGraph tests: symbol tables, import-chain resolution, aliases,
+external references, and the call graph's reachability query."""
+
+import textwrap
+
+from repro.lint.core import FileContext
+from repro.lint.graph import (ExternalRef, ProjectGraph, SymbolDef,
+                              module_name_for)
+
+
+def graph_of(files):
+    contexts = [FileContext(path, textwrap.dedent(text))
+                for path, text in files.items()]
+    return ProjectGraph(contexts)
+
+
+class TestModuleNames:
+    def test_src_prefix_is_stripped(self):
+        assert module_name_for("src/repro/formats/base.py") == \
+            "repro.formats.base"
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for("src/repro/formats/__init__.py") == \
+            "repro.formats"
+
+    def test_non_src_paths_keep_their_prefix(self):
+        assert module_name_for("tests/lint/test_core.py") == \
+            "tests.lint.test_core"
+        assert module_name_for("tools/reprocheck.py") == "tools.reprocheck"
+
+
+class TestResolution:
+    def test_local_def(self):
+        g = graph_of({"src/repro/util.py": """
+            def helper():
+                pass
+        """})
+        sym = g.resolve("repro.util", "helper")
+        assert isinstance(sym, SymbolDef)
+        assert sym.qualified == "repro.util.helper" and sym.kind == "function"
+
+    def test_import_chain_resolves_to_home_module(self):
+        g = graph_of({
+            "src/repro/util.py": "def helper():\n    pass\n",
+            "src/repro/api.py": "from repro.util import helper as h\n",
+        })
+        sym = g.resolve("repro.api", "h")
+        assert isinstance(sym, SymbolDef)
+        assert sym.qualified == "repro.util.helper"
+
+    def test_relative_import_resolves(self):
+        g = graph_of({
+            "src/repro/pkg/__init__.py": "from .mod import thing\n",
+            "src/repro/pkg/mod.py": "def thing():\n    pass\n",
+            "src/repro/user.py": "from repro.pkg import thing\n",
+        })
+        # two hops: user -> pkg/__init__ re-export -> pkg.mod def
+        sym = g.resolve("repro.user", "thing")
+        assert isinstance(sym, SymbolDef)
+        assert sym.qualified == "repro.pkg.mod.thing"
+
+    def test_parent_relative_import(self):
+        g = graph_of({
+            "src/repro/rng.py": "def fresh_rng(seed):\n    pass\n",
+            "src/repro/data/images.py": "from ..rng import fresh_rng\n",
+        })
+        sym = g.resolve("repro.data.images", "fresh_rng")
+        assert isinstance(sym, SymbolDef)
+        assert sym.qualified == "repro.rng.fresh_rng"
+
+    def test_external_name_keeps_full_dotted_target(self):
+        g = graph_of({"src/repro/x.py": "import numpy as np\n"})
+        hit = g.resolve("repro.x", "np.random.default_rng")
+        assert hit == ExternalRef("numpy.random.default_rng")
+
+    def test_assignment_alias_is_followed(self):
+        g = graph_of({"src/repro/x.py": """
+            def _impl():
+                pass
+
+            run = _impl
+        """})
+        sym = g.resolve("repro.x", "run")
+        assert isinstance(sym, SymbolDef) and sym.name == "_impl"
+
+    def test_star_import_fallback(self):
+        g = graph_of({
+            "src/repro/base.py": "def shiny():\n    pass\n",
+            "src/repro/wild.py": "from repro.base import *\n",
+        })
+        sym = g.resolve("repro.wild", "shiny")
+        assert isinstance(sym, SymbolDef)
+        assert sym.qualified == "repro.base.shiny"
+
+    def test_unknown_name_is_none(self):
+        g = graph_of({"src/repro/x.py": "a = 1\n"})
+        assert g.resolve("repro.x", "ghost") is None
+        assert g.resolve("no.such.module", "x") is None
+
+    def test_conditional_import_is_seen(self):
+        g = graph_of({
+            "src/repro/opt.py": "def fast():\n    pass\n",
+            "src/repro/x.py": """
+                try:
+                    from repro.opt import fast
+                except ImportError:
+                    fast = None
+            """,
+        })
+        sym = g.resolve("repro.x", "fast")
+        assert sym is not None
+
+    def test_nested_defs_catalogued_but_not_importable(self):
+        g = graph_of({"src/repro/x.py": """
+            def outer():
+                def inner():
+                    pass
+                return inner
+        """})
+        table = g.table_for_path("src/repro/x.py")
+        assert "inner" in table.nested_defs and table.nested_defs["inner"].nested
+        assert g.resolve("repro.x", "inner") is None
+        assert g.lookup_qualified("repro.x.inner").nested
+
+
+class TestCallGraph:
+    FILES = {
+        "src/repro/a.py": """
+            from repro.b import middle
+
+            def top():
+                return middle()
+        """,
+        "src/repro/b.py": """
+            from repro.c import leaf
+
+            def middle():
+                return leaf() + leaf()
+        """,
+        "src/repro/c.py": """
+            def leaf():
+                return 1
+
+            def unrelated():
+                return 2
+        """,
+    }
+
+    def test_callees_are_resolved_cross_module(self):
+        g = graph_of(self.FILES)
+        top = g.resolve("repro.a", "top")
+        assert g.callees(top) == {"repro.b.middle"}
+
+    def test_reachability_is_transitive(self):
+        g = graph_of(self.FILES)
+        top = g.resolve("repro.a", "top")
+        names = {s.qualified for s in g.reachable(top)}
+        assert names == {"repro.a.top", "repro.b.middle", "repro.c.leaf"}
+
+    def test_dynamic_calls_do_not_poison_the_graph(self):
+        g = graph_of({"src/repro/x.py": """
+            def f(cb):
+                return cb() + getattr(object, "x")()
+        """})
+        sym = g.resolve("repro.x", "f")
+        assert g.callees(sym) == set()

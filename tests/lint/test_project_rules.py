@@ -1,0 +1,332 @@
+"""Cross-module rule tests (ND002 / DT002 / PK002 / CK001) driven
+through ``lint_sources`` — several in-memory files linted as one
+project, exactly how the rules see the real tree."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def findings(files, rule):
+    found, _ = lint_sources({path: textwrap.dedent(text)
+                             for path, text in files.items()})
+    return [f for f in found if f.rule == rule]
+
+
+RNG_MODULE = {
+    "src/repro/rng.py": """
+        import numpy as np
+
+        def default_rng(seed):
+            return np.random.default_rng(seed)
+
+        def fresh_rng(seed):
+            return np.random.default_rng(seed)
+    """,
+}
+
+
+# ------------------------------------------------------------------- ND002
+class TestSeedTaint:
+    def test_fires_on_module_scope_generator(self):
+        files = dict(RNG_MODULE)
+        files["src/repro/data/foo.py"] = """
+            from ..rng import fresh_rng
+            RNG = fresh_rng(0)
+        """
+        found = findings(files, "ND002")
+        assert len(found) == 1 and "module scope" in found[0].message
+        assert found[0].path == "src/repro/data/foo.py"
+
+    def test_fires_on_direct_external_construction(self):
+        files = {"src/repro/data/foo.py": """
+            import numpy as np
+
+            def sample(seed):
+                return np.random.default_rng(seed).normal()
+        """}
+        found = findings(files, "ND002")
+        assert len(found) == 1 and "repro.rng" in found[0].message
+
+    def test_fires_on_hash_seed_through_intermediates(self):
+        files = dict(RNG_MODULE)
+        files["src/repro/data/foo.py"] = """
+            from ..rng import fresh_rng
+
+            def sample(name, seed):
+                offset = hash(name) % 65536
+                return fresh_rng(seed + offset)
+        """
+        found = findings(files, "ND002")
+        assert len(found) == 1 and "'hash'" in found[0].message
+
+    def test_fires_on_time_seed(self):
+        files = dict(RNG_MODULE)
+        files["src/repro/data/foo.py"] = """
+            import time
+            from ..rng import fresh_rng
+
+            def sample():
+                return fresh_rng(int(time.time()))
+        """
+        assert len(findings(files, "ND002")) == 1
+
+    def test_quiet_on_pure_seed_per_use(self):
+        files = dict(RNG_MODULE)
+        files["src/repro/data/foo.py"] = """
+            import zlib
+            from ..rng import fresh_rng
+
+            def sample(name, seed):
+                rng = fresh_rng(seed + zlib.crc32(name.encode()) % 65536)
+                return rng.normal()
+        """
+        assert findings(files, "ND002") == []
+
+    def test_quiet_inside_rng_module_itself(self):
+        assert findings(dict(RNG_MODULE), "ND002") == []
+
+    def test_quiet_outside_src(self):
+        files = {"tests/data/test_foo.py": """
+            import numpy as np
+            RNG = np.random.default_rng(0)
+        """}
+        assert findings(files, "ND002") == []
+
+    def test_local_hash_shadow_is_not_taint(self):
+        files = dict(RNG_MODULE)
+        files["src/repro/data/foo.py"] = """
+            from ..rng import fresh_rng
+
+            def hash(x):
+                return 7
+
+            def sample(name):
+                return fresh_rng(hash(name))
+        """
+        assert findings(files, "ND002") == []
+
+
+# ------------------------------------------------------------------- DT002
+class TestDtypeFlow:
+    PATH = "src/repro/formats/newfmt.py"
+
+    def test_fires_on_mixed_arithmetic(self):
+        files = {self.PATH: """
+            import numpy as np
+
+            def mix(n):
+                a = np.zeros(n, dtype=np.float32)
+                b = np.ones(n, dtype=np.float64)
+                return a * b
+        """}
+        found = findings(files, "DT002")
+        assert len(found) == 1 and "float32 and float64" in found[0].message
+
+    def test_fires_through_astype(self):
+        files = {self.PATH: """
+            import numpy as np
+
+            def mix(n):
+                a = np.zeros(n, dtype=np.float32)
+                c = a.astype(np.float64)
+                return a + c
+        """}
+        assert len(findings(files, "DT002")) == 1
+
+    def test_fires_on_string_dtype_literals(self):
+        files = {self.PATH: """
+            import numpy as np
+
+            def mix(n):
+                a = np.zeros(n, dtype="float32")
+                b = np.zeros(n, dtype="float64")
+                return a - b
+        """}
+        assert len(findings(files, "DT002")) == 1
+
+    def test_quiet_on_consistent_dtypes(self):
+        files = {self.PATH: """
+            import numpy as np
+
+            def ok(n):
+                a = np.zeros(n, dtype=np.float32)
+                b = np.ones(n, dtype=np.float32)
+                return a * b
+        """}
+        assert findings(files, "DT002") == []
+
+    def test_quiet_outside_hot_paths(self):
+        files = {"src/repro/analysis/tables.py": """
+            import numpy as np
+
+            def mix(n):
+                a = np.zeros(n, dtype=np.float32)
+                b = np.ones(n, dtype=np.float64)
+                return a * b
+        """}
+        assert findings(files, "DT002") == []
+
+
+# ------------------------------------------------------------------- PK002
+RUNNER_MODULE = {
+    "src/repro/experiments/runner.py": """
+        def run_cells(fn, cells, jobs=1):
+            return [fn(c) for c in cells]
+    """,
+}
+
+
+class TestCallGraphPicklability:
+    def test_fires_on_imported_lambda_alias(self):
+        files = dict(RUNNER_MODULE)
+        files["src/repro/experiments/cells.py"] = """
+            square = lambda c: c["n"] ** 2
+        """
+        files["src/repro/experiments/table2.py"] = """
+            from .cells import square
+            from .runner import run_cells
+
+            def sweep(cells):
+                return run_cells(square, cells, jobs=4)
+        """
+        found = findings(files, "PK002")
+        assert len(found) == 1 and "lambda" in found[0].message
+        assert found[0].path == "src/repro/experiments/table2.py"
+
+    def test_quiet_on_imported_module_level_def(self):
+        files = dict(RUNNER_MODULE)
+        files["src/repro/experiments/cells.py"] = """
+            def square(c):
+                return c["n"] ** 2
+        """
+        files["src/repro/experiments/table2.py"] = """
+            from .cells import square
+            from .runner import run_cells
+
+            def sweep(cells):
+                return run_cells(square, cells, jobs=4)
+        """
+        assert findings(files, "PK002") == []
+
+    def test_fires_on_reachable_nested_dispatch(self):
+        files = dict(RUNNER_MODULE)
+        files["src/repro/experiments/table2.py"] = """
+            from .runner import run_cells
+
+            def inner_sweep(cell):
+                return run_cells(score_cell, cell["subcells"])
+
+            def score_cell(c):
+                return c
+
+            def cell_fn(cell):
+                return inner_sweep(cell)
+
+            def sweep(cells):
+                return run_cells(cell_fn, cells, jobs=4)
+        """
+        found = findings(files, "PK002")
+        assert any("deadlock" in f.message for f in found)
+
+    def test_quiet_on_unrelated_run_cells(self):
+        files = {"src/repro/other.py": """
+            def run_cells(fn, cells):
+                return [fn(c) for c in cells]
+
+            bad = lambda c: c
+
+            def go(cells):
+                return run_cells(bad, cells)
+        """}
+        assert findings(files, "PK002") == []
+
+
+# ------------------------------------------------------------------- CK001
+CACHE_MODULE = {
+    "src/repro/cache.py": """
+        import hashlib
+        import json
+
+        def content_key(payload):
+            blob = json.dumps(payload, sort_keys=True)
+            return hashlib.sha256(blob.encode()).hexdigest()
+
+        def store_cached_json(namespace, key, value):
+            pass
+    """,
+}
+
+
+class TestCacheKeyPurity:
+    def test_fires_on_set_in_key_payload(self):
+        files = dict(CACHE_MODULE)
+        files["src/repro/experiments/foo.py"] = """
+            from ..cache import content_key
+
+            def key_for(cells):
+                return content_key({"cells": {1, 2, 3}})
+        """
+        found = findings(files, "CK001")
+        assert len(found) == 1 and "iteration order" in found[0].message
+
+    def test_fires_on_set_constructor_through_binding(self):
+        files = dict(CACHE_MODULE)
+        files["src/repro/experiments/foo.py"] = """
+            from ..cache import content_key
+
+            def key_for(names):
+                unique = set(names)
+                return content_key({"names": unique})
+        """
+        assert len(findings(files, "CK001")) == 1
+
+    def test_fires_on_timestamp_into_store(self):
+        files = dict(CACHE_MODULE)
+        files["src/repro/experiments/foo.py"] = """
+            import time
+            from ..cache import store_cached_json
+
+            def save(key, value):
+                store_cached_json("ns", key, {"v": value, "t": time.time()})
+        """
+        found = findings(files, "CK001")
+        assert len(found) == 1 and "timestamps" in found[0].message
+
+    def test_quiet_on_sorted_list(self):
+        files = dict(CACHE_MODULE)
+        files["src/repro/experiments/foo.py"] = """
+            from ..cache import content_key
+
+            def key_for(names):
+                return content_key({"names": sorted(set(names))})
+        """
+        assert findings(files, "CK001") == []
+
+    def test_quiet_on_plain_payload(self):
+        files = dict(CACHE_MODULE)
+        files["src/repro/experiments/foo.py"] = """
+            from ..cache import content_key
+
+            def key_for(cell, salt):
+                return content_key({"cell": cell, "salt": salt})
+        """
+        assert findings(files, "CK001") == []
+
+
+# ------------------------------------------------------------------- HW001
+class TestAccumulatorOverflowRule:
+    def test_quiet_when_datapath_absent(self):
+        assert findings({"src/repro/x.py": "a = 1\n"}, "HW001") == []
+
+    def test_quiet_on_the_real_registry(self):
+        # anchoring file present -> the rule runs the full prover; the
+        # committed formats/datapath must be sound
+        files = {"src/repro/hardware/datapath.py": """
+            class IntVectorMac:
+                pass
+
+            class HFIntVectorMac:
+                pass
+        """}
+        assert findings(files, "HW001") == []

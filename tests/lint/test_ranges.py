@@ -1,0 +1,157 @@
+"""HW001 prover tests.
+
+The static analysis must (a) prove non-overflow where the paper's
+register widths cover every representable sum, and (b) refute it with a
+concrete witness everywhere saturation is reachable — and each witness
+must *replay* through the bit-accurate simulator to exactly the clamp
+the prover predicted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats.registry import FORMAT_NAMES, exact_range
+from repro.hardware.datapath import HFIntVectorMac, IntVectorMac
+from repro.lint.ranges import (PAPER_ACCUM_LENGTH, PAPER_BITS,
+                               analyze_format, analyze_registry, proof_table)
+
+ALL_PROOFS = analyze_registry()
+
+
+class TestIntPeProofs:
+    def test_uniform_8bit_proved_overflow_free(self):
+        proof = analyze_format("uniform", 8)
+        assert proof.pe == "int" and proof.acc_width == 24
+        assert proof.sum_max == 256 * 127 * 127 == 4_129_024
+        assert proof.sum_max <= 2 ** 23 - 1
+        assert proof.proved and proof.witness is None
+
+    def test_uniform_4bit_proved_overflow_free(self):
+        proof = analyze_format("uniform", 4)
+        assert proof.acc_width == 16
+        assert proof.sum_max == 256 * 7 * 7 == 12_544
+        assert proof.proved
+
+    def test_int_pe_never_saturates_at_any_registry_config(self):
+        """``2n + floor(log2 H)`` always covers ``H * (2**(n-1)-1)**2``:
+        the INT PE's clamp is *unreachable* for every registry format."""
+        for proof in ALL_PROOFS:
+            if proof.pe == "int":
+                assert proof.proved, proof
+
+    def test_bfp_shares_the_int_verdict(self):
+        for bits in PAPER_BITS:
+            assert analyze_format("bfp", bits).proved
+
+
+class TestHfintPeProofs:
+    def test_adaptivfloat_8bit_witness(self):
+        proof = analyze_format("adaptivfloat", 8)
+        assert proof.pe == "hfint" and proof.acc_width == 30
+        assert proof.sound and proof.saturates
+        assert proof.witness == {"w_word": 0x7F, "a_word": 0x7F,
+                                 "clamp": 2 ** 29 - 1}
+
+    def test_adaptivfloat_4bit_witness(self):
+        proof = analyze_format("adaptivfloat", 4)
+        assert proof.acc_width == 22
+        assert proof.witness == {"w_word": 0x7, "a_word": 0x7,
+                                 "clamp": 2 ** 21 - 1}
+
+    def test_witness_exceeds_window_by_construction(self):
+        for proof in ALL_PROOFS:
+            if proof.saturates:
+                assert proof.sum_max > proof.witness["clamp"]
+
+
+class TestSoundness:
+    def test_every_registry_config_is_sound(self):
+        """The HW001 CI gate: no (format, bits, H) can wrap before the
+        saturation logic fires — neither in the presaturation adder nor
+        in the simulator's int64 arithmetic."""
+        for proof in ALL_PROOFS:
+            assert proof.sound is not False, proof
+
+    def test_registry_fully_covered(self):
+        covered = {(p.format, p.bits) for p in ALL_PROOFS}
+        for bits in PAPER_BITS:
+            for name in FORMAT_NAMES:
+                expected_bits = 32 if name == "fp32" else bits
+                assert (name, expected_bits) in covered
+
+    def test_no_pe_formats_are_informational(self):
+        posit = analyze_format("posit", 8)
+        assert posit.pe is None and posit.sound is None
+        assert posit.required_width is not None and posit.required_width > 24
+        fp32 = analyze_format("fp32", 32)
+        assert fp32.pe is None and fp32.witness is None
+
+
+# --------------------------------------------------------- witness replay
+SATURATING = [p for p in ALL_PROOFS if p.saturates]
+
+
+def _mac_for(proof):
+    if proof.pe == "hfint":
+        rng = exact_range(proof.format, proof.bits)
+        return HFIntVectorMac(proof.bits, rng.exp_bits, proof.accum_length)
+    return IntVectorMac(proof.bits, proof.accum_length)
+
+
+def _operands_for(proof):
+    H = proof.accum_length
+    if proof.pe == "hfint":
+        w = np.full((1, H), proof.witness["w_word"], dtype=np.int64)
+        a = np.full(H, proof.witness["a_word"], dtype=np.int64)
+    else:
+        w = np.full((1, H), proof.witness["w_level"], dtype=np.int64)
+        a = np.full(H, proof.witness["a_level"], dtype=np.int64)
+    return w, a
+
+
+@pytest.mark.parametrize("proof", SATURATING,
+                         ids=[f"{p.format}-{p.bits}b" for p in SATURATING])
+def test_witness_replays_to_predicted_clamp(proof):
+    """Acceptance criterion: each refutation witness, replayed through
+    the bit-accurate simulator, saturates to exactly the clamp the
+    static prover predicted."""
+    mac = _mac_for(proof)
+    assert mac.acc_width == proof.acc_width
+    w, a = _operands_for(proof)
+    acc = mac.accumulate(w, a)
+    assert acc[0] == proof.witness["clamp"] == 2 ** (mac.acc_width - 1) - 1
+
+
+def test_saturating_suite_is_nonempty():
+    """The paper's own HFINT configs reach the clamp (that is the point
+    of a saturating accumulator) — the replay suite must not silently
+    become vacuous."""
+    assert {(p.format, p.bits) for p in SATURATING} >= {
+        ("adaptivfloat", 4), ("adaptivfloat", 8)}
+
+
+def test_proved_row_replays_below_clamp():
+    """Converse check: a PROVED row's worst-case drive stays strictly
+    inside the register window (no clamp engaged)."""
+    proof = analyze_format("uniform", 8)
+    mac = IntVectorMac(8, proof.accum_length)
+    w = np.full((1, proof.accum_length), 127, dtype=np.int64)
+    a = np.full(proof.accum_length, 127, dtype=np.int64)
+    acc = mac.accumulate(w, a)
+    assert acc[0] == proof.sum_max < 2 ** (mac.acc_width - 1) - 1
+
+
+# ------------------------------------------------------------- rendering
+def test_proof_table_renders_all_rows():
+    text = proof_table(ALL_PROOFS)
+    assert "PROVED" in text and "saturation reachable" in text
+    assert "no PE datapath" in text
+    assert f"H={PAPER_ACCUM_LENGTH}" in text
+    for proof in ALL_PROOFS:
+        assert proof.format in text
+
+
+def test_non_power_of_two_h_analyzes():
+    # the floor(log2 H) register-sizing corner: H=500 is still sound
+    proof = analyze_format("uniform", 8, accum_length=500)
+    assert proof.pe == "int" and proof.sound

@@ -3,6 +3,13 @@
 
 Exists so the checker can be run without setting PYTHONPATH:
 ``python tools/reprocheck.py [args...]``.
+
+Useful entry points (see docs/static-analysis.md for the full surface):
+
+    tools/reprocheck.py                        # whole tree, human output
+    tools/reprocheck.py --changed origin/main  # only files changed vs a ref
+    tools/reprocheck.py --format sarif         # SARIF 2.1.0 for CI viewers
+    tools/reprocheck.py --hw-table             # HW001 accumulator proofs
 """
 
 import pathlib
