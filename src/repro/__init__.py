@@ -22,6 +22,10 @@ Subpackages
 ``repro.resilience``
     Seeded bit-flip fault injection over packed bitstreams and the
     campaign driver scoring SDC rate, drift, and sanitizer coverage.
+``repro.serve``
+    Dynamic micro-batching inference serving: a concurrent request
+    server with a bounded queue, padded micro-batch coalescing over the
+    KV-cached decode paths, and a shared warm-model pool.
 
 Quick start::
 
@@ -33,7 +37,8 @@ Quick start::
     w_q = q.quantize(w)
 """
 
-from . import analysis, data, formats, hardware, metrics, nn, resilience, rng
+from . import (analysis, data, formats, hardware, metrics, nn, resilience,
+               rng, serve)
 from .formats import AdaptivFloat, adaptivfloat_quantize, make_quantizer
 
 __version__ = "1.0.0"
@@ -41,5 +46,5 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptivFloat", "adaptivfloat_quantize", "analysis", "data", "formats",
     "hardware", "make_quantizer", "metrics", "nn", "resilience", "rng",
-    "__version__",
+    "serve", "__version__",
 ]

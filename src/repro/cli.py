@@ -7,6 +7,7 @@ Commands
 ``pe``          Print a PE's PPA (energy/op, TOPS/mm², widths).
 ``experiment``  Run one paper table/figure driver and print it.
 ``resilience``  Run a seeded bit-flip fault-injection campaign.
+``serve-bench`` Measure micro-batched vs serial serving throughput.
 """
 
 from __future__ import annotations
@@ -113,6 +114,45 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .serve.bench import check_equivalence, run_serve_benchmark
+
+    quant = (args.quant, args.bits) if args.quant else None
+    record = run_serve_benchmark(
+        model=args.model, concurrency=args.concurrency,
+        num_requests=args.requests, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, workers=args.workers,
+        seed=args.seed, profile=args.profile, quant=quant,
+        max_len=args.max_len)
+    stats = record["server_stats"]
+    print(f"serve-bench - {args.model} greedy, "
+          f"{args.requests} requests @ concurrency {args.concurrency} "
+          f"(max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms, "
+          f"workers={args.workers})")
+    print(f"  serial   : {record['serial']['wall_s']:8.3f}s  "
+          f"{record['serial']['requests_per_sec']:8.1f} req/s")
+    print(f"  batched  : {record['batched']['wall_s']:8.3f}s  "
+          f"{record['batched']['requests_per_sec']:8.1f} req/s")
+    print(f"  speedup  : {record['speedup']:.2f}x  "
+          f"(BLAS token match {record['blas_token_match_rate']:.0%})")
+    print(f"  batches  : {stats['batches']['count']} "
+          f"(mean size {stats['batches']['mean_size']}, "
+          f"histogram {stats['batches']['histogram']})")
+    print(f"  latency  : p50 {stats['latency']['p50_ms']:.1f}ms  "
+          f"p95 {stats['latency']['p95_ms']:.1f}ms  "
+          f"p99 {stats['latency']['p99_ms']:.1f}ms  "
+          f"(queue peak {stats['queue']['depth_peak']})")
+    if record["weight_cache"]:
+        print(f"  wq-cache : {record['weight_cache']}")
+    if args.check:
+        verdicts = check_equivalence(models=(args.model,), seed=args.seed,
+                                     quant=quant)
+        print(f"  identity : {verdicts}")
+        if not all(verdicts.values()):
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -176,6 +216,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the reference per-trial re-encode loop "
                         "instead of the cached-encode trial engine")
     p.set_defaults(func=_cmd_resilience)
+
+    p = sub.add_parser("serve-bench",
+                       help="measure micro-batched vs serial serving "
+                            "throughput")
+    p.add_argument("--model", choices=("transformer", "seq2seq", "resnet"),
+                   default="transformer")
+    p.add_argument("--concurrency", type=int, default=16,
+                   help="client threads submitting requests")
+    p.add_argument("--requests", type=int, default=64,
+                   help="total requests in the workload")
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--max-wait-ms", type=float, default=5.0)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--max-len", type=int, default=32,
+                   help="decode cap for the synthetic workload")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", choices=("tiny", "fast", "full"),
+                   default=None,
+                   help="serve the trained checkpoint at this profile "
+                        "(default: untrained seeded weights)")
+    p.add_argument("--quant", default=None,
+                   help="serve with weight fake-quantizers of this format "
+                        "(e.g. adaptivfloat)")
+    p.add_argument("--bits", type=int, default=8,
+                   help="word size for --quant")
+    p.add_argument("--check", action="store_true",
+                   help="also verify batched-vs-serial token identity "
+                        "under deterministic_matmul")
+    p.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..analysis import format_table, save_result
 from ..formats import AdaptivFloat
-from ..nn import Tensor
+from ..nn import Tensor, no_grad
 from ..nn.quantize import DEFAULT_QUANTIZED_LAYERS
 from .common import MODEL_NAMES, PROFILES, get_bundle, trained_model
 
@@ -56,8 +56,10 @@ def run(profile: str = "full", bits: int = 4,
                 probe = _RangeProbe()
                 module.act_fake_quant = probe
                 probes[mod_name] = probe
-        for batch in bundle.batches(task, prof.batch_size, 2, 123):
-            bundle.train_step(model, batch)
+        with no_grad():
+            # observation forwards only — no graph needed
+            for batch in bundle.batches(task, prof.batch_size, 2, 123):
+                bundle.train_step(model, batch)
         rows = []
         for site, probe in probes.items():
             if not probe.samples:

@@ -17,7 +17,7 @@ from typing import Dict, Sequence
 from ..analysis import format_table, save_result
 from ..formats import FORMAT_NAMES
 from ..nn import (QuantSpec, attach_act_quantizers, attach_weight_quantizers,
-                  calibrate)
+                  calibrate, no_grad)
 from .common import (MODEL_NAMES, PROFILES, get_bundle, qar_retrain,
                      trained_model)
 from .runner import run_cells
@@ -47,7 +47,9 @@ def run_cell(cell: Dict) -> float:
     attach_weight_quantizers(model, spec)
     attach_act_quantizers(model, spec)
     model.eval()
-    with calibrate(model):
+    with calibrate(model), no_grad():
+        # train_step is forward-only (callers do the backward); under
+        # no_grad the calibration forwards skip graph building entirely
         for batch in bundle.batches(
                 task, prof.batch_size, _CALIBRATION_BATCHES, 77):
             bundle.train_step(model, batch)

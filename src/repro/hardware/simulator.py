@@ -5,9 +5,13 @@ cycles; this simulator *executes* them.  It models the paper's Fig. 6
 system — PEs with weight-stationary MAC arrays and activation units, an
 arbitrated crossbar collecting hidden-state words into the global
 buffer, and a broadcast bus returning them — as interacting state
-machines advanced one cycle at a time.  Tests cross-validate the two:
-the event simulation must land on the same per-step cycle counts the
-closed-form schedule predicts (and therefore on Table 4's 81.2 µs).
+machines.  Because every phase drains fixed work at a fixed rate, the
+per-cycle machines reduce exactly to ``ceil(work / rate)`` arithmetic:
+:meth:`EventSimulator.run` executes that closed form, and
+:meth:`EventSimulator.run_reference` keeps the cycle-by-cycle loops as
+the semantic spec.  Tests assert the two traces are identical and
+cross-validate both against the analytical schedule in
+:mod:`repro.hardware.accelerator` (and therefore Table 4's 81.2 µs).
 
 The simulator is behavioural (it moves *counts* of work, not numerical
 values — numerical fidelity is the job of :mod:`repro.hardware.datapath`),
@@ -97,8 +101,24 @@ class _PE:
         return True
 
 
+#: Phase execution order within one LSTM time step.
+_PHASE_ORDER = ("compute", "activation", "collect", "broadcast", "pipeline")
+
+
 class EventSimulator:
-    """Executes the weight-stationary LSTM schedule cycle by cycle."""
+    """Executes the weight-stationary LSTM schedule.
+
+    Every phase advances deterministically (fixed work, fixed per-cycle
+    rates, no data-dependent stalls), so the per-cycle state machines
+    admit an exact closed form: a phase that consumes ``work`` units at
+    ``rate`` units/cycle runs ``ceil(work / rate)`` cycles.  :meth:`run`
+    uses that arithmetic directly — O(timesteps) instead of
+    O(total cycles) — while :meth:`run_reference` keeps the original
+    cycle-by-cycle loops.  The two produce *identical* traces (every
+    ``PhaseRecord``, the busy-MAC count, the total), which the test
+    suite asserts; the reference is the semantic spec, the closed form
+    is what everything else calls.
+    """
 
     def __init__(self, config: Optional[AcceleratorConfig] = None) -> None:
         self.config = config or AcceleratorConfig()
@@ -111,8 +131,54 @@ class EventSimulator:
         return [_PE(cfg.vector_size, macs_each, gates_each,
                     cfg.crossbar_lanes) for _ in range(cfg.num_pes)]
 
-    # ------------------------------------------------------------- running
+    # --------------------------------------------------------- closed form
+    def _phase_cycles(self, workload: LSTMWorkload) -> Dict[str, int]:
+        """Exact per-step phase durations, in cycles.
+
+        * ``compute`` — every PE owns ``ceil(macs_per_step / num_pes)``
+          MACs and retires ``vector_size**2`` per cycle; the phase ends
+          when the slowest (= every, shares are identical) PE drains.
+        * ``activation`` — pointwise gate math at ``crossbar_lanes``
+          ops/cycle per PE over each PE's gate share.
+        * ``collect``/``broadcast`` — the arbitrated crossbar and the
+          shared bus both move ``crossbar_lanes`` words/cycle, over the
+          ``hidden`` state words.
+        * ``pipeline`` — the calibrated HLS ramp constant.
+        """
+        cfg = self.config
+        macs_each = math.ceil(workload.macs_per_step / cfg.num_pes)
+        gates_each = math.ceil(workload.gate_outputs_per_step / cfg.num_pes)
+        transfer = math.ceil(workload.hidden / cfg.crossbar_lanes)
+        return {
+            "compute": math.ceil(macs_each / cfg.vector_size ** 2),
+            "activation": math.ceil(gates_each / cfg.crossbar_lanes),
+            "collect": transfer,
+            "broadcast": transfer,
+            "pipeline": cfg.pipeline_ramp_cycles,
+        }
+
     def run(self, workload: LSTMWorkload = PAPER_WORKLOAD) -> SimulationTrace:
+        """Closed-form execution: identical trace, O(timesteps) work."""
+        durations = self._phase_cycles(workload)
+        # each of the num_pes PEs is busy for every compute cycle (equal
+        # shares), exactly what the reference counts per cycle
+        busy_per_step = self.config.num_pes * durations["compute"]
+        phases: List[PhaseRecord] = []
+        cycle = 0
+        for step in range(workload.timesteps):
+            for phase in _PHASE_ORDER:
+                end = cycle + durations[phase]
+                phases.append(PhaseRecord(step, phase, cycle, end))
+                cycle = end
+        return SimulationTrace(phases=phases, total_cycles=cycle,
+                               busy_mac_cycles=busy_per_step
+                               * workload.timesteps)
+
+    # ---------------------------------------------------- cycle-loop spec
+    def run_reference(self,
+                      workload: LSTMWorkload = PAPER_WORKLOAD
+                      ) -> SimulationTrace:
+        """The original cycle-by-cycle state machines (semantic spec)."""
         cfg = self.config
         pes = self._build_pes(workload)
         phases: List[PhaseRecord] = []

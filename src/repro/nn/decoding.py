@@ -32,7 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = ["AttentionKVCache", "DecoderKVCache", "LayerKVCache",
-           "pad_hypotheses"]
+           "assemble_source_batch", "pad_hypotheses", "strip_hypotheses"]
 
 
 class AttentionKVCache:
@@ -130,4 +130,42 @@ def pad_hypotheses(hypotheses: Sequence[Sequence[int]],
     out = np.full((len(hypotheses), width), pad_id, dtype=np.int64)
     for i, hyp in enumerate(hypotheses):
         out[i, :len(hyp)] = hyp
+    return out
+
+
+def assemble_source_batch(sources: Sequence[Sequence[int]], pad_id: int,
+                          eos_id: int) -> np.ndarray:
+    """Pack ragged source token lists into one EOS-terminated padded batch.
+
+    Each row is ``tokens + [EOS]`` followed by padding up to the longest
+    row — the convention the training data generators use
+    (``TranslationTask.make_batch``) and the one micro-batch serving
+    relies on.  Padding is *inert* for the Transformer: ``padding_mask``
+    gives pad keys softmax weight exactly 0.0 (``exp(-1e9)`` underflows),
+    so a request decodes to the same tokens whatever padded batch it
+    rides in (verified bit-exactly under ``deterministic_matmul`` in
+    tests/serve/test_equivalence.py).
+    """
+    if not len(sources):
+        raise ValueError("cannot assemble an empty source batch")
+    width = max(len(s) for s in sources) + 1
+    out = np.full((len(sources), width), pad_id, dtype=np.int64)
+    for i, tokens in enumerate(sources):
+        out[i, :len(tokens)] = tokens
+        out[i, len(tokens)] = eos_id
+    return out
+
+
+def strip_hypotheses(ids: np.ndarray, pad_id: int,
+                     eos_id: int) -> List[List[int]]:
+    """Split a decoded ``(B, W)`` id matrix into per-row token lists,
+    truncating each row at its first EOS or PAD."""
+    out: List[List[int]] = []
+    for row in np.asarray(ids):
+        tokens: List[int] = []
+        for token in row:
+            if token in (eos_id, pad_id):
+                break
+            tokens.append(int(token))
+        out.append(tokens)
     return out

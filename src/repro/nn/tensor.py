@@ -15,6 +15,7 @@ reserved for the number-format code, which is exactness-sensitive).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
@@ -25,24 +26,41 @@ __all__ = ["Tensor", "deterministic_matmul", "is_deterministic_matmul",
 from ..hardware.profiler import record_matmul as _record_matmul
 from . import sanitize as _sanitize
 
-_GRAD_ENABLED = [True]
-_DET_MATMUL = [False]
+
+class _ThreadState(threading.local):
+    """Per-thread autodiff mode flags.
+
+    The flags are thread-local so concurrent inference workers (the
+    ``repro.serve`` engine runs decodes on worker threads) cannot race
+    on each other's ``no_grad`` / ``deterministic_matmul`` scopes: with
+    a process-global flag, worker A exiting ``no_grad`` would re-enable
+    graph construction while worker B is mid-decode, making B's cached
+    attention raise.  Every thread starts grad-enabled with the BLAS
+    matmul kernel, matching the previous single-threaded defaults.
+    """
+
+    def __init__(self) -> None:
+        self.grad_enabled = True
+        self.det_matmul = False
+
+
+_STATE = _ThreadState()
 
 
 class no_grad:
     """Context manager disabling graph construction (inference mode)."""
 
     def __enter__(self) -> "no_grad":
-        self._prev = _GRAD_ENABLED[0]
-        _GRAD_ENABLED[0] = False
+        self._prev = _STATE.grad_enabled
+        _STATE.grad_enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        _GRAD_ENABLED[0] = self._prev
+        _STATE.grad_enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    return _GRAD_ENABLED[0]
+    return _STATE.grad_enabled
 
 
 class deterministic_matmul:
@@ -60,16 +78,16 @@ class deterministic_matmul:
     """
 
     def __enter__(self) -> "deterministic_matmul":
-        self._prev = _DET_MATMUL[0]
-        _DET_MATMUL[0] = True
+        self._prev = _STATE.det_matmul
+        _STATE.det_matmul = True
         return self
 
     def __exit__(self, *exc) -> None:
-        _DET_MATMUL[0] = self._prev
+        _STATE.det_matmul = self._prev
 
 
 def is_deterministic_matmul() -> bool:
-    return _DET_MATMUL[0]
+    return _STATE.det_matmul
 
 
 def _det_matmul_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -280,7 +298,7 @@ class Tensor:
             raise NotImplementedError(
                 "matmul operands must both be >=2-D (or both 1-D dot)")
         _record_matmul(self.data.shape, other.data.shape)
-        if _DET_MATMUL[0]:
+        if _STATE.det_matmul:
             out_data = _det_matmul_data(self.data, other.data)
         else:
             out_data = self.data @ other.data

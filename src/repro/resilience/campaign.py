@@ -145,12 +145,13 @@ def _quantize_targets(model: nn.Module, format_name: str,
 def _probe_logits(model_name: str, model: nn.Module, batch: Any) -> np.ndarray:
     """Raw output logits on the fixed probe batch (no sampling/decoding)."""
     model.eval()
-    if model_name == "transformer":
-        out = model(batch.src, batch.tgt_in)
-    elif model_name == "seq2seq":
-        out = model(batch.frames, batch.tgt_in)
-    else:
-        out = model(batch.images)
+    with nn.no_grad():
+        if model_name == "transformer":
+            out = model(batch.src, batch.tgt_in)
+        elif model_name == "seq2seq":
+            out = model(batch.frames, batch.tgt_in)
+        else:
+            out = model(batch.images)
     return np.asarray(out.data, dtype=np.float64)
 
 

@@ -1,0 +1,35 @@
+"""Dynamic micro-batching inference serving (docs/serving.md).
+
+The ROADMAP north star is serving the paper's quantized model zoo under
+heavy concurrent traffic; this package turns the per-call inference
+kernels (KV-cached decode, weight-quant memoization) into sustained
+request throughput:
+
+* :class:`InferenceServer` (``engine``) — bounded ingress queue with
+  backpressure, a scheduler coalescing concurrent requests into padded
+  micro-batches (``max_batch`` / ``max_wait_ms`` / length bucketing),
+  worker threads, per-request futures, graceful drain/shutdown.
+* :class:`ModelPool` (``pool``) — warm models shared across requests;
+  quantized weights resolve once through the ``WeightFakeQuant`` memo.
+* ``batching`` — bucket keys and padded batch assembly/demux; batched
+  padded decode is token-identical to serial one-request-at-a-time
+  decode (bit-exact under ``deterministic_matmul``).
+* :class:`ServerStats` (``stats``) — p50/p95/p99 latency, queue depth,
+  batch-size histogram, weight-cache hit counters.
+* ``bench`` — the batched-vs-serial throughput harness behind
+  ``repro serve-bench`` and ``BENCH_serve.json``.
+"""
+
+from .batching import KINDS, Request, bucket_key, run_microbatch, \
+    serial_reference
+from .engine import InferenceServer, ServeError, ServerClosed, \
+    ServerSaturated
+from .pool import ModelPool, PooledModel
+from .stats import LatencyRecorder, ServerStats
+
+__all__ = [
+    "InferenceServer", "KINDS", "LatencyRecorder", "ModelPool",
+    "PooledModel", "Request", "ServeError", "ServerClosed",
+    "ServerSaturated", "ServerStats", "bucket_key", "run_microbatch",
+    "serial_reference",
+]

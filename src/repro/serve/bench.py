@@ -1,0 +1,183 @@
+"""Batched-vs-serial serving benchmark shared by the CLI, pytest and
+``tools/bench_report.py --suite serve``.
+
+The measured comparison: ``concurrency`` client threads submitting a
+seeded synthetic request mix through the micro-batching server, against
+the serial one-request-at-a-time reference over the *same* requests on
+the *same* warm model.  The speedup is pure batching gain — both paths
+use the KV-cached decode and the warm pool.
+
+The correctness companion (:func:`check_equivalence`) replays a ragged
+request mix through a ``deterministic=True`` server and asserts the
+demultiplexed results are token-identical to the serial reference for
+every model family.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..nn import deterministic_matmul
+from ..rng import fresh_rng
+from .batching import KINDS, Request, serial_reference
+from .engine import InferenceServer
+from .pool import ModelPool
+
+__all__ = ["build_requests", "check_equivalence", "run_serve_benchmark"]
+
+#: Kind served per model family (inverse of batching.KINDS).
+_KIND_OF = {model: kind for kind, model in KINDS.items()}
+
+#: Decode cap for the synthetic benchmark workloads: long enough that
+#: decode dominates scheduling overhead, short enough to run in CI.
+DEFAULT_MAX_LEN = 32
+
+
+def build_requests(model: str, count: int, seed: int = 0,
+                   max_len: Optional[int] = DEFAULT_MAX_LEN,
+                   min_len: int = 4, max_src_len: int = 12
+                   ) -> List[Request]:
+    """A seeded ragged request mix for one model family."""
+    if model not in _KIND_OF:
+        raise ValueError(f"unknown model {model!r}; known: "
+                         f"{tuple(_KIND_OF)}")
+    rng = fresh_rng([seed, count])
+    kind = _KIND_OF[model]
+    requests = []
+    for _ in range(count):
+        length = int(rng.integers(min_len, max_src_len + 1))
+        if kind == "translate":
+            payload: Any = rng.integers(3, 64, size=length).tolist()
+        elif kind == "transcribe":
+            payload = rng.standard_normal((length, 16)).astype("float32")
+        else:
+            payload = rng.standard_normal((3, 16, 16)).astype("float32")
+        requests.append(Request(kind, payload, max_len=max_len))
+    return requests
+
+
+def _submit_all(server: InferenceServer, requests: Sequence[Request],
+                concurrency: int) -> List[Any]:
+    """Submit ``requests`` from ``concurrency`` client threads; return
+    the resolved results in request order."""
+    import threading
+
+    futures: List[Optional[Future]] = [None] * len(requests)
+
+    def client(worker: int) -> None:
+        for i in range(worker, len(requests), concurrency):
+            req = requests[i]
+            futures[i] = server.submit(req.kind, req.payload,
+                                       max_len=req.max_len,
+                                       beam_size=req.beam_size)
+
+    clients = [threading.Thread(target=client, args=(w,))
+               for w in range(concurrency)]
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join()
+    return [future.result(timeout=300.0) for future in futures]
+
+
+def run_serve_benchmark(model: str = "transformer", concurrency: int = 16,
+                        num_requests: int = 64, max_batch: int = 16,
+                        max_wait_ms: float = 5.0, workers: int = 1,
+                        seed: int = 0, profile: Optional[str] = None,
+                        quant: Optional[object] = None,
+                        max_len: Optional[int] = DEFAULT_MAX_LEN,
+                        repeats: int = 2) -> Dict:
+    """Measure serial vs micro-batched request throughput.
+
+    Returns a JSON-safe record: wall-clock seconds and requests/sec for
+    both paths, the speedup, the server's stats snapshot (queue depth,
+    batch histogram, latency percentiles) and the pool's weight-cache
+    counters.  ``repeats`` keeps the best wall clock of each path (the
+    usual best-of-N benchmark discipline).
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    pool = ModelPool(profile=profile, quant=quant)
+    entry = pool.get(model)           # warm before either timed path
+    requests = build_requests(model, num_requests, seed=seed,
+                              max_len=max_len)
+
+    serial_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        serial_results = serial_reference(entry, requests)
+        serial_s = min(serial_s, time.perf_counter() - t0)
+
+    batched_s = float("inf")
+    stats: Dict = {}
+    for _ in range(repeats):
+        server = InferenceServer(pool, max_batch=max_batch,
+                                 max_wait_ms=max_wait_ms, workers=workers)
+        with server:
+            t0 = time.perf_counter()
+            batched_results = _submit_all(server, requests, concurrency)
+            server.drain()
+            elapsed = time.perf_counter() - t0
+        if elapsed < batched_s:
+            batched_s = elapsed
+            stats = server.stats.snapshot()
+
+    matches = sum(1 for a, b in zip(serial_results, batched_results)
+                  if _same_result(a, b))
+    return {
+        "config": {
+            "model": model, "concurrency": concurrency,
+            "num_requests": num_requests, "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms, "workers": workers,
+            "max_len": max_len, "seed": seed,
+            "profile": profile,
+            "quant": getattr(quant, "label", quant and str(quant)),
+        },
+        "serial": {
+            "wall_s": round(serial_s, 4),
+            "requests_per_sec": round(num_requests / serial_s, 2),
+        },
+        "batched": {
+            "wall_s": round(batched_s, 4),
+            "requests_per_sec": round(num_requests / batched_s, 2),
+        },
+        "speedup": round(serial_s / batched_s, 2),
+        "blas_token_match_rate": round(matches / num_requests, 4),
+        "server_stats": stats,
+        "weight_cache": pool.weight_cache_stats(),
+    }
+
+
+def _same_result(a: Any, b: Any) -> bool:
+    return a == b
+
+
+def check_equivalence(models: Sequence[str] = ("transformer", "seq2seq",
+                                               "resnet"),
+                      num_requests: int = 12, concurrency: int = 6,
+                      max_batch: int = 4, seed: int = 0,
+                      quant: Optional[object] = None,
+                      max_len: Optional[int] = 16) -> Dict[str, bool]:
+    """Token-identity of micro-batched vs serial decode, per family.
+
+    Runs under ``deterministic_matmul`` on both sides (server workers
+    via ``deterministic=True``), so any mismatch is a real batching bug,
+    not BLAS shape-dependent rounding.
+    """
+    pool = ModelPool(quant=quant)
+    verdicts: Dict[str, bool] = {}
+    for model in models:
+        entry = pool.get(model)
+        requests = build_requests(model, num_requests, seed=seed,
+                                  max_len=max_len)
+        with deterministic_matmul():
+            expected = serial_reference(entry, requests)
+        server = InferenceServer(pool, max_batch=max_batch,
+                                 max_wait_ms=20.0, deterministic=True)
+        with server:
+            actual = _submit_all(server, requests, concurrency)
+        verdicts[model] = all(_same_result(a, b)
+                              for a, b in zip(expected, actual))
+    return verdicts

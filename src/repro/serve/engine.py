@@ -1,0 +1,352 @@
+"""The inference server: bounded ingress, micro-batch scheduler, workers.
+
+Request lifecycle::
+
+    submit() ──> ingress queue ──> scheduler ──> bucket pends ──┐
+                (backpressure)     (coalesce)                   │ dispatch
+                                                                v
+    future.result() <── worker demux <── run_microbatch <── batch queue
+
+* **Backpressure** — at most ``max_queue`` requests may be in flight
+  (submitted, not yet resolved).  ``submit(block=True)`` waits for a
+  slot; ``block=False`` raises :class:`ServerSaturated` immediately.
+* **Coalescing** — the scheduler thread groups compatible requests
+  (same :func:`~repro.serve.batching.bucket_key`) and dispatches a
+  micro-batch when it reaches ``max_batch`` or when its oldest request
+  has waited ``max_wait_ms`` — the classic throughput/latency dial.
+* **Workers** — ``workers`` threads run batches through the warm models
+  from the shared :class:`~repro.serve.pool.ModelPool` and resolve the
+  per-request futures.  Autodiff mode flags are thread-local, so
+  concurrent workers cannot race on each other's ``no_grad`` scopes.
+* **Drain/shutdown** — :meth:`InferenceServer.drain` blocks until every
+  accepted request has resolved; :meth:`InferenceServer.shutdown`
+  (also the context-manager exit) optionally drains, then stops the
+  threads.  Requests submitted after shutdown raise
+  :class:`ServerClosed`.
+"""
+
+from __future__ import annotations
+
+import collections
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
+
+from ..nn import deterministic_matmul
+from .batching import Request, bucket_key, run_microbatch
+from .pool import ModelPool
+from .stats import ServerStats
+
+__all__ = ["InferenceServer", "ServeError", "ServerClosed",
+           "ServerSaturated"]
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-engine errors."""
+
+
+class ServerClosed(ServeError):
+    """Submit after shutdown (or before start)."""
+
+
+class ServerSaturated(ServeError):
+    """Bounded queue full and the caller declined to wait."""
+
+
+class _Pending:
+    """A request riding through the engine with its timing and future."""
+
+    __slots__ = ("request", "future", "t_submit", "t_dispatch")
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self.future: "Future[Any]" = Future()
+        self.t_submit = time.perf_counter()
+        self.t_dispatch = 0.0
+
+
+_STOP = object()  # worker sentinel
+
+
+class InferenceServer:
+    """Dynamic micro-batching server over the quantized model zoo.
+
+    Parameters
+    ----------
+    pool:
+        The shared :class:`ModelPool` (models resolve lazily on first
+        request for each family).
+    max_batch:
+        Largest micro-batch the scheduler will form.
+    max_wait_ms:
+        Longest a request may sit in a partial bucket before the
+        scheduler flushes it anyway (the latency bound at low load).
+    max_queue:
+        In-flight request bound enforced at ``submit`` (backpressure).
+    workers:
+        Worker threads running batches (one is usually right for the
+        NumPy models: BLAS already uses the cores, and a single worker
+        maximizes coalescing).
+    length_bucket:
+        Source-length granule for translate batching
+        (:func:`~repro.serve.batching.bucket_key`).
+    deterministic:
+        Run worker decodes under ``deterministic_matmul`` (the mode
+        flags are thread-local, so an equivalence test's context on the
+        client thread would not reach the workers otherwise).  Slower;
+        meant for the token-identity checks, not production serving.
+    """
+
+    def __init__(self, pool: Optional[ModelPool] = None, *,
+                 max_batch: int = 16, max_wait_ms: float = 2.0,
+                 max_queue: int = 256, workers: int = 1,
+                 length_bucket: int = 8, deterministic: bool = False) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.pool = pool or ModelPool()
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.max_queue = max_queue
+        self.length_bucket = length_bucket
+        self.deterministic = deterministic
+        self.stats = ServerStats()
+        self._slots = threading.BoundedSemaphore(max_queue)
+        self._ingress: "queue.Queue[Optional[_Pending]]" = queue.Queue()
+        self._batches: "queue.Queue[Any]" = queue.Queue()
+        self._buckets: Dict[Hashable, Deque[_Pending]] = \
+            collections.OrderedDict()
+        self._inflight = 0
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._closed = False
+        self._started = False
+        self._scheduler: Optional[threading.Thread] = None
+        self._workers: List[threading.Thread] = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"serve-worker-{i}", daemon=True)
+            for i in range(workers)]
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "InferenceServer":
+        if self._started:
+            return self
+        self._started = True
+        self._scheduler = threading.Thread(target=self._scheduler_loop,
+                                           name="serve-scheduler",
+                                           daemon=True)
+        self._scheduler.start()
+        for worker in self._workers:
+            worker.start()
+        return self
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, *exc) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every accepted request has resolved.
+
+        Returns False if ``timeout`` elapsed with work still in flight.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop accepting requests, optionally drain, stop the threads.
+
+        With ``drain=False`` requests still queued or batched are failed
+        with :class:`ServerClosed` rather than silently dropped.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not self._started:
+            return
+        if drain:
+            self.drain(timeout)
+        self._ingress.put(None)            # wake + stop the scheduler
+        self._scheduler.join(timeout=30.0)
+        for _ in self._workers:
+            self._batches.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout=30.0)
+        if not drain:
+            self._fail_remaining()
+
+    def _fail_remaining(self) -> None:
+        error = ServerClosed("server shut down before this request ran")
+        leftovers: List[_Pending] = []
+        with self._state_lock:
+            for pends in self._buckets.values():
+                leftovers.extend(pends)
+            self._buckets.clear()
+        while True:
+            try:
+                item = self._ingress.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                leftovers.append(item)
+        while True:
+            try:
+                job = self._batches.get_nowait()
+            except queue.Empty:
+                break
+            if job is not _STOP:
+                leftovers.extend(job[1])
+        for pending in leftovers:
+            self._resolve(pending, error=error)
+
+    # --------------------------------------------------------------- submit
+    def submit(self, kind: str, payload: Any, *,
+               max_len: Optional[int] = None,
+               beam_size: Optional[int] = None, block: bool = True,
+               timeout: Optional[float] = None) -> "Future[Any]":
+        """Enqueue one request; returns a ``concurrent.futures.Future``.
+
+        The future resolves to a token list (translate/transcribe) or an
+        ``int`` label (classify).  Raises :class:`ServerClosed` after
+        shutdown and :class:`ServerSaturated` when the in-flight bound
+        is hit and ``block`` is False (or ``timeout`` elapses).
+        """
+        if not self._started:
+            raise ServerClosed("server not started; use start() or a "
+                               "'with' block")
+        request = Request(kind, payload, max_len=max_len,
+                          beam_size=beam_size)
+        if self._closed:
+            raise ServerClosed("server is shut down")
+        if not self._slots.acquire(blocking=block, timeout=timeout):
+            self.stats.record_reject()
+            raise ServerSaturated(
+                f"{self.max_queue} requests already in flight")
+        with self._state_lock:
+            if self._closed:
+                self._slots.release()
+                raise ServerClosed("server is shut down")
+            self._inflight += 1
+        pending = _Pending(request)
+        self.stats.record_submit()
+        self._ingress.put(pending)
+        return pending.future
+
+    # ------------------------------------------------------------ scheduler
+    def _scheduler_loop(self) -> None:
+        max_wait_s = self.max_wait_ms / 1e3
+        while True:
+            timeout = self._next_flush_in(max_wait_s)
+            try:
+                item = self._ingress.get(timeout=timeout)
+            except queue.Empty:
+                item = False                      # flush tick
+            if item is None:                      # shutdown
+                self._flush_all()
+                return
+            if item is not False:
+                key = bucket_key(item.request, self.length_bucket)
+                with self._state_lock:
+                    self._buckets.setdefault(
+                        key, collections.deque()).append(item)
+            self._dispatch_ready(max_wait_s)
+
+    def _next_flush_in(self, max_wait_s: float) -> Optional[float]:
+        """Seconds until the oldest pending bucket must flush."""
+        now = time.perf_counter()
+        with self._state_lock:
+            oldest = min((pends[0].t_submit for pends
+                          in self._buckets.values() if pends),
+                         default=None)
+        if oldest is None:
+            return None
+        return max(oldest + max_wait_s - now, 0.0) or 1e-4
+
+    def _dispatch_ready(self, max_wait_s: float) -> None:
+        now = time.perf_counter()
+        jobs: List[Tuple[Hashable, List[_Pending]]] = []
+        with self._state_lock:
+            for key in list(self._buckets):
+                pends = self._buckets[key]
+                while len(pends) >= self.max_batch:
+                    jobs.append((key, [pends.popleft()
+                                       for _ in range(self.max_batch)]))
+                if pends and now - pends[0].t_submit >= max_wait_s:
+                    jobs.append((key, list(pends)))
+                    pends.clear()
+                if not pends:
+                    del self._buckets[key]
+        for job in jobs:
+            self._emit(job)
+
+    def _flush_all(self) -> None:
+        with self._state_lock:
+            jobs = [(key, list(pends)) for key, pends
+                    in self._buckets.items() if pends]
+            self._buckets.clear()
+        for key, pends in jobs:
+            while pends:
+                self._emit((key, pends[:self.max_batch]))
+                pends = pends[self.max_batch:]
+
+    def _emit(self, job: Tuple[Hashable, List[_Pending]]) -> None:
+        now = time.perf_counter()
+        for pending in job[1]:
+            pending.t_dispatch = now
+        self.stats.record_batch(len(job[1]))
+        self._batches.put(job)
+
+    # -------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._batches.get()
+            if job is _STOP:
+                return
+            _, pends = job
+            try:
+                entry = self.pool.get(pends[0].request.model_name)
+                requests = [p.request for p in pends]
+                if self.deterministic:
+                    with deterministic_matmul():
+                        results = run_microbatch(entry, requests)
+                else:
+                    results = run_microbatch(entry, requests)
+            except BaseException as error:  # resolve, don't kill the worker
+                for pending in pends:
+                    self._resolve(pending, error=error)
+                continue
+            for pending, result in zip(pends, results):
+                self._resolve(pending, result=result)
+
+    def _resolve(self, pending: _Pending, result: Any = None,
+                 error: Optional[BaseException] = None) -> None:
+        now = time.perf_counter()
+        queue_wait = (pending.t_dispatch or now) - pending.t_submit
+        self.stats.record_done(now - pending.t_submit, queue_wait,
+                               failed=error is not None)
+        self._slots.release()
+        with self._idle:
+            self._inflight -= 1
+            if not self._inflight:
+                self._idle.notify_all()
+        if error is not None:
+            pending.future.set_exception(error)
+        else:
+            pending.future.set_result(result)

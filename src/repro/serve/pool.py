@@ -1,0 +1,155 @@
+"""Shared warm-model pool: build once, quantize once, serve many.
+
+A serving process must not pay model construction, checkpoint loading,
+or weight quantization per request.  :class:`ModelPool` resolves each
+model family once (optionally from the trained on-disk checkpoint cache,
+optionally with fake-quantizers attached) and hands every worker the
+same instance:
+
+* **Weight quantization is memoized across requests** — the attached
+  :class:`~repro.nn.quantize.WeightFakeQuant` caches the quantized
+  array per weight tensor keyed on ``Parameter.version``, so a frozen
+  served model quantizes each weight exactly once for its whole
+  lifetime.  :meth:`ModelPool.weight_cache_stats` exposes the hit/miss
+  counters as a serving metric.
+* **Warmup** primes that memo (and any lazy kernel tables) with one
+  tiny inference at build time, keeping the first real request off the
+  cold path.
+
+Sharing one model across worker threads is safe for inference: eval
+mode is stateless (dropout is identity, BatchNorm uses running stats),
+decodes run under the thread-local ``no_grad``, and the weight-quant
+memo only ever re-derives identical entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..experiments.common import get_bundle, trained_model
+from ..nn import no_grad
+from ..nn.quantize import QuantSpec, attach_weight_quantizers
+from ..rng import fresh_rng
+
+__all__ = ["ModelPool", "PooledModel"]
+
+
+@dataclasses.dataclass
+class PooledModel:
+    """One resolved (model, task) pair plus its provenance."""
+
+    name: str
+    model: object
+    task: object
+    profile: Optional[str]
+    quant: Optional[QuantSpec]
+    fp32_score: Optional[float]
+
+
+class ModelPool:
+    """Lazy, thread-safe registry of warm inference models.
+
+    ``profile=None`` (the default) builds untrained seeded models —
+    instant, deterministic, and exactly what throughput benchmarks
+    need (decode cost does not depend on the weight values).  A named
+    profile (``"tiny"``/``"fast"``/``"full"``) routes through
+    :func:`repro.experiments.common.trained_model`, which trains on
+    first use and caches the checkpoint on disk.
+
+    ``quant=("adaptivfloat", 8)`` (or a :class:`QuantSpec`) attaches
+    weight fake-quantizers so the pool serves the quantized model zoo.
+    """
+
+    def __init__(self, profile: Optional[str] = None,
+                 quant: Optional[object] = None, seed: int = 1,
+                 warmup: bool = True) -> None:
+        if isinstance(quant, tuple):
+            quant = QuantSpec(quant[0], int(quant[1]))
+        self.profile = profile
+        self.quant: Optional[QuantSpec] = quant
+        self.seed = seed
+        self.warmup = warmup
+        self._lock = threading.Lock()
+        self._models: Dict[str, PooledModel] = {}
+        self._building: Dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------ resolving
+    def get(self, name: str) -> PooledModel:
+        """The warm model for ``name``, building it on first use.
+
+        Concurrent first requests for the same name serialize on a
+        per-name build lock; requests for other names are not blocked.
+        """
+        with self._lock:
+            entry = self._models.get(name)
+            if entry is not None:
+                return entry
+            build_lock = self._building.setdefault(name, threading.Lock())
+        with build_lock:
+            with self._lock:
+                entry = self._models.get(name)
+                if entry is not None:
+                    return entry
+            entry = self._build(name)
+            with self._lock:
+                self._models[name] = entry
+            return entry
+
+    def _build(self, name: str) -> PooledModel:
+        bundle = get_bundle(name)
+        if self.profile is None:
+            model, task = bundle.build(self.seed)
+            score: Optional[float] = None
+        else:
+            model, task, score = trained_model(name, self.profile)
+        if self.quant is not None:
+            attach_weight_quantizers(model, self.quant)
+        model.eval()
+        entry = PooledModel(name=name, model=model, task=task,
+                            profile=self.profile, quant=self.quant,
+                            fp32_score=score)
+        if self.warmup:
+            self._warm(entry)
+        return entry
+
+    def _warm(self, entry: PooledModel) -> None:
+        """One tiny inference to prime weight-quant memo and lazy tables."""
+        rng = fresh_rng(self.seed)
+        model = entry.model
+        with no_grad():
+            if entry.name == "transformer":
+                cfg = model.config
+                src = rng.integers(3, cfg.src_vocab,
+                                   size=(1, 2)).astype("int64")
+                model.greedy_decode(src, max_len=2)
+            elif entry.name == "seq2seq":
+                cfg = model.config
+                frames = rng.standard_normal(
+                    (1, 2, cfg.input_dim)).astype("float32")
+                model.greedy_decode(frames, max_len=2)
+            else:
+                cfg = model.config
+                images = rng.standard_normal(
+                    (1, cfg.in_channels, cfg.image_size, cfg.image_size)
+                ).astype("float32")
+                model(images)
+
+    # ------------------------------------------------------------- metrics
+    def warm_models(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._models))
+
+    def weight_cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-model WeightFakeQuant hit/miss counters (empty when the
+        pool serves unquantized models)."""
+        from ..nn.quantize import weight_quant_cache_stats
+        out: Dict[str, Dict[str, int]] = {}
+        if self.quant is None:
+            return out
+        with self._lock:
+            entries = list(self._models.items())
+        for name, entry in entries:
+            out[name] = weight_quant_cache_stats(entry.model)
+        return out

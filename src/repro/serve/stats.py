@@ -1,0 +1,141 @@
+"""Thread-safe serving metrics: counters, latency percentiles, histograms.
+
+The paper motivates AdaptivFloat by the efficiency of *deployed*
+inference (Table 4 budgets 81.2 us per inference on the accelerator);
+the serving engine therefore measures itself the way a deployment
+would: request/batch counters, queue-depth high-water marks, a
+batch-size histogram (how well the scheduler coalesces), and latency
+percentiles split into queue wait vs. total.
+
+All mutation goes through one lock; reads (:meth:`ServerStats.snapshot`)
+produce a plain JSON-safe dict so benchmarks can embed it verbatim in
+``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["LatencyRecorder", "ServerStats"]
+
+#: Latency samples kept per recorder; enough for every benchmark in the
+#: repo while bounding memory for long-running servers (beyond the cap,
+#: new samples overwrite the oldest — percentile estimates stay recent).
+_SAMPLE_CAP = 100_000
+
+
+class LatencyRecorder:
+    """Ring buffer of latency samples with percentile summaries."""
+
+    def __init__(self, cap: int = _SAMPLE_CAP) -> None:
+        self._cap = cap
+        self._samples: List[float] = []
+        self._next = 0
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if len(self._samples) < self._cap:
+            self._samples.append(value)
+        else:
+            self._samples[self._next] = value
+            self._next = (self._next + 1) % self._cap
+
+    def summary(self) -> Optional[Dict[str, float]]:
+        """``{mean, p50, p95, p99, max}`` in ms, or None if empty."""
+        if not self._samples:
+            return None
+        arr = np.asarray(self._samples, dtype=np.float64)
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return {
+            "mean_ms": round(self.total / self.count * 1e3, 4),
+            "p50_ms": round(float(p50) * 1e3, 4),
+            "p95_ms": round(float(p95) * 1e3, 4),
+            "p99_ms": round(float(p99) * 1e3, 4),
+            "max_ms": round(float(arr.max()) * 1e3, 4),
+            "count": self.count,
+        }
+
+
+class ServerStats:
+    """Aggregated counters for one :class:`~repro.serve.InferenceServer`.
+
+    ``record_*`` methods are called from client threads (submit), the
+    scheduler (dispatch), and workers (completion); every one takes the
+    internal lock, so a :meth:`snapshot` observes a consistent view.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.batches = 0
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
+        self.batch_histogram: Dict[int, int] = {}
+        self.latency = LatencyRecorder()
+        self.queue_wait = LatencyRecorder()
+
+    # ------------------------------------------------------------ mutation
+    def record_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth += 1
+            self.queue_depth_peak = max(self.queue_depth_peak,
+                                        self.queue_depth)
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_histogram[size] = self.batch_histogram.get(size, 0) + 1
+
+    def record_done(self, latency_s: float, queue_wait_s: float,
+                    failed: bool = False) -> None:
+        with self._lock:
+            self.queue_depth -= 1
+            if failed:
+                self.failed += 1
+            else:
+                self.completed += 1
+                self.latency.record(latency_s)
+                self.queue_wait.record(queue_wait_s)
+
+    # ------------------------------------------------------------- reading
+    def snapshot(self) -> Dict:
+        """JSON-safe summary of everything recorded so far."""
+        with self._lock:
+            histogram = {str(size): count for size, count
+                         in sorted(self.batch_histogram.items())}
+            mean_batch = (sum(size * count for size, count
+                              in self.batch_histogram.items())
+                          / self.batches) if self.batches else 0.0
+            return {
+                "requests": {
+                    "submitted": self.submitted,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "rejected": self.rejected,
+                },
+                "queue": {
+                    "depth": self.queue_depth,
+                    "depth_peak": self.queue_depth_peak,
+                },
+                "batches": {
+                    "count": self.batches,
+                    "mean_size": round(mean_batch, 3),
+                    "histogram": histogram,
+                },
+                "latency": self.latency.summary(),
+                "queue_wait": self.queue_wait.summary(),
+            }

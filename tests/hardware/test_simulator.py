@@ -1,5 +1,7 @@
 """Cross-validation: the event simulator must agree with the analytical
-schedule model (and therefore with Table 4's latency)."""
+schedule model (and therefore with Table 4's latency), and its
+closed-form ``run`` must reproduce the cycle-loop ``run_reference``
+trace exactly."""
 
 import pytest
 
@@ -54,3 +56,46 @@ class TestTraceStructure:
             LSTMWorkload(timesteps=2))
         assert fast.cycles_by_phase()["collect"] \
             < slow.cycles_by_phase()["collect"]
+
+
+class TestClosedFormEqualsReference:
+    """The ceil-arithmetic ``run`` against the per-cycle state machines."""
+
+    def _assert_identical(self, config, workload):
+        sim = EventSimulator(config)
+        fast = sim.run(workload)
+        reference = sim.run_reference(workload)
+        assert fast.phases == reference.phases
+        assert fast.total_cycles == reference.total_cycles
+        assert fast.busy_mac_cycles == reference.busy_mac_cycles
+
+    def test_paper_workload(self):
+        self._assert_identical(AcceleratorConfig(), PAPER_WORKLOAD)
+
+    @pytest.mark.parametrize(
+        "config",
+        [AcceleratorConfig(num_pes=2, vector_size=8),
+         AcceleratorConfig(num_pes=8, vector_size=16),
+         AcceleratorConfig(crossbar_lanes=4),
+         AcceleratorConfig(crossbar_lanes=64),
+         AcceleratorConfig(pipeline_ramp_cycles=0)])
+    def test_config_sweep(self, config):
+        self._assert_identical(
+            config, LSTMWorkload(timesteps=5, hidden=96, input_dim=48))
+
+    @pytest.mark.parametrize(
+        "workload",
+        [LSTMWorkload(timesteps=1),
+         LSTMWorkload(timesteps=3, hidden=1, input_dim=1),
+         LSTMWorkload(timesteps=2, hidden=17, input_dim=5),
+         LSTMWorkload(timesteps=4, hidden=255, input_dim=33)])
+    def test_ragged_workloads(self, workload):
+        """Work sizes that do not divide the rates: the ceil boundaries."""
+        self._assert_identical(AcceleratorConfig(), workload)
+
+    def test_closed_form_skips_cycle_loops(self):
+        # the point of the refactor: record count scales with timesteps,
+        # not with total cycles, and both paths still agree at size
+        trace = EventSimulator().run(LSTMWorkload(timesteps=64))
+        assert len(trace.phases) == 64 * 5
+        assert trace.total_cycles > len(trace.phases)

@@ -1,0 +1,127 @@
+"""Micro-batch assembly: request validation, bucket keys, demux."""
+
+import numpy as np
+import pytest
+
+from repro.nn import deterministic_matmul
+from repro.rng import fresh_rng
+from repro.serve import ModelPool, Request, bucket_key, run_microbatch
+from repro.serve.batching import serial_reference
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return ModelPool()
+
+
+# ----------------------------------------------------------- validation
+class TestRequestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            Request("summarize", [1, 2, 3])
+
+    def test_translate_empty_source(self):
+        with pytest.raises(ValueError, match=">= 1 source token"):
+            Request("translate", [])
+
+    def test_translate_coerces_tokens_to_int(self):
+        req = Request("translate", np.array([3, 4, 5]))
+        assert req.payload == [3, 4, 5]
+        assert all(isinstance(t, int) for t in req.payload)
+
+    def test_transcribe_needs_2d_frames(self):
+        with pytest.raises(ValueError, match=r"\(T, feat\) frames"):
+            Request("transcribe", np.zeros((2, 3, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match=r"\(T, feat\) frames"):
+            Request("transcribe", np.zeros((0, 16), dtype=np.float32))
+
+    def test_classify_needs_3d_image(self):
+        with pytest.raises(ValueError, match=r"\(C, H, W\)"):
+            Request("classify", np.zeros((16, 16), dtype=np.float32))
+
+    def test_model_name_mapping(self):
+        assert Request("translate", [3]).model_name == "transformer"
+        frames = np.zeros((2, 16), dtype=np.float32)
+        assert Request("transcribe", frames).model_name == "seq2seq"
+        image = np.zeros((3, 16, 16), dtype=np.float32)
+        assert Request("classify", image).model_name == "resnet"
+
+
+# ----------------------------------------------------------- bucket keys
+class TestBucketKey:
+    def test_translate_groups_by_length_granule(self):
+        short_a = Request("translate", [3] * 4)
+        short_b = Request("translate", [5] * 6)
+        longer = Request("translate", [3] * 20)
+        assert bucket_key(short_a, 8) == bucket_key(short_b, 8)
+        assert bucket_key(short_a, 8) != bucket_key(longer, 8)
+
+    def test_decode_options_split_buckets(self):
+        plain = Request("translate", [3, 4, 5])
+        capped = Request("translate", [3, 4, 5], max_len=8)
+        beam = Request("translate", [3, 4, 5], beam_size=2)
+        keys = {bucket_key(r, 8) for r in (plain, capped, beam)}
+        assert len(keys) == 3
+
+    def test_transcribe_buckets_by_exact_frame_count(self):
+        a = Request("transcribe", np.zeros((5, 16), dtype=np.float32))
+        b = Request("transcribe", np.zeros((5, 16), dtype=np.float32))
+        c = Request("transcribe", np.zeros((6, 16), dtype=np.float32))
+        assert bucket_key(a, 8) == bucket_key(b, 8)
+        assert bucket_key(a, 8) != bucket_key(c, 8)
+
+    def test_classify_buckets_by_image_shape(self):
+        a = Request("classify", np.zeros((3, 16, 16), dtype=np.float32))
+        b = Request("classify", np.zeros((3, 16, 16), dtype=np.float32))
+        c = Request("classify", np.zeros((3, 8, 8), dtype=np.float32))
+        assert bucket_key(a, 8) == bucket_key(b, 8)
+        assert bucket_key(a, 8) != bucket_key(c, 8)
+
+    def test_bad_length_bucket(self):
+        with pytest.raises(ValueError, match="length_bucket"):
+            bucket_key(Request("translate", [3]), 0)
+
+
+# ---------------------------------------------------------------- demux
+class TestRunMicrobatch:
+    def test_empty_batch_raises(self, pool):
+        with pytest.raises(ValueError, match="empty micro-batch"):
+            run_microbatch(pool.get("resnet"), [])
+
+    def test_translate_padded_batch_matches_serial(self, pool):
+        entry = pool.get("transformer")
+        rng = fresh_rng(11)
+        requests = [Request("translate",
+                            rng.integers(3, 64, size=n).tolist(),
+                            max_len=12)
+                    for n in (4, 7, 5, 7)]
+        with deterministic_matmul():
+            batched = run_microbatch(entry, requests)
+            serial = serial_reference(entry, requests)
+        assert batched == serial
+        assert all(isinstance(ids, list) for ids in batched)
+
+    def test_transcribe_batch_matches_serial(self, pool):
+        entry = pool.get("seq2seq")
+        rng = fresh_rng(12)
+        requests = [Request("transcribe",
+                            rng.standard_normal((5, 16)).astype(np.float32),
+                            max_len=10)
+                    for _ in range(3)]
+        with deterministic_matmul():
+            batched = run_microbatch(entry, requests)
+            serial = serial_reference(entry, requests)
+        assert batched == serial
+
+    def test_classify_batch_matches_serial(self, pool):
+        entry = pool.get("resnet")
+        rng = fresh_rng(13)
+        requests = [Request("classify",
+                            rng.standard_normal((3, 16, 16)
+                                                ).astype(np.float32))
+                    for _ in range(4)]
+        with deterministic_matmul():
+            batched = run_microbatch(entry, requests)
+            serial = serial_reference(entry, requests)
+        assert batched == serial
+        assert all(isinstance(label, int) for label in batched)

@@ -1,0 +1,167 @@
+"""InferenceServer: lifecycle, coalescing, backpressure, error paths."""
+
+import threading
+
+import pytest
+
+from repro.serve import (InferenceServer, ModelPool, ServerClosed,
+                         ServerSaturated)
+
+SRC = [3, 4, 5, 6]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    pool = ModelPool()
+    pool.get("transformer")  # warm once for the whole module
+    return pool
+
+
+class _GatedPool(ModelPool):
+    """A pool whose ``get`` blocks until the gate opens — lets tests
+    hold worker threads mid-batch to observe backpressure and drain."""
+
+    def __init__(self, inner, gate):
+        super().__init__(warmup=False)
+        self._inner = inner
+        self._gate = gate
+
+    def get(self, name):
+        self._gate.wait()
+        return self._inner.get(name)
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self, pool):
+        server = InferenceServer(pool)
+        with pytest.raises(ServerClosed, match="not started"):
+            server.submit("translate", SRC, max_len=4)
+
+    def test_submit_after_shutdown_raises(self, pool):
+        with InferenceServer(pool) as server:
+            pass
+        with pytest.raises(ServerClosed, match="shut down"):
+            server.submit("translate", SRC, max_len=4)
+
+    def test_shutdown_is_idempotent(self, pool):
+        server = InferenceServer(pool).start()
+        server.shutdown()
+        server.shutdown()  # must not raise or hang
+
+    def test_context_manager_drains(self, pool):
+        with InferenceServer(pool, max_wait_ms=1.0) as server:
+            future = server.submit("translate", SRC, max_len=4)
+        # __exit__ drained: the future is already resolved
+        assert future.done()
+        assert isinstance(future.result(timeout=0), list)
+
+    def test_invalid_knobs_raise(self, pool):
+        for kwargs in ({"max_batch": 0}, {"max_wait_ms": -1.0},
+                       {"max_queue": 0}, {"workers": 0}):
+            with pytest.raises(ValueError):
+                InferenceServer(pool, **kwargs)
+
+
+class TestCoalescing:
+    def test_full_bucket_dispatches_one_batch(self, pool):
+        # 4 identical requests, max_batch=4, generous max_wait: the
+        # scheduler must coalesce them into a single micro-batch.
+        server = InferenceServer(pool, max_batch=4, max_wait_ms=1000.0)
+        with server:
+            futures = [server.submit("translate", SRC, max_len=4)
+                       for _ in range(4)]
+            server.drain()
+        results = [f.result(timeout=0) for f in futures]
+        assert all(r == results[0] for r in results)
+        snap = server.stats.snapshot()
+        assert snap["batches"]["count"] == 1
+        assert snap["batches"]["histogram"] == {"4": 1}
+        assert snap["requests"]["completed"] == 4
+
+    def test_partial_bucket_flushes_on_max_wait(self, pool):
+        server = InferenceServer(pool, max_batch=16, max_wait_ms=5.0)
+        with server:
+            future = server.submit("translate", SRC, max_len=4)
+            assert server.drain(timeout=30.0)
+        assert future.done()
+        assert server.stats.snapshot()["batches"]["count"] == 1
+
+    def test_incompatible_requests_get_separate_batches(self, pool):
+        import numpy as np
+
+        pool.get("seq2seq")
+        server = InferenceServer(pool, max_batch=8, max_wait_ms=2.0)
+        frames = np.zeros((3, 16), dtype=np.float32)
+        with server:
+            t = server.submit("translate", SRC, max_len=4)
+            s = server.submit("transcribe", frames, max_len=4)
+            server.drain()
+        assert t.result(timeout=0) is not None
+        assert s.result(timeout=0) is not None
+        assert server.stats.snapshot()["batches"]["count"] == 2
+
+
+class TestBackpressure:
+    def test_nonblocking_submit_raises_when_saturated(self, pool):
+        gate = threading.Event()
+        gated = _GatedPool(pool, gate)
+        server = InferenceServer(gated, max_queue=2, max_batch=1,
+                                 max_wait_ms=0.0)
+        with server:
+            first = server.submit("translate", SRC, max_len=4)
+            second = server.submit("translate", SRC, max_len=4)
+            with pytest.raises(ServerSaturated):
+                server.submit("translate", SRC, max_len=4, block=False)
+            with pytest.raises(ServerSaturated):
+                server.submit("translate", SRC, max_len=4, block=True,
+                              timeout=0.01)
+            assert server.stats.rejected == 2
+            gate.set()                       # release the workers
+            server.drain()
+            # slots freed: a new submit succeeds again
+            third = server.submit("translate", SRC, max_len=4)
+            server.drain()
+        assert first.result(timeout=0) == second.result(timeout=0)
+        assert third.result(timeout=0) == first.result(timeout=0)
+
+    def test_drain_timeout_reports_inflight_work(self, pool):
+        gate = threading.Event()
+        gated = _GatedPool(pool, gate)
+        server = InferenceServer(gated, max_wait_ms=0.0)
+        with server:
+            server.submit("translate", SRC, max_len=4)
+            assert server.drain(timeout=0.05) is False
+            gate.set()
+            assert server.drain(timeout=30.0) is True
+
+
+class TestErrorPaths:
+    def test_worker_error_resolves_future_with_exception(self, pool):
+        class _BrokenPool(ModelPool):
+            def get(self, name):
+                raise RuntimeError("model store offline")
+
+        server = InferenceServer(_BrokenPool(warmup=False),
+                                 max_wait_ms=0.0)
+        with server:
+            future = server.submit("translate", SRC, max_len=4)
+            server.drain()
+            # the worker survives a failed batch and serves the next one
+            second = server.submit("translate", SRC, max_len=4)
+            server.drain()
+        with pytest.raises(RuntimeError, match="model store offline"):
+            future.result(timeout=0)
+        with pytest.raises(RuntimeError, match="model store offline"):
+            second.result(timeout=0)
+        snap = server.stats.snapshot()
+        assert snap["requests"]["failed"] == 2
+        assert snap["requests"]["completed"] == 0
+
+    def test_invalid_request_rejected_at_submit(self, pool):
+        with InferenceServer(pool) as server:
+            with pytest.raises(ValueError, match="unknown request kind"):
+                server.submit("summarize", SRC)
+            with pytest.raises(ValueError, match=">= 1 source token"):
+                server.submit("translate", [])
+        # nothing was accepted, so nothing is in flight
+        assert server.stats.snapshot()["requests"]["submitted"] == 0

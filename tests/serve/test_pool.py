@@ -1,0 +1,88 @@
+"""Warm-model pool: lazy build, sharing, quantizer attachment, warmup."""
+
+import threading
+
+import pytest
+
+from repro.nn.quantize import QuantSpec
+from repro.serve import ModelPool
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return ModelPool()
+
+
+def test_get_builds_once_and_shares(pool):
+    first = pool.get("transformer")
+    second = pool.get("transformer")
+    assert first is second
+    assert first.model is second.model
+    assert first.name == "transformer"
+    assert first.profile is None
+    assert first.fp32_score is None  # untrained seeded weights
+
+
+def test_warm_models_lists_resolved_families(pool):
+    pool.get("transformer")
+    assert "transformer" in pool.warm_models()
+
+
+def test_unknown_model_raises(pool):
+    with pytest.raises(ValueError, match="unknown model"):
+        pool.get("not-a-model")
+
+
+def test_model_is_in_eval_mode(pool):
+    assert pool.get("transformer").model.training is False
+
+
+def test_quant_tuple_becomes_spec():
+    quant_pool = ModelPool(quant=("adaptivfloat", 8), warmup=False)
+    assert quant_pool.quant == QuantSpec("adaptivfloat", 8)
+
+
+def test_weight_cache_stats_empty_without_quant(pool):
+    pool.get("transformer")
+    assert pool.weight_cache_stats() == {}
+
+
+def test_warmup_primes_weight_quant_memo():
+    quant_pool = ModelPool(quant=("adaptivfloat", 8))
+    quant_pool.get("resnet")  # resnet has the cheapest warmup forward
+    stats = quant_pool.weight_cache_stats()["resnet"]
+    assert stats["misses"] > 0          # every weight quantized once
+    # a second forward is all hits: frozen weights never re-quantize
+    import numpy as np
+
+    from repro.nn import no_grad
+    from repro.rng import fresh_rng
+
+    entry = quant_pool.get("resnet")
+    cfg = entry.model.config
+    images = fresh_rng(7).standard_normal(
+        (1, cfg.in_channels, cfg.image_size, cfg.image_size)
+    ).astype(np.float32)
+    with no_grad():
+        entry.model(images)
+    after = quant_pool.weight_cache_stats()["resnet"]
+    assert after["misses"] == stats["misses"]
+    assert after["hits"] > stats["hits"]
+
+
+def test_concurrent_first_gets_build_one_instance():
+    pool = ModelPool(warmup=False)
+    results = []
+    barrier = threading.Barrier(4)
+
+    def grab():
+        barrier.wait()
+        results.append(pool.get("transformer"))
+
+    threads = [threading.Thread(target=grab) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(results) == 4
+    assert all(entry is results[0] for entry in results)

@@ -1,0 +1,62 @@
+"""Serving metrics: latency ring buffer and the aggregated counters."""
+
+from repro.serve import LatencyRecorder, ServerStats
+
+
+class TestLatencyRecorder:
+    def test_empty_summary_is_none(self):
+        assert LatencyRecorder().summary() is None
+
+    def test_summary_fields(self):
+        rec = LatencyRecorder()
+        for value in (0.010, 0.020, 0.030):
+            rec.record(value)
+        summary = rec.summary()
+        assert summary["count"] == 3
+        assert summary["mean_ms"] == 20.0
+        assert summary["p50_ms"] == 20.0
+        assert summary["max_ms"] == 30.0
+        assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+
+    def test_ring_buffer_overwrites_oldest(self):
+        rec = LatencyRecorder(cap=4)
+        for value in range(8):
+            rec.record(float(value))
+        # count/total track everything; the window holds the last 4
+        assert rec.count == 8
+        assert rec.total == float(sum(range(8)))
+        assert sorted(rec._samples) == [4.0, 5.0, 6.0, 7.0]
+        assert rec.summary()["max_ms"] == 7000.0
+
+
+class TestServerStats:
+    def test_lifecycle_counters(self):
+        stats = ServerStats()
+        for _ in range(3):
+            stats.record_submit()
+        stats.record_reject()
+        stats.record_batch(2)
+        stats.record_batch(1)
+        stats.record_done(0.05, 0.01)
+        stats.record_done(0.07, 0.02)
+        stats.record_done(0.09, 0.03, failed=True)
+
+        snap = stats.snapshot()
+        assert snap["requests"] == {"submitted": 3, "completed": 2,
+                                    "failed": 1, "rejected": 1}
+        assert snap["queue"] == {"depth": 0, "depth_peak": 3}
+        assert snap["batches"]["count"] == 2
+        assert snap["batches"]["mean_size"] == 1.5
+        assert snap["batches"]["histogram"] == {"1": 1, "2": 1}
+        # failed requests are not latency samples
+        assert snap["latency"]["count"] == 2
+        assert snap["queue_wait"]["count"] == 2
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        stats = ServerStats()
+        stats.record_submit()
+        stats.record_batch(1)
+        stats.record_done(0.01, 0.001)
+        json.dumps(stats.snapshot())  # must not raise

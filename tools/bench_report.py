@@ -20,6 +20,13 @@ Two suites:
   fault checksums and campaign counters must match between the two
   paths), and ``machine``.  The engine must clear a >= 3x trial-loop
   speedup or the run fails.
+* ``--suite serve`` — micro-batched vs serial request throughput
+  through ``repro.serve`` (transformer greedy workload, 16 concurrent
+  clients) -> ``BENCH_serve.json`` with the server's queue/batch/latency
+  stats and the per-family batched-vs-serial token-identity verdicts
+  (under ``deterministic_matmul``).  The batched path must clear a
+  >= 3x request-throughput speedup and every family must be
+  token-identical, or the run fails.
 
 Run:  PYTHONPATH=src python tools/bench_report.py [--suite decode]
 
@@ -47,6 +54,7 @@ SUITES = {
     "decode": ("benchmarks/test_decode_throughput.py",
                REPO / "BENCH_decode.json"),
     "resilience": (None, REPO / "BENCH_resilience.json"),
+    "serve": (None, REPO / "BENCH_serve.json"),
 }
 
 #: The committed resilience campaign: every registry format at 8 bits,
@@ -68,6 +76,18 @@ THROUGHPUT_CONFIG = {
 
 #: Minimum trial-loop speedup (engine vs naive) the record must show.
 MIN_TRIAL_LOOP_SPEEDUP = 3.0
+
+#: The committed serving benchmark: the acceptance workload — transformer
+#: greedy decode, 16 concurrent clients, 64 requests — plus the
+#: per-family token-identity verdicts.
+SERVE_CONFIG = {
+    "model": "transformer", "concurrency": 16, "num_requests": 64,
+    "max_batch": 16, "max_wait_ms": 5.0, "workers": 1, "seed": 0,
+    "max_len": 32, "repeats": 3,
+}
+
+#: Minimum batched-vs-serial request-throughput speedup for the record.
+MIN_SERVE_SPEEDUP = 3.0
 
 
 def machine_info() -> dict:
@@ -186,6 +206,28 @@ def _run_resilience() -> dict:
     }
 
 
+def _run_serve() -> dict:
+    """Serving throughput + token-identity record; fails below the gate."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.serve.bench import check_equivalence, run_serve_benchmark
+
+    record = run_serve_benchmark(**SERVE_CONFIG)
+    identity = check_equivalence(seed=SERVE_CONFIG["seed"])
+
+    if record["speedup"] < MIN_SERVE_SPEEDUP:
+        raise SystemExit(f"batched-vs-serial speedup {record['speedup']}x "
+                         f"below the {MIN_SERVE_SPEEDUP}x gate")
+    failures = [name for name, same in identity.items() if not same]
+    if failures:
+        raise SystemExit("batched decode not token-identical to serial "
+                         f"for: {failures}")
+    return {
+        "throughput": record,
+        "token_identity": identity,
+        "machine": machine_info(),
+    }
+
+
 def _run_benchmarks(bench_file: str, extra_env: dict) -> dict:
     """Run the benchmark module and return pytest-benchmark's JSON report."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -242,6 +284,16 @@ def main() -> int:
 
     bench_file, default_output = SUITES[args.suite]
     output = args.output or default_output
+    if args.suite == "serve":
+        payload = _run_serve()
+        output.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+        record = payload["throughput"]
+        print(f"wrote {output} (speedup {record['speedup']}x, "
+              f"{record['batched']['requests_per_sec']} req/s batched vs "
+              f"{record['serial']['requests_per_sec']} serial, identity "
+              f"{payload['token_identity']})")
+        return 0
     if args.suite == "resilience":
         payload = _run_resilience()
         output.write_text(json.dumps(payload, indent=2, sort_keys=True)
