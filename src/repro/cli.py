@@ -115,7 +115,8 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    from .serve.bench import check_equivalence, run_serve_benchmark
+    from .serve.bench import (check_equivalence, measure_scrub_overhead,
+                              run_fault_recovery, run_serve_benchmark)
 
     quant = (args.quant, args.bits) if args.quant else None
     record = run_serve_benchmark(
@@ -150,6 +151,29 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"  identity : {verdicts}")
         if not all(verdicts.values()):
             return 1
+    if args.fault_check:
+        recovery = run_fault_recovery(model=args.model, seed=args.seed,
+                                      quant=quant)
+        res = recovery["resilience"]
+        inj = recovery["injected"]
+        print(f"  fault    : bit {inj['bit_index']} flip in "
+              f"{inj['tensor']}[{inj['element']}] -> "
+              f"detected={recovery['detected']} "
+              f"restored={recovery['restored']} "
+              f"retried={recovery['retried']}")
+        print(f"  recovery : token_identical="
+              f"{recovery['token_identical']} "
+              f"failed={recovery['failed_requests']} "
+              f"(faults {res['fault_kinds']}, scrubs {res['scrubs']}, "
+              f"degradation {res['degradation']})")
+        if not recovery["token_identical"] or recovery["failed_requests"]:
+            return 1
+    if args.scrub_overhead:
+        overhead = measure_scrub_overhead(model=args.model, seed=args.seed)
+        print(f"  scrub    : p50 {overhead['baseline_p50_ms']:.1f}ms -> "
+              f"{overhead['scrubbed_p50_ms']:.1f}ms with scrubbing "
+              f"({overhead['p50_overhead']:+.1%}, "
+              f"{overhead['scrub_counters']['scrubs']} scrubs)")
     return 0
 
 
@@ -244,6 +268,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="also verify batched-vs-serial token identity "
                         "under deterministic_matmul")
+    p.add_argument("--fault-check", action="store_true",
+                   help="closed-loop self-healing check: inject an "
+                        "exponent-bit weight flip mid-serve and verify "
+                        "detect/restore/retry with token-identical output")
+    p.add_argument("--scrub-overhead", action="store_true",
+                   help="measure the p50 latency cost of golden-copy "
+                        "weight scrubbing")
     p.set_defaults(func=_cmd_serve_bench)
     return parser
 

@@ -20,9 +20,12 @@ stream would suffer, without materializing the stream.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
-__all__ = ["pack_words", "unpack_words", "packed_nbytes", "flip_word_bits"]
+__all__ = ["pack_words", "unpack_words", "packed_nbytes", "flip_word_bits",
+           "crc32_stream"]
 
 #: Byte-aligned word widths whose MSB-first packing is plain big-endian.
 _ALIGNED_DTYPES = {8: ">u1", 16: ">u2", 32: ">u4"}
@@ -64,6 +67,17 @@ def unpack_words(buffer: bytes, bits: int, count: int) -> np.ndarray:
                          count=count * bits).reshape(count, bits)
     shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
     return (flat.astype(np.uint64) << shifts[None, :]).sum(axis=1).astype(np.uint32)
+
+
+def crc32_stream(words: np.ndarray, bits: int) -> int:
+    """CRC32 of the packed MSB-first byte stream of ``words``.
+
+    The checksum a weight-SRAM scrubber would keep per tensor: computed
+    over the *canonical packed layout* (so it is independent of the
+    in-memory word dtype/shape) and cheap enough to verify between
+    micro-batches.  Returns the unsigned 32-bit CRC.
+    """
+    return zlib.crc32(pack_words(words, bits)) & 0xFFFFFFFF
 
 
 def flip_word_bits(words: np.ndarray, bits: int,

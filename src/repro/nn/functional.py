@@ -30,7 +30,7 @@ def _op(data: np.ndarray, parents: Tuple[Tensor, ...],
         out = Tensor(data)
     else:
         out = Tensor(data, parents=parents, backward=backward)
-    if _sanitize._STATE is not None:
+    if _sanitize._ACTIVE:
         _sanitize.on_op(out, out.data, parents, backward)
     return out
 
@@ -276,7 +276,7 @@ def fake_quantize(x: Tensor, quantize_fn: Callable[[np.ndarray], np.ndarray],
     the loss sees quantized values — the paper's QAR procedure.
     """
     out = np.asarray(quantize_fn(x.data), dtype=np.float32)
-    if _sanitize._STATE is not None:
+    if _sanitize._ACTIVE:
         _sanitize.on_quantize(x.data, out)
 
     def backward(grad: np.ndarray) -> None:

@@ -203,7 +203,7 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        state = _sanitize._STATE
+        state = _sanitize.current_state() if _sanitize._ACTIVE else None
         if state is None:
             return self.forward(*args, **kwargs)
         state.push_module(self)

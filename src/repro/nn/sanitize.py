@@ -51,13 +51,14 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 __all__ = [
     "NumericFinding", "NumericFault", "SanitizeReport", "Sanitizer",
-    "is_active", "global_report",
+    "is_active", "global_report", "current_state",
     "on_op", "on_grad", "on_quantize", "scan_parameters",
 ]
 
@@ -150,18 +151,46 @@ class _State:
             self.report.truncated = True
 
 
-#: the active sanitizer state, or None (hooks check this and bail).
-_STATE: Optional[_State] = None
+#: Sanitizer activation is *thread-local*: a :class:`Sanitizer` context
+#: entered on one thread (say, a serving worker probing a batch) must not
+#: leak into concurrent workers' forwards.  ``_TLS.state`` holds each
+#: thread's active state; ``_GLOBAL_STATE`` is the process-wide fallback
+#: installed by the ``REPRO_SANITIZE`` env knob.  ``_ACTIVE`` counts live
+#: states across all threads so the per-op guard in the hot path stays a
+#: single global load + truthiness test when nothing is active.
+_TLS = threading.local()
+_GLOBAL_STATE: Optional[_State] = None
+_ACTIVE = 0
+_ACTIVE_LOCK = threading.Lock()
+
+
+def current_state() -> Optional[_State]:
+    """This thread's active sanitizer state (env fallback), or None."""
+    return getattr(_TLS, "state", None) or _GLOBAL_STATE
+
+
+def _retain_state() -> None:
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE += 1
+
+
+def _release_state() -> None:
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE -= 1
 
 
 def is_active() -> bool:
-    """Whether a sanitizer (context manager or env knob) is live."""
-    return _STATE is not None
+    """Whether a sanitizer (context manager or env knob) is live *for
+    the calling thread*."""
+    return current_state() is not None
 
 
 def global_report() -> Optional[SanitizeReport]:
-    """The active sanitizer's report (e.g. under ``REPRO_SANITIZE=1``)."""
-    return _STATE.report if _STATE is not None else None
+    """The calling thread's active report (e.g. under ``REPRO_SANITIZE=1``)."""
+    state = current_state()
+    return state.report if state is not None else None
 
 
 class Sanitizer:
@@ -211,14 +240,14 @@ class Sanitizer:
         self._state.register_model(model)
 
     def __enter__(self) -> SanitizeReport:
-        global _STATE
-        self._previous = _STATE
-        _STATE = self._state
+        self._previous = getattr(_TLS, "state", None)
+        _TLS.state = self._state
+        _retain_state()
         return self._state.report
 
     def __exit__(self, *exc: Any) -> None:
-        global _STATE
-        _STATE = self._previous
+        _TLS.state = self._previous
+        _release_state()
 
 
 # --------------------------------------------------------------- inspection
@@ -256,13 +285,15 @@ def _op_name(backward: Any) -> str:
 
 # --------------------------------------------------------------------- hooks
 # Called from repro.nn.tensor / repro.nn.functional / Module.__call__.
-# Each caller guards on `_STATE is not None`, so the common (inactive)
-# cost is one global load + identity test per op.
+# Each caller guards on the `_ACTIVE` count, so the common (inactive)
+# cost is one global load + truthiness test per op; the hooks then
+# resolve the *calling thread's* state (possibly None when a sanitizer
+# is live only on some other thread) and bail if there is none.
 
 def on_op(out: Any, data: np.ndarray, parents: Tuple[Any, ...],
           backward: Any) -> None:
     """Forward check: did this op manufacture NaN/Inf its inputs lacked?"""
-    state = _STATE
+    state = current_state()
     if state is None:
         return
     out._san_layer = state.current_layer()
@@ -289,7 +320,7 @@ def on_grad(node: Any) -> None:
     Runs right before the node's backward closure propagates the gradient
     to its parents, i.e. at the earliest point the fault is observable.
     """
-    state = _STATE
+    state = current_state()
     if state is None:
         return
     grad = node.grad
@@ -308,7 +339,7 @@ def on_grad(node: Any) -> None:
 
 def on_quantize(inp: np.ndarray, out: np.ndarray) -> None:
     """Quantize-boundary check: NaN manufacture, clamp storms, underflow."""
-    state = _STATE
+    state = current_state()
     if state is None:
         return
     state.report.ops_checked += 1
@@ -377,7 +408,7 @@ def scan_parameters(model: Any, bounds: Optional[Dict[str, float]] = None,
     also recorded on its report (or raised, in ``action="raise"`` mode),
     and ``params_scanned`` is incremented per tensor.
     """
-    state = _STATE
+    state = current_state()
     findings: List[NumericFinding] = []
     for name, param in model.named_parameters():
         data = np.asarray(param.data)
@@ -415,15 +446,22 @@ def scan_parameters(model: Any, bounds: Optional[Dict[str, float]] = None,
 
 # ------------------------------------------------------------------ env knob
 def _activate_from_env() -> None:
-    """Honour ``REPRO_SANITIZE=1`` at import time (process-wide opt-in)."""
-    global _STATE
+    """Honour ``REPRO_SANITIZE=1`` at import time (process-wide opt-in).
+
+    The env-installed state is *global* (visible from every thread) —
+    a process-wide tripwire, unlike the thread-scoped context manager.
+    A :class:`Sanitizer` entered on a thread shadows it there.
+    """
+    global _GLOBAL_STATE
     if os.environ.get("REPRO_SANITIZE", "") not in ("1", "true", "yes"):
         return
     action = os.environ.get("REPRO_SANITIZE_ACTION", "raise")
     if action not in ("collect", "raise"):
         action = "raise"
-    _STATE = _State(action=action, clamp_storm=0.25, underflow_flood=0.5,
-                    ignore_ops=("masked_fill",), max_findings=100)
+    _GLOBAL_STATE = _State(action=action, clamp_storm=0.25,
+                           underflow_flood=0.5,
+                           ignore_ops=("masked_fill",), max_findings=100)
+    _retain_state()
 
 
 _activate_from_env()

@@ -187,7 +187,7 @@ class Tensor:
             out = Tensor(data)
         else:
             out = Tensor(data, parents=parents, backward=backward)
-        if _sanitize._STATE is not None:
+        if _sanitize._ACTIVE:
             _sanitize.on_op(out, out.data, parents, backward)
         return out
 
@@ -219,10 +219,10 @@ class Tensor:
         self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
-                if _sanitize._STATE is not None:
+                if _sanitize._ACTIVE:
                     _sanitize.on_grad(node)
                 node._backward(node.grad)
-        if _sanitize._STATE is not None:
+        if _sanitize._ACTIVE:
             for node in topo:  # leaves: parameters and inputs
                 if node._backward is None and node.grad is not None:
                     _sanitize.on_grad(node)

@@ -15,12 +15,15 @@ measures that directly:
 * :mod:`~repro.resilience.campaign` — an injection-campaign driver over
   the parallel cell runner scoring silent-data-corruption rate, logit
   drift, task-metric degradation, and runtime-sanitizer detection
-  coverage.
+  coverage;
+* :mod:`~repro.resilience.scrub` — golden-stream weight-integrity
+  scrubbing (per-tensor CRC32 verify + in-place restore) used by the
+  self-healing serving path (:mod:`repro.serve.resilient`).
 
 See ``docs/resilience.md`` for the injection model and metrics.
 """
 
-from . import campaign, engine, inject
+from . import campaign, engine, inject, scrub
 from .campaign import (DEFAULT_FIELDS, cell_fields,
                        measure_injection_throughput, render)
 from .campaign import run as run_campaign
@@ -29,11 +32,14 @@ from .inject import (FIELDS, REGISTER_FIELD, InjectionResult, eligible_bits,
                      flip_float_register, flip_int_register, flip_packed,
                      flip_words, inject_tensor, register_spec,
                      sample_flip_positions)
+from .scrub import ScrubReport, TensorGolden, WeightScrubber
 
 __all__ = [
     "DEFAULT_FIELDS", "FIELDS", "REGISTER_FIELD", "InjectionResult",
-    "TrialEngine", "campaign", "cell_fields", "eligible_bits", "engine",
+    "ScrubReport", "TensorGolden", "TrialEngine", "WeightScrubber",
+    "campaign", "cell_fields", "eligible_bits", "engine",
     "flip_float_register", "flip_int_register", "flip_packed", "flip_words",
     "inject", "inject_tensor", "measure_injection_throughput",
     "register_spec", "render", "run_campaign", "sample_flip_positions",
+    "scrub",
 ]

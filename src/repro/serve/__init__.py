@@ -15,21 +15,30 @@ request throughput:
   padded decode is token-identical to serial one-request-at-a-time
   decode (bit-exact under ``deterministic_matmul``).
 * :class:`ServerStats` (``stats``) — p50/p95/p99 latency, queue depth,
-  batch-size histogram, weight-cache hit counters.
+  batch-size histogram, weight-cache hit counters, scrub/fault/retry
+  counters and the degradation state.
+* ``resilient`` — the self-healing policy layer
+  (:class:`ResilienceConfig`, :class:`CircuitBreaker`): golden-copy
+  weight scrubbing via :mod:`repro.resilience.scrub`, Sanitizer-backed
+  batch quarantine, bounded-backoff retry, per-request deadlines, and
+  circuit-breaker load shedding (:class:`ServerDegraded`).
 * ``bench`` — the batched-vs-serial throughput harness behind
-  ``repro serve-bench`` and ``BENCH_serve.json``.
+  ``repro serve-bench`` and ``BENCH_serve.json``, plus the closed-loop
+  fault-recovery and scrub-overhead probes of the resilience block.
 """
 
 from .batching import KINDS, Request, bucket_key, run_microbatch, \
     serial_reference
-from .engine import InferenceServer, ServeError, ServerClosed, \
-    ServerSaturated
+from .engine import DeadlineExceeded, InferenceServer, ServeError, \
+    ServerClosed, ServerDegraded, ServerSaturated
 from .pool import ModelPool, PooledModel
+from .resilient import CircuitBreaker, ResilienceConfig
 from .stats import LatencyRecorder, ServerStats
 
 __all__ = [
-    "InferenceServer", "KINDS", "LatencyRecorder", "ModelPool",
-    "PooledModel", "Request", "ServeError", "ServerClosed",
+    "CircuitBreaker", "DeadlineExceeded", "InferenceServer", "KINDS",
+    "LatencyRecorder", "ModelPool", "PooledModel", "Request",
+    "ResilienceConfig", "ServeError", "ServerClosed", "ServerDegraded",
     "ServerSaturated", "ServerStats", "bucket_key", "run_microbatch",
     "serial_reference",
 ]

@@ -24,8 +24,10 @@ from ..rng import fresh_rng
 from .batching import KINDS, Request, serial_reference
 from .engine import InferenceServer
 from .pool import ModelPool
+from .resilient import ResilienceConfig
 
-__all__ = ["build_requests", "check_equivalence", "run_serve_benchmark"]
+__all__ = ["build_requests", "check_equivalence", "run_serve_benchmark",
+           "run_fault_recovery", "measure_scrub_overhead"]
 
 #: Kind served per model family (inverse of batching.KINDS).
 _KIND_OF = {model: kind for kind, model in KINDS.items()}
@@ -152,6 +154,142 @@ def run_serve_benchmark(model: str = "transformer", concurrency: int = 16,
 
 def _same_result(a: Any, b: Any) -> bool:
     return a == b
+
+
+def run_fault_recovery(model: str = "transformer", num_requests: int = 12,
+                       max_batch: int = 4, seed: int = 0, bit_index: int = 1,
+                       target: Optional[str] = None,
+                       max_len: Optional[int] = 16,
+                       quant: Optional[object] = None) -> Dict:
+    """Closed-loop self-healing check: inject, serve, verify recovery.
+
+    Serves half the seeded request mix, injects a single
+    ``bit_index`` register flip (default 1 = the float32 exponent MSB,
+    the paper's catastrophic-SDC bit) into one element of a pooled
+    weight tensor via :func:`repro.resilience.inject.flip_float_register`
+    + ``swap_parameter`` — exactly what the campaign engine does — then
+    serves the second half *through the fault*.  The resilient server
+    must detect (probe or CRC), restore from the golden stream, retry,
+    and deliver every request token-identical to the clean serial
+    reference with zero failures.
+
+    Deterministic by construction: the periodic scrub daemon is
+    disabled so detection happens via the per-batch verify on the first
+    faulty batch, and both sides decode under ``deterministic_matmul``.
+    """
+    from ..resilience.inject import flip_float_register
+    pool = ModelPool(quant=quant)
+    entry = pool.get(model)
+    requests = build_requests(model, num_requests, seed=seed,
+                              max_len=max_len)
+    with deterministic_matmul():
+        expected = serial_reference(entry, requests)
+    config = ResilienceConfig(scrub_interval_s=None, verify_batches=True,
+                              probe=True)
+    server = InferenceServer(pool, max_batch=max_batch, max_wait_ms=10.0,
+                             deterministic=True, resilience=config)
+    half = max(1, num_requests // 2)
+    with server:
+        futures = [server.submit(r.kind, r.payload, max_len=r.max_len)
+                   for r in requests[:half]]
+        server.drain()
+        if target is None:
+            target = next(name for name, _ in entry.model.named_parameters()
+                          if name.endswith(".weight") or name == "weight")
+        param = entry.model.get_parameter(target)
+        rng = fresh_rng([seed, 0xFA117])
+        element = int(rng.integers(param.data.size))
+        faulty = param.data.copy()
+        faulty.flat[element] = flip_float_register(
+            float(faulty.flat[element]), bit_index)
+        entry.model.swap_parameter(target, faulty)
+        futures += [server.submit(r.kind, r.payload, max_len=r.max_len)
+                    for r in requests[half:]]
+        server.drain()
+        results: List[Any] = []
+        errors = 0
+        for future in futures:
+            try:
+                results.append(future.result(timeout=300.0))
+            except Exception:
+                errors += 1
+                results.append(None)
+        stats = server.stats.snapshot()
+    resilience = stats["resilience"]
+    token_identical = (errors == 0 and
+                       all(_same_result(a, b)
+                           for a, b in zip(expected, results)))
+    return {
+        "config": {
+            "model": model, "num_requests": num_requests,
+            "max_batch": max_batch, "max_len": max_len, "seed": seed,
+            "quant": getattr(quant, "label", quant and str(quant)),
+        },
+        "injected": {"tensor": target, "bit_index": bit_index,
+                     "element": element},
+        "token_identical": token_identical,
+        "failed_requests": stats["requests"]["failed"],
+        "detected": resilience["faults_detected"] >= 1,
+        "restored": resilience["restores"] >= 1,
+        "retried": resilience["retries"] >= 1,
+        "resilience": resilience,
+    }
+
+
+def measure_scrub_overhead(model: str = "transformer",
+                           concurrency: int = 8, num_requests: int = 48,
+                           max_batch: int = 16, max_wait_ms: float = 5.0,
+                           seed: int = 0, max_len: Optional[int] = 32,
+                           repeats: int = 3,
+                           scrub_interval_s: float = 0.05) -> Dict:
+    """p50 latency cost of scrubbing: baseline vs scrub-enabled server.
+
+    The scrub-enabled run uses the integrity machinery alone (per-batch
+    CRC verify + an aggressive periodic daemon; the Sanitizer probe is
+    off — it instruments every op and is priced separately): this is the
+    "scrubbing enabled" configuration the <5% p50 acceptance gate
+    covers.  Best-of-``repeats`` p50 on both sides on the same warm
+    pool/request mix.
+    """
+    pool = ModelPool()
+    pool.get(model)                   # warm before either timed path
+    requests = build_requests(model, num_requests, seed=seed,
+                              max_len=max_len)
+
+    def best_p50(resilience: Optional[ResilienceConfig]) -> Dict:
+        best: Optional[Dict] = None
+        for _ in range(repeats):
+            server = InferenceServer(pool, max_batch=max_batch,
+                                     max_wait_ms=max_wait_ms,
+                                     resilience=resilience)
+            with server:
+                _submit_all(server, requests, concurrency)
+                server.drain()
+            snapshot = server.stats.snapshot()
+            if best is None or (snapshot["latency"]["p50_ms"]
+                                < best["latency"]["p50_ms"]):
+                best = snapshot
+        return best
+
+    baseline = best_p50(None)
+    scrub_config = ResilienceConfig(scrub_interval_s=scrub_interval_s,
+                                    verify_batches=True, probe=False)
+    scrubbed = best_p50(scrub_config)
+    base_p50 = baseline["latency"]["p50_ms"]
+    scrub_p50 = scrubbed["latency"]["p50_ms"]
+    return {
+        "config": {
+            "model": model, "concurrency": concurrency,
+            "num_requests": num_requests, "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms, "max_len": max_len, "seed": seed,
+            "repeats": repeats, "scrub_interval_s": scrub_interval_s,
+        },
+        "baseline_p50_ms": base_p50,
+        "scrubbed_p50_ms": scrub_p50,
+        "p50_overhead": round(scrub_p50 / base_p50 - 1.0, 4)
+        if base_p50 else 0.0,
+        "scrub_counters": scrubbed["resilience"],
+    }
 
 
 def check_equivalence(models: Sequence[str] = ("transformer", "seq2seq",

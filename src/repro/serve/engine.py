@@ -34,13 +34,14 @@ import time
 from concurrent.futures import Future
 from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
 
-from ..nn import deterministic_matmul
+from ..nn import Sanitizer, deterministic_matmul
 from .batching import Request, bucket_key, run_microbatch
 from .pool import ModelPool
+from .resilient import PROBE_KINDS, CircuitBreaker, ResilienceConfig
 from .stats import ServerStats
 
 __all__ = ["InferenceServer", "ServeError", "ServerClosed",
-           "ServerSaturated"]
+           "ServerSaturated", "ServerDegraded", "DeadlineExceeded"]
 
 
 class ServeError(RuntimeError):
@@ -55,16 +56,34 @@ class ServerSaturated(ServeError):
     """Bounded queue full and the caller declined to wait."""
 
 
+class ServerDegraded(ServeError):
+    """An uncorrectable fault: the scrubber could not repair the model
+    (or retries were exhausted), or the circuit breaker is shedding
+    load after repeated uncorrectable faults."""
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before a worker could serve it."""
+
+
 class _Pending:
     """A request riding through the engine with its timing and future."""
 
-    __slots__ = ("request", "future", "t_submit", "t_dispatch")
+    __slots__ = ("request", "future", "t_submit", "t_dispatch", "deadline")
 
-    def __init__(self, request: Request) -> None:
+    def __init__(self, request: Request,
+                 deadline_s: Optional[float] = None) -> None:
         self.request = request
         self.future: "Future[Any]" = Future()
         self.t_submit = time.perf_counter()
         self.t_dispatch = 0.0
+        #: absolute perf_counter() time after which the request fails
+        #: with DeadlineExceeded instead of riding further retries.
+        self.deadline = (None if deadline_s is None
+                         else self.t_submit + deadline_s)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
 
 
 _STOP = object()  # worker sentinel
@@ -97,12 +116,22 @@ class InferenceServer:
         flags are thread-local, so an equivalence test's context on the
         client thread would not reach the workers otherwise).  Slower;
         meant for the token-identity checks, not production serving.
+    resilience:
+        A :class:`~repro.serve.resilient.ResilienceConfig` enables the
+        self-healing path: golden-copy scrubbing of the pooled models
+        (periodic daemon + per-batch CRC verify), a Sanitizer probe
+        quarantining numerically-faulty batches, bounded-backoff batch
+        retry after repair, per-request deadlines, and a circuit
+        breaker shedding load with :class:`ServerDegraded` after
+        repeated uncorrectable faults.  ``None`` (default) serves
+        exactly as before.
     """
 
     def __init__(self, pool: Optional[ModelPool] = None, *,
                  max_batch: int = 16, max_wait_ms: float = 2.0,
                  max_queue: int = 256, workers: int = 1,
-                 length_bucket: int = 8, deterministic: bool = False) -> None:
+                 length_bucket: int = 8, deterministic: bool = False,
+                 resilience: Optional[ResilienceConfig] = None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
@@ -111,12 +140,25 @@ class InferenceServer:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if length_bucket < 1:
+            # bucket_key rejects this per request; validating here keeps
+            # a bad dial from poisoning the scheduler at runtime.
+            raise ValueError(
+                f"length_bucket must be >= 1, got {length_bucket}")
         self.pool = pool or ModelPool()
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.max_queue = max_queue
         self.length_bucket = length_bucket
         self.deterministic = deterministic
+        self.resilience = resilience
+        self._breaker: Optional[CircuitBreaker] = None
+        self._scrub_thread: Optional[threading.Thread] = None
+        self._scrub_stop = threading.Event()
+        if resilience is not None:
+            self._breaker = CircuitBreaker(resilience.breaker_threshold,
+                                           resilience.breaker_reset_s)
+            self.pool.enable_scrubbing()
         self.stats = ServerStats()
         self._slots = threading.BoundedSemaphore(max_queue)
         self._ingress: "queue.Queue[Optional[_Pending]]" = queue.Queue()
@@ -145,6 +187,11 @@ class InferenceServer:
         self._scheduler.start()
         for worker in self._workers:
             worker.start()
+        if self.resilience is not None \
+                and self.resilience.scrub_interval_s is not None:
+            self._scrub_thread = threading.Thread(
+                target=self._scrub_loop, name="serve-scrubber", daemon=True)
+            self._scrub_thread.start()
         return self
 
     def __enter__(self) -> "InferenceServer":
@@ -183,12 +230,15 @@ class InferenceServer:
             return
         if drain:
             self.drain(timeout)
+        self._scrub_stop.set()
         self._ingress.put(None)            # wake + stop the scheduler
         self._scheduler.join(timeout=30.0)
         for _ in self._workers:
             self._batches.put(_STOP)
         for worker in self._workers:
             worker.join(timeout=30.0)
+        if self._scrub_thread is not None:
+            self._scrub_thread.join(timeout=30.0)
         if not drain:
             self._fail_remaining()
 
@@ -220,21 +270,36 @@ class InferenceServer:
     def submit(self, kind: str, payload: Any, *,
                max_len: Optional[int] = None,
                beam_size: Optional[int] = None, block: bool = True,
-               timeout: Optional[float] = None) -> "Future[Any]":
+               timeout: Optional[float] = None,
+               deadline_s: Optional[float] = None) -> "Future[Any]":
         """Enqueue one request; returns a ``concurrent.futures.Future``.
 
         The future resolves to a token list (translate/transcribe) or an
         ``int`` label (classify).  Raises :class:`ServerClosed` after
-        shutdown and :class:`ServerSaturated` when the in-flight bound
-        is hit and ``block`` is False (or ``timeout`` elapses).
+        shutdown, :class:`ServerSaturated` when the in-flight bound is
+        hit and ``block`` is False (or ``timeout`` elapses), and
+        :class:`ServerDegraded` while the resilience circuit breaker is
+        shedding load.  ``deadline_s`` bounds this request's total
+        residence time (default: the resilience config's
+        ``request_deadline_s``; expired requests resolve with
+        :class:`DeadlineExceeded`).
         """
         if not self._started:
             raise ServerClosed("server not started; use start() or a "
                                "'with' block")
+        if deadline_s is None and self.resilience is not None:
+            deadline_s = self.resilience.request_deadline_s
         request = Request(kind, payload, max_len=max_len,
                           beam_size=beam_size)
         if self._closed:
             raise ServerClosed("server is shut down")
+        if self._breaker is not None and not self._breaker.allow():
+            # Shed before taking a slot: a degraded server must not let
+            # doomed requests consume backpressure capacity.
+            self.stats.record_degraded_rejection()
+            raise ServerDegraded(
+                "circuit breaker open after repeated uncorrectable "
+                "faults; retry after the breaker's reset window")
         if not self._slots.acquire(blocking=block, timeout=timeout):
             self.stats.record_reject()
             raise ServerSaturated(
@@ -244,7 +309,7 @@ class InferenceServer:
                 self._slots.release()
                 raise ServerClosed("server is shut down")
             self._inflight += 1
-        pending = _Pending(request)
+        pending = _Pending(request, deadline_s=deadline_s)
         self.stats.record_submit()
         self._ingress.put(pending)
         return pending.future
@@ -262,10 +327,19 @@ class InferenceServer:
                 self._flush_all()
                 return
             if item is not False:
-                key = bucket_key(item.request, self.length_bucket)
-                with self._state_lock:
-                    self._buckets.setdefault(
-                        key, collections.deque()).append(item)
+                try:
+                    key = bucket_key(item.request, self.length_bucket)
+                except BaseException as error:
+                    # A malformed request must fail *its own* future —
+                    # an uncaught raise here would kill the scheduler,
+                    # leak the request's queue-depth slot, and hang
+                    # every later drain().
+                    self._resolve(item, error=error)
+                    key = None
+                if key is not None:
+                    with self._state_lock:
+                        self._buckets.setdefault(
+                            key, collections.deque()).append(item)
             self._dispatch_ready(max_wait_s)
 
     def _next_flush_in(self, max_wait_s: float) -> Optional[float]:
@@ -320,20 +394,178 @@ class InferenceServer:
             if job is _STOP:
                 return
             _, pends = job
+            pends = self._drop_expired(pends)
+            if not pends:
+                continue
+            if self.resilience is not None:
+                self._process_resilient(pends)
+                continue
             try:
                 entry = self.pool.get(pends[0].request.model_name)
-                requests = [p.request for p in pends]
-                if self.deterministic:
-                    with deterministic_matmul():
-                        results = run_microbatch(entry, requests)
-                else:
-                    results = run_microbatch(entry, requests)
+                results = self._run_batch(entry, [p.request for p in pends])
             except BaseException as error:  # resolve, don't kill the worker
                 for pending in pends:
                     self._resolve(pending, error=error)
                 continue
             for pending, result in zip(pends, results):
                 self._resolve(pending, result=result)
+
+    def _run_batch(self, entry: Any, requests: List[Request]) -> List[Any]:
+        if self.deterministic:
+            with deterministic_matmul():
+                return run_microbatch(entry, requests)
+        return run_microbatch(entry, requests)
+
+    def _drop_expired(self, pends: List[_Pending]) -> List[_Pending]:
+        """Fail deadline-expired requests; return the still-live rest."""
+        now = time.perf_counter()
+        live = []
+        for pending in pends:
+            if pending.expired(now):
+                self.stats.record_deadline()
+                self._resolve(pending, error=DeadlineExceeded(
+                    "request deadline expired before the batch ran"))
+            else:
+                live.append(pending)
+        return live
+
+    # ------------------------------------------------- self-healing path
+    def _probe_batch(self, entry: Any,
+                     requests: List[Request]) -> Tuple[List[Any],
+                                                       Optional[str]]:
+        """Run the batch under a collecting Sanitizer.
+
+        Returns ``(results, finding kind)`` where the kind is the first
+        quarantine-worthy numeric finding (:data:`PROBE_KINDS`) the
+        forward produced, or None for a numerically clean batch.
+        """
+        cfg = self.resilience
+        with Sanitizer(entry.model, action="collect",
+                       clamp_storm=cfg.clamp_storm) as report:
+            results = self._run_batch(entry, requests)
+        for finding in report.findings:
+            if finding.kind in PROBE_KINDS:
+                return results, finding.kind
+        return results, None
+
+    def _process_resilient(self, pends: List[_Pending]) -> None:
+        """Run one micro-batch with detect / repair / retry / degrade.
+
+        Per attempt: run the batch (optionally under the Sanitizer
+        probe), then CRC-verify the served model against its golden
+        streams.  A detected weight fault is restored by the scrubber
+        and the batch retries with exponential backoff (the restore
+        bumped ``Parameter.version``, so the weight-quant memo refreshes
+        itself).  The scrubber's ``generation`` counter guards the
+        daemon race: if a periodic scrub repaired the weights *during*
+        our forward, the post-batch CRC looks clean even though the
+        forward read corrupted values — a generation change across the
+        attempt forces a retry.  Uncorrectable faults (corrupted golden
+        copy, retries exhausted) fail the batch with
+        :class:`ServerDegraded` and feed the circuit breaker.
+        """
+        cfg = self.resilience
+        try:
+            entry = self.pool.get(pends[0].request.model_name)
+        except BaseException as error:
+            for pending in pends:
+                self._resolve(pending, error=error)
+            return
+        scrubber = entry.scrubber
+        attempt = 0
+        live = pends
+        while True:
+            live = self._drop_expired(live)
+            if not live:
+                return
+            requests = [p.request for p in live]
+            gen_before = scrubber.generation if scrubber is not None else 0
+            fault: Optional[str] = None
+            results: Optional[List[Any]] = None
+            error: Optional[BaseException] = None
+            try:
+                if cfg.probe:
+                    results, probe_kind = self._probe_batch(entry, requests)
+                    if probe_kind is not None:
+                        fault = "probe"
+                else:
+                    results = self._run_batch(entry, requests)
+            except BaseException as err:
+                error = err
+            report = None
+            if scrubber is not None and (
+                    fault is not None or error is not None
+                    or cfg.verify_batches):
+                report = scrubber.scrub(
+                    reason="probe" if fault else
+                    ("exception" if error is not None else "verify"))
+                self.stats.record_scrub(
+                    report.checked, len(report.restored),
+                    len(report.uncorrectable), report.duration_s)
+                if report.corrupted and fault is None:
+                    fault = "exception" if error is not None else "crc"
+            if report is not None and report.uncorrectable:
+                self._fail_degraded(live, ServerDegraded(
+                    "weight fault is uncorrectable (golden copy for "
+                    f"{report.uncorrectable} failed its self-checksum)"))
+                return
+            if error is not None and fault is None:
+                # A plain software error with verified-clean weights is
+                # not a hardware fault; propagate it as before.
+                for pending in live:
+                    self._resolve(pending, error=error)
+                return
+            gen_now = scrubber.generation if scrubber is not None else 0
+            if fault is None and gen_now == gen_before:
+                if attempt:
+                    self.stats.record_recovered()
+                if self._breaker is not None:
+                    self._breaker.record_success()
+                    self._sync_degradation()
+                for pending, result in zip(live, results):
+                    self._resolve(pending, result=result)
+                return
+            # fault detected (or the daemon repaired under us): retry
+            if fault is not None:
+                self.stats.record_fault(fault)
+            attempt += 1
+            if attempt > cfg.max_retries:
+                self.stats.record_uncorrectable()
+                self._fail_degraded(live, ServerDegraded(
+                    f"fault persisted through {cfg.max_retries} "
+                    "retries"))
+                return
+            self.stats.record_retry()
+            backoff = cfg.backoff(attempt - 1)
+            if backoff > 0:
+                time.sleep(backoff)
+
+    def _fail_degraded(self, pends: List[_Pending],
+                       error: ServerDegraded) -> None:
+        if self._breaker is not None:
+            self._breaker.record_uncorrectable()
+            self._sync_degradation()
+        for pending in pends:
+            self._resolve(pending, error=error)
+
+    def _sync_degradation(self) -> None:
+        state = self._breaker.state
+        self.stats.set_degradation("ok" if state == "closed" else state)
+
+    def _scrub_loop(self) -> None:
+        """Periodic golden-copy sweep over every pooled model."""
+        interval = self.resilience.scrub_interval_s
+        while not self._scrub_stop.wait(interval):
+            for scrubber in self.pool.scrubbers().values():
+                report = scrubber.scrub(reason="periodic")
+                self.stats.record_scrub(
+                    report.checked, len(report.restored),
+                    len(report.uncorrectable), report.duration_s)
+                if report.corrupted:
+                    self.stats.record_fault("crc")
+                if report.uncorrectable and self._breaker is not None:
+                    self._breaker.record_uncorrectable()
+                    self._sync_degradation()
 
     def _resolve(self, pending: _Pending, result: Any = None,
                  error: Optional[BaseException] = None) -> None:
@@ -346,7 +578,13 @@ class InferenceServer:
             self._inflight -= 1
             if not self._inflight:
                 self._idle.notify_all()
-        if error is not None:
-            pending.future.set_exception(error)
-        else:
-            pending.future.set_result(result)
+        # A client may have cancelled the future; InvalidStateError here
+        # must not kill the worker mid-demux (that would leak the queue
+        # depth of every later pending in the same batch).
+        try:
+            if error is not None:
+                pending.future.set_exception(error)
+            else:
+                pending.future.set_result(result)
+        except Exception:
+            pass

@@ -46,6 +46,9 @@ class PooledModel:
     profile: Optional[str]
     quant: Optional[QuantSpec]
     fp32_score: Optional[float]
+    #: golden-copy integrity scrubber (populated when the pool scrubs;
+    #: see :meth:`ModelPool.enable_scrubbing`).
+    scrubber: Optional[object] = None
 
 
 class ModelPool:
@@ -64,13 +67,14 @@ class ModelPool:
 
     def __init__(self, profile: Optional[str] = None,
                  quant: Optional[object] = None, seed: int = 1,
-                 warmup: bool = True) -> None:
+                 warmup: bool = True, scrub: bool = False) -> None:
         if isinstance(quant, tuple):
             quant = QuantSpec(quant[0], int(quant[1]))
         self.profile = profile
         self.quant: Optional[QuantSpec] = quant
         self.seed = seed
         self.warmup = warmup
+        self.scrub = scrub
         self._lock = threading.Lock()
         self._models: Dict[str, PooledModel] = {}
         self._building: Dict[str, threading.Lock] = {}
@@ -92,6 +96,12 @@ class ModelPool:
                 entry = self._models.get(name)
                 if entry is not None:
                     return entry
+            # A build failure (e.g. the quantizer raising mid-attach, a
+            # checkpoint load dying) must leave *no trace*: the entry is
+            # only published after `_build` returned a fully-warmed
+            # model, so the exception propagates to this caller, every
+            # concurrently-waiting `get` retries the build cleanly, and
+            # nothing half-constructed is ever served.
             entry = self._build(name)
             with self._lock:
                 self._models[name] = entry
@@ -112,7 +122,16 @@ class ModelPool:
                             fp32_score=score)
         if self.warmup:
             self._warm(entry)
+        if self.scrub:
+            entry.scrubber = self._make_scrubber(entry)
         return entry
+
+    def _make_scrubber(self, entry: PooledModel):
+        # Snapshot *after* warmup: the weights are final (warm forwards
+        # never mutate parameters) and known-good, which is the golden
+        # copy's correctness precondition.
+        from ..resilience.scrub import WeightScrubber
+        return WeightScrubber(entry.model, quant=self.quant)
 
     def _warm(self, entry: PooledModel) -> None:
         """One tiny inference to prime weight-quant memo and lazy tables."""
@@ -135,6 +154,34 @@ class ModelPool:
                     (1, cfg.in_channels, cfg.image_size, cfg.image_size)
                 ).astype("float32")
                 model(images)
+
+    # ---------------------------------------------------------- scrubbing
+    def enable_scrubbing(self) -> None:
+        """Turn on golden-copy scrubbing for current and future models.
+
+        Models built from now on snapshot at build time; already-built
+        models snapshot immediately (their weights are presumed good at
+        the moment scrubbing is enabled).  Idempotent.
+        """
+        self.scrub = True
+        with self._lock:
+            entries = list(self._models.values())
+        for entry in entries:
+            if entry.scrubber is None:
+                entry.scrubber = self._make_scrubber(entry)
+
+    def scrubbers(self) -> Dict[str, object]:
+        """Name -> :class:`~repro.resilience.scrub.WeightScrubber` for
+        every built model that has one."""
+        with self._lock:
+            return {name: entry.scrubber
+                    for name, entry in self._models.items()
+                    if entry.scrubber is not None}
+
+    def scrub_counters(self) -> Dict[str, Dict]:
+        """Per-model scrubber lifetime counters (JSON-safe)."""
+        return {name: scrubber.counters()
+                for name, scrubber in sorted(self.scrubbers().items())}
 
     # ------------------------------------------------------------- metrics
     def warm_models(self) -> Tuple[str, ...]:

@@ -47,18 +47,29 @@ class LatencyRecorder:
             self._next = (self._next + 1) % self._cap
 
     def summary(self) -> Optional[Dict[str, float]]:
-        """``{mean, p50, p95, p99, max}`` in ms, or None if empty."""
+        """Windowed ``{mean, p50, p95, p99, max}`` in ms, or None if empty.
+
+        Every statistic describes the *same* population: the (up to)
+        ``cap`` most recent samples in the ring.  Mixing the lifetime
+        mean with windowed percentiles (as an earlier version did) made
+        the summary internally inconsistent once the ring wrapped — a
+        latency regression would move the percentiles while a long calm
+        history pinned the mean.  The lifetime request count survives
+        under the separate ``count_lifetime`` key; ``window`` is the
+        sample count the other fields were computed over.
+        """
         if not self._samples:
             return None
         arr = np.asarray(self._samples, dtype=np.float64)
         p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
         return {
-            "mean_ms": round(self.total / self.count * 1e3, 4),
+            "mean_ms": round(float(arr.mean()) * 1e3, 4),
             "p50_ms": round(float(p50) * 1e3, 4),
             "p95_ms": round(float(p95) * 1e3, 4),
             "p99_ms": round(float(p99) * 1e3, 4),
             "max_ms": round(float(arr.max()) * 1e3, 4),
-            "count": self.count,
+            "window": int(arr.size),
+            "count_lifetime": self.count,
         }
 
 
@@ -82,6 +93,19 @@ class ServerStats:
         self.batch_histogram: Dict[int, int] = {}
         self.latency = LatencyRecorder()
         self.queue_wait = LatencyRecorder()
+        # ---- resilience (self-healing serving path) --------------------
+        self.scrubs = 0                    # scrub passes (periodic+on-demand)
+        self.scrub_tensors = 0             # tensors CRC-checked
+        self.scrub_time_s = 0.0
+        self.faults_detected = 0
+        self.fault_kinds: Dict[str, int] = {}   # crc / probe / exception
+        self.retries = 0                   # micro-batch retry attempts
+        self.restores = 0                  # tensors repaired from golden
+        self.recovered_batches = 0         # batches that survived a fault
+        self.uncorrectable = 0             # faults the scrubber couldn't fix
+        self.deadline_expired = 0
+        self.degraded_rejections = 0       # submits shed by the breaker
+        self.degradation = "ok"            # "ok" | breaker state when tripped
 
     # ------------------------------------------------------------ mutation
     def record_submit(self) -> None:
@@ -111,6 +135,45 @@ class ServerStats:
                 self.latency.record(latency_s)
                 self.queue_wait.record(queue_wait_s)
 
+    # -------------------------------------------------------- resilience
+    def record_scrub(self, checked: int, restored: int, uncorrectable: int,
+                     duration_s: float) -> None:
+        with self._lock:
+            self.scrubs += 1
+            self.scrub_tensors += checked
+            self.scrub_time_s += duration_s
+            self.restores += restored
+            self.uncorrectable += uncorrectable
+
+    def record_fault(self, kind: str) -> None:
+        with self._lock:
+            self.faults_detected += 1
+            self.fault_kinds[kind] = self.fault_kinds.get(kind, 0) + 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_recovered(self) -> None:
+        with self._lock:
+            self.recovered_batches += 1
+
+    def record_uncorrectable(self) -> None:
+        with self._lock:
+            self.uncorrectable += 1
+
+    def record_deadline(self) -> None:
+        with self._lock:
+            self.deadline_expired += 1
+
+    def record_degraded_rejection(self) -> None:
+        with self._lock:
+            self.degraded_rejections += 1
+
+    def set_degradation(self, state: str) -> None:
+        with self._lock:
+            self.degradation = state
+
     # ------------------------------------------------------------- reading
     def snapshot(self) -> Dict:
         """JSON-safe summary of everything recorded so far."""
@@ -138,4 +201,18 @@ class ServerStats:
                 },
                 "latency": self.latency.summary(),
                 "queue_wait": self.queue_wait.summary(),
+                "resilience": {
+                    "scrubs": self.scrubs,
+                    "scrub_tensors": self.scrub_tensors,
+                    "scrub_time_s": round(self.scrub_time_s, 6),
+                    "faults_detected": self.faults_detected,
+                    "fault_kinds": dict(sorted(self.fault_kinds.items())),
+                    "retries": self.retries,
+                    "restores": self.restores,
+                    "recovered_batches": self.recovered_batches,
+                    "uncorrectable": self.uncorrectable,
+                    "deadline_expired": self.deadline_expired,
+                    "degraded_rejections": self.degraded_rejections,
+                    "degradation": self.degradation,
+                },
             }

@@ -257,3 +257,60 @@ class TestOverhead:
         t.grad = None
         sanitize.on_grad(t)
         sanitize.on_op(t, t.data, (), None)
+
+
+class TestThreadLocality:
+    """Sanitizer scopes are per-thread: the serving engine probes worker
+    batches under its own Sanitizer while other workers run clean, so a
+    context entered on one thread must neither observe nor trap ops
+    running on another."""
+
+    @pytest.mark.filterwarnings("ignore:overflow encountered")
+    def test_concurrent_sanitizers_do_not_cross_talk(self):
+        import threading
+
+        x = fresh_rng(2).normal(size=(4, 16))
+        clean_model = small_model()
+        reports = {}
+        barrier = threading.Barrier(2)
+
+        def dirty():
+            barrier.wait()
+            with nn.Sanitizer(action="collect") as report:
+                for _ in range(3):
+                    nn.Tensor(np.array([710.0])).exp()  # fresh overflow
+            reports["dirty"] = report
+
+        def clean():
+            barrier.wait()
+            with nn.Sanitizer(clean_model, action="collect") as report:
+                with nn.no_grad():
+                    for _ in range(5):
+                        clean_model(nn.Tensor(x))
+            reports["clean"] = report
+
+        threads = [threading.Thread(target=dirty),
+                   threading.Thread(target=clean)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # the overflow findings land only in the thread that raised them
+        assert reports["clean"].findings == []
+        assert reports["dirty"].by_kind("forward-overflow")
+
+    @pytest.mark.filterwarnings("ignore:overflow encountered")
+    def test_other_threads_ops_are_not_attributed(self):
+        import threading
+
+        def unsanitized_overflow():
+            nn.Tensor(np.array([710.0])).exp()
+
+        with nn.Sanitizer(action="collect") as report:
+            worker = threading.Thread(target=unsanitized_overflow)
+            worker.start()
+            worker.join()
+        # the worker thread had no sanitizer state: its overflow is
+        # invisible to the context entered on this thread
+        assert report.findings == []
+        assert report.ops_checked == 0

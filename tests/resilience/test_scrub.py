@@ -1,0 +1,196 @@
+"""Weight-integrity scrubbing: golden streams, CRC verify, repair.
+
+Unit coverage for :mod:`repro.resilience.scrub` — the serving-layer
+closed loop lives in ``tests/serve/test_resilience.py``.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.quantize import QuantSpec
+from repro.resilience import WeightScrubber
+from repro.resilience.inject import flip_float_register
+from repro.resilience.scrub import float_stream_crc
+
+
+def small_model():
+    return nn.Sequential(nn.Linear(16, 16), nn.ReLU(), nn.Linear(16, 4))
+
+
+def ptq_model(spec):
+    """A small model whose weights sit exactly on ``spec``'s grid."""
+    model = small_model()
+    quantizer = spec.build()
+    for name, param in model.named_parameters():
+        model.swap_parameter(
+            name, np.asarray(quantizer.quantize(param.data),
+                             dtype=np.float32))
+    return model
+
+
+def corrupt(model, name, element=0, bit_index=1):
+    """Flip one stored-register bit of a parameter (default: exponent
+    MSB of float32 — the catastrophic SDC bit)."""
+    param = model.get_parameter(name)
+    data = param.data.copy()
+    data.flat[element] = flip_float_register(data.flat[element], bit_index)
+    model.swap_parameter(name, data)
+    return data
+
+
+class TestSnapshot:
+    def test_raw_goldens_cover_every_parameter(self):
+        model = small_model()
+        scrubber = WeightScrubber(model)
+        names = {name for name, _ in model.named_parameters()}
+        assert set(scrubber.snapshot()) == names
+        assert scrubber.golden_formats() == {"float32": len(names)}
+        # raw golden cost is exactly 4 bytes/element
+        total = sum(p.data.size for _, p in model.named_parameters())
+        assert scrubber.golden_nbytes() == 4 * total
+
+    def test_ptq_weights_get_true_nbit_goldens(self):
+        spec = QuantSpec("adaptivfloat", 8)
+        scrubber = WeightScrubber(ptq_model(spec), quant=spec)
+        assert scrubber.golden_formats() == {"adaptivfloat8": 4}
+        total = sum(g.count for g in scrubber._golden.values())
+        # 8-bit streams: 1 byte/element, 4x below raw float32
+        assert scrubber.golden_nbytes() == total
+
+    def test_off_grid_weights_fall_back_to_raw(self):
+        # quant given but the weight matrices NOT on the grid: their
+        # n-bit encoding would not round-trip bit-exactly, so raw
+        # streams must win (the all-zero biases *are* on every grid, so
+        # they legitimately keep the cheap n-bit golden)
+        spec = QuantSpec("adaptivfloat", 8)
+        scrubber = WeightScrubber(small_model(), quant=spec)
+        assert scrubber._golden["0.weight"].fmt == "float32"
+        assert scrubber._golden["2.weight"].fmt == "float32"
+        assert scrubber._golden["0.bias"].fmt == "adaptivfloat8"
+
+    def test_deferred_snapshot(self):
+        scrubber = WeightScrubber(small_model(), snapshot=False)
+        with pytest.raises(RuntimeError, match="no golden snapshot"):
+            scrubber.verify()
+        scrubber.snapshot()
+        assert scrubber.verify() == []
+
+
+class TestVerifyRestore:
+    @pytest.mark.parametrize("spec", [None, QuantSpec("adaptivfloat", 8)],
+                             ids=["raw", "nbit"])
+    def test_detect_and_restore_bit_identically(self, spec):
+        model = ptq_model(spec) if spec else small_model()
+        scrubber = WeightScrubber(model, quant=spec)
+        golden_words = model.get_parameter("0.weight").data.copy()
+        version = model.get_parameter("0.weight").version
+
+        corrupt(model, "0.weight", element=5, bit_index=1)
+        assert scrubber.verify() == ["0.weight"]
+
+        report = scrubber.scrub(reason="test")
+        assert report.corrupted == ["0.weight"]
+        assert report.restored == ["0.weight"]
+        assert report.uncorrectable == []
+        assert not report.clean
+        live = model.get_parameter("0.weight")
+        # bit-identical repair, version bumped (weight-quant memo refresh)
+        assert np.array_equal(live.data.view(np.uint32),
+                              golden_words.view(np.uint32))
+        assert live.version > version
+        assert scrubber.generation == 1
+        assert scrubber.verify() == []
+
+    def test_scoped_verify_only_checks_named_tensors(self):
+        model = small_model()
+        scrubber = WeightScrubber(model)
+        corrupt(model, "2.weight")
+        assert scrubber.verify(["0.weight", "0.bias"]) == []
+        assert scrubber.verify(["2.weight"]) == ["2.weight"]
+
+    def test_sign_flip_is_detected(self):
+        # CRC catches *finite* silent corruptions a NaN/Inf probe cannot
+        model = small_model()
+        scrubber = WeightScrubber(model)
+        corrupt(model, "0.weight", element=0, bit_index=0)  # sign bit
+        assert np.all(np.isfinite(model.get_parameter("0.weight").data))
+        assert scrubber.verify() == ["0.weight"]
+
+    def test_clean_scrub_report(self):
+        scrubber = WeightScrubber(small_model())
+        report = scrubber.scrub(reason="periodic")
+        assert report.clean
+        assert report.checked == 4
+        assert report.reason == "periodic"
+        assert report.restored == [] and report.uncorrectable == []
+
+
+class TestUncorrectable:
+    def test_corrupted_golden_stream_is_uncorrectable(self):
+        model = small_model()
+        scrubber = WeightScrubber(model)
+        golden = scrubber._golden["0.weight"]
+        # corrupt the golden copy itself (double fault): stream bytes no
+        # longer match stream_crc, so restore must refuse
+        bad = bytearray(golden.stream)
+        bad[0] ^= 0x80
+        object.__setattr__(golden, "stream", bytes(bad))
+
+        corrupt(model, "0.weight")
+        report = scrubber.scrub()
+        assert report.uncorrectable == ["0.weight"]
+        assert report.restored == []
+        assert scrubber.uncorrectable_faults == 1
+        assert scrubber.generation == 0  # nothing was swapped in
+
+    def test_stale_golden_value_crc_is_uncorrectable(self):
+        # stream intact but decode disagrees with the recorded value CRC
+        model = small_model()
+        scrubber = WeightScrubber(model)
+        golden = scrubber._golden["0.bias"]
+        object.__setattr__(golden, "value_crc", golden.value_crc ^ 1)
+        corrupt(model, "0.bias")
+        report = scrubber.scrub()
+        assert report.uncorrectable == ["0.bias"]
+
+
+class TestCounters:
+    def test_lifetime_counters_accumulate(self):
+        model = small_model()
+        scrubber = WeightScrubber(model)
+        scrubber.scrub()
+        corrupt(model, "0.weight")
+        scrubber.scrub()
+        counters = scrubber.counters()
+        assert counters["scrubs"] == 2
+        assert counters["tensors_checked"] == 8
+        assert counters["faults_found"] == 1
+        assert counters["restores"] == 1
+        assert counters["uncorrectable"] == 0
+        assert counters["generation"] == 1
+        assert counters["golden_nbytes"] == scrubber.golden_nbytes()
+        assert counters["scrub_time_s"] >= 0.0
+
+    def test_counters_are_json_safe(self):
+        import json
+
+        json.dumps(WeightScrubber(small_model()).counters())
+
+
+class TestCrcHelpers:
+    def test_float_stream_crc_matches_packed_bytes(self):
+        data = np.arange(7, dtype=np.float32)
+        from repro.formats.bitpack import pack_words
+
+        words = data.view(np.uint32)
+        assert float_stream_crc(data) == zlib.crc32(
+            pack_words(words, 32)) & 0xFFFFFFFF
+
+    def test_single_bit_changes_crc(self):
+        data = np.ones(16, dtype=np.float32)
+        flipped = data.copy()
+        flipped.flat[9] = flip_float_register(flipped.flat[9], 31)  # LSB
+        assert float_stream_crc(data) != float_stream_crc(flipped)

@@ -57,7 +57,8 @@ class TestLifecycle:
 
     def test_invalid_knobs_raise(self, pool):
         for kwargs in ({"max_batch": 0}, {"max_wait_ms": -1.0},
-                       {"max_queue": 0}, {"workers": 0}):
+                       {"max_queue": 0}, {"workers": 0},
+                       {"length_bucket": 0}):
             with pytest.raises(ValueError):
                 InferenceServer(pool, **kwargs)
 
@@ -165,3 +166,89 @@ class TestErrorPaths:
                 server.submit("translate", [])
         # nothing was accepted, so nothing is in flight
         assert server.stats.snapshot()["requests"]["submitted"] == 0
+
+    def test_scheduler_survives_bucket_key_error(self, pool, monkeypatch):
+        # A request that blows up inside bucket_key must fail its own
+        # future without killing the scheduler thread or leaking its
+        # queue-depth slot (either would hang every later drain()).
+        import repro.serve.engine as engine_mod
+
+        real_key = engine_mod.bucket_key
+        poison = [99, 98, 97]
+
+        def flaky_key(request, length_bucket):
+            if request.payload == poison:
+                raise RuntimeError("bucketing exploded")
+            return real_key(request, length_bucket)
+
+        monkeypatch.setattr(engine_mod, "bucket_key", flaky_key)
+        server = InferenceServer(pool, max_wait_ms=1.0)
+        with server:
+            bad = server.submit("translate", poison, max_len=4)
+            good = server.submit("translate", SRC, max_len=4)
+            assert server.drain(timeout=30.0)      # would hang on a leak
+        with pytest.raises(RuntimeError, match="bucketing exploded"):
+            bad.result(timeout=0)
+        assert isinstance(good.result(timeout=0), list)
+        snap = server.stats.snapshot()
+        assert snap["requests"] == {"submitted": 2, "completed": 1,
+                                    "failed": 1, "rejected": 0}
+        assert snap["queue"]["depth"] == 0
+
+
+class TestQueueDepthAccounting:
+    """Every request path must return queue depth to zero after drain:
+    a leaked slot is a permanent backpressure loss and a hung drain."""
+
+    def _depth(self, server):
+        return server.stats.snapshot()["queue"]["depth"]
+
+    def test_success_path_returns_to_zero(self, pool):
+        server = InferenceServer(pool, max_batch=2, max_wait_ms=1.0)
+        with server:
+            futures = [server.submit("translate", SRC, max_len=4)
+                       for _ in range(5)]
+            assert server.drain(timeout=30.0)
+            assert self._depth(server) == 0
+        assert all(f.done() for f in futures)
+
+    def test_error_path_returns_to_zero(self, pool):
+        class _BrokenPool(ModelPool):
+            def get(self, name):
+                raise RuntimeError("model store offline")
+
+        server = InferenceServer(_BrokenPool(warmup=False), max_wait_ms=0.0)
+        with server:
+            future = server.submit("translate", SRC, max_len=4)
+            assert server.drain(timeout=30.0)
+            assert self._depth(server) == 0
+        assert future.exception(timeout=0) is not None
+
+    def test_abandoned_requests_fail_but_do_not_leak(self, pool):
+        # shutdown(drain=False) must resolve every accepted request
+        # (result or ServerClosed) and release every depth slot
+        gate = threading.Event()
+        gated = _GatedPool(pool, gate)
+        server = InferenceServer(gated, max_wait_ms=0.0).start()
+        futures = [server.submit("translate", SRC, max_len=4)
+                   for _ in range(3)]
+        gate.set()
+        server.shutdown(drain=False)
+        for future in futures:
+            assert future.done()
+        assert self._depth(server) == 0
+
+    def test_cancelled_future_does_not_leak_depth(self, pool):
+        # a client cancelling its future must not break demux for the
+        # rest of the batch or leak the cancelled request's slot
+        gate = threading.Event()
+        gated = _GatedPool(pool, gate)
+        server = InferenceServer(gated, max_batch=4, max_wait_ms=0.0)
+        with server:
+            futures = [server.submit("translate", SRC, max_len=4)
+                       for _ in range(3)]
+            futures[0].cancel()
+            gate.set()
+            assert server.drain(timeout=30.0)
+            assert self._depth(server) == 0
+        assert futures[1].result(timeout=0) == futures[2].result(timeout=0)

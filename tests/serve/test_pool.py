@@ -70,6 +70,45 @@ def test_warmup_primes_weight_quant_memo():
     assert after["hits"] > stats["hits"]
 
 
+def test_build_failure_caches_nothing_and_retry_succeeds(monkeypatch):
+    # Regression guard: a quantizer dying mid-attach must leave the
+    # pool empty (no poisoned half-built entry), propagate the error to
+    # the caller, and let a later get() rebuild cleanly.
+    import repro.serve.pool as pool_mod
+
+    real_attach = pool_mod.attach_weight_quantizers
+    calls = {"n": 0}
+
+    def flaky_attach(model, spec):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("quantizer died mid-attach")
+        return real_attach(model, spec)
+
+    monkeypatch.setattr(pool_mod, "attach_weight_quantizers", flaky_attach)
+    pool = ModelPool(quant=("adaptivfloat", 8), warmup=False)
+    with pytest.raises(RuntimeError, match="died mid-attach"):
+        pool.get("transformer")
+    assert pool.warm_models() == ()          # nothing half-built cached
+    entry = pool.get("transformer")          # retry rebuilds from scratch
+    assert entry.name == "transformer"
+    assert pool.warm_models() == ("transformer",)
+    assert calls["n"] == 2
+
+
+def test_enable_scrubbing_snapshots_built_models():
+    pool = ModelPool(warmup=False)
+    pool.get("transformer")
+    assert pool.get("transformer").scrubber is None
+    pool.enable_scrubbing()
+    scrubber = pool.get("transformer").scrubber
+    assert scrubber is not None
+    assert scrubber.verify() == []           # snapshot taken, weights clean
+    pool.enable_scrubbing()                  # idempotent
+    assert pool.get("transformer").scrubber is scrubber
+    assert "transformer" in pool.scrub_counters()
+
+
 def test_concurrent_first_gets_build_one_instance():
     pool = ModelPool(warmup=False)
     results = []

@@ -1,5 +1,7 @@
 """Serving metrics: latency ring buffer and the aggregated counters."""
 
+import pytest
+
 from repro.serve import LatencyRecorder, ServerStats
 
 
@@ -12,7 +14,8 @@ class TestLatencyRecorder:
         for value in (0.010, 0.020, 0.030):
             rec.record(value)
         summary = rec.summary()
-        assert summary["count"] == 3
+        assert summary["window"] == 3
+        assert summary["count_lifetime"] == 3
         assert summary["mean_ms"] == 20.0
         assert summary["p50_ms"] == 20.0
         assert summary["max_ms"] == 30.0
@@ -27,6 +30,25 @@ class TestLatencyRecorder:
         assert rec.total == float(sum(range(8)))
         assert sorted(rec._samples) == [4.0, 5.0, 6.0, 7.0]
         assert rec.summary()["max_ms"] == 7000.0
+
+    def test_summary_is_windowed_after_wraparound(self):
+        # Regression: the mean used to be lifetime (total/count) while
+        # the percentiles were windowed, so after the ring wrapped a
+        # latency regression moved p50 but a long calm history pinned
+        # the mean.  Every statistic must describe the ring window.
+        rec = LatencyRecorder(cap=4)
+        for _ in range(100):
+            rec.record(0.001)           # long calm history...
+        for _ in range(4):
+            rec.record(1.0)             # ...then a regression fills the ring
+        summary = rec.summary()
+        assert summary["window"] == 4
+        assert summary["count_lifetime"] == 104
+        # windowed mean agrees with the windowed percentiles
+        assert summary["mean_ms"] == pytest.approx(1000.0)
+        assert summary["p50_ms"] == pytest.approx(1000.0)
+        # the old buggy lifetime mean would have been ~39ms
+        assert summary["mean_ms"] > 900.0
 
 
 class TestServerStats:
@@ -49,8 +71,38 @@ class TestServerStats:
         assert snap["batches"]["mean_size"] == 1.5
         assert snap["batches"]["histogram"] == {"1": 1, "2": 1}
         # failed requests are not latency samples
-        assert snap["latency"]["count"] == 2
-        assert snap["queue_wait"]["count"] == 2
+        assert snap["latency"]["window"] == 2
+        assert snap["latency"]["count_lifetime"] == 2
+        assert snap["queue_wait"]["window"] == 2
+
+    def test_resilience_counters(self):
+        stats = ServerStats()
+        snap = stats.snapshot()
+        assert snap["resilience"]["degradation"] == "ok"
+        assert snap["resilience"]["scrubs"] == 0
+
+        stats.record_scrub(checked=88, restored=1, uncorrectable=0,
+                           duration_s=0.002)
+        stats.record_fault("probe")
+        stats.record_fault("crc")
+        stats.record_fault("probe")
+        stats.record_retry()
+        stats.record_recovered()
+        stats.record_deadline()
+        stats.record_degraded_rejection()
+        stats.set_degradation("open")
+
+        res = stats.snapshot()["resilience"]
+        assert res["scrubs"] == 1
+        assert res["scrub_tensors"] == 88
+        assert res["restores"] == 1
+        assert res["faults_detected"] == 3
+        assert res["fault_kinds"] == {"crc": 1, "probe": 2}
+        assert res["retries"] == 1
+        assert res["recovered_batches"] == 1
+        assert res["deadline_expired"] == 1
+        assert res["degraded_rejections"] == 1
+        assert res["degradation"] == "open"
 
     def test_snapshot_is_json_safe(self):
         import json
@@ -59,4 +111,6 @@ class TestServerStats:
         stats.record_submit()
         stats.record_batch(1)
         stats.record_done(0.01, 0.001)
+        stats.record_scrub(1, 0, 0, 0.001)
+        stats.record_fault("crc")
         json.dumps(stats.snapshot())  # must not raise

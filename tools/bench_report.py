@@ -23,10 +23,14 @@ Two suites:
 * ``--suite serve`` — micro-batched vs serial request throughput
   through ``repro.serve`` (transformer greedy workload, 16 concurrent
   clients) -> ``BENCH_serve.json`` with the server's queue/batch/latency
-  stats and the per-family batched-vs-serial token-identity verdicts
-  (under ``deterministic_matmul``).  The batched path must clear a
-  >= 3x request-throughput speedup and every family must be
-  token-identical, or the run fails.
+  stats, the per-family batched-vs-serial token-identity verdicts
+  (under ``deterministic_matmul``), and a ``resilience`` block: the
+  closed-loop single-fault recovery record (exponent-bit weight flip
+  injected mid-serve; scrub/restore/retry counters) plus the measured
+  p50 latency overhead of golden-copy scrubbing.  Gates: >= 3x
+  throughput speedup, every family token-identical, zero failed
+  requests + token-identical recovery under injection, and scrub p50
+  overhead below 5%.
 
 Run:  PYTHONPATH=src python tools/bench_report.py [--suite decode]
 
@@ -88,6 +92,10 @@ SERVE_CONFIG = {
 
 #: Minimum batched-vs-serial request-throughput speedup for the record.
 MIN_SERVE_SPEEDUP = 3.0
+
+#: Largest tolerated p50 latency regression with golden-copy weight
+#: scrubbing enabled (per-batch CRC verify + periodic scrub daemon).
+MAX_SCRUB_P50_OVERHEAD = 0.05
 
 
 def machine_info() -> dict:
@@ -207,12 +215,22 @@ def _run_resilience() -> dict:
 
 
 def _run_serve() -> dict:
-    """Serving throughput + token-identity record; fails below the gate."""
+    """Serving throughput + token-identity + resilience record.
+
+    Three gates: batched-vs-serial speedup, per-family token identity,
+    and the self-healing loop — a single exponent-bit weight fault
+    injected mid-serve must be detected, restored, and retried with
+    zero failed requests and token-identical output, and scrubbing must
+    cost less than :data:`MAX_SCRUB_P50_OVERHEAD` of p50 latency.
+    """
     sys.path.insert(0, str(REPO / "src"))
-    from repro.serve.bench import check_equivalence, run_serve_benchmark
+    from repro.serve.bench import (check_equivalence, measure_scrub_overhead,
+                                   run_fault_recovery, run_serve_benchmark)
 
     record = run_serve_benchmark(**SERVE_CONFIG)
     identity = check_equivalence(seed=SERVE_CONFIG["seed"])
+    recovery = run_fault_recovery(seed=SERVE_CONFIG["seed"])
+    overhead = measure_scrub_overhead(seed=SERVE_CONFIG["seed"])
 
     if record["speedup"] < MIN_SERVE_SPEEDUP:
         raise SystemExit(f"batched-vs-serial speedup {record['speedup']}x "
@@ -221,9 +239,26 @@ def _run_serve() -> dict:
     if failures:
         raise SystemExit("batched decode not token-identical to serial "
                          f"for: {failures}")
+    if recovery["failed_requests"] or not recovery["token_identical"]:
+        raise SystemExit(
+            "self-healing gate failed under single-fault injection: "
+            f"failed={recovery['failed_requests']} "
+            f"token_identical={recovery['token_identical']}")
+    if not (recovery["detected"] and recovery["restored"]
+            and recovery["retried"]):
+        raise SystemExit("self-healing gate: fault was not "
+                         f"detected/restored/retried ({recovery})")
+    if overhead["p50_overhead"] > MAX_SCRUB_P50_OVERHEAD:
+        raise SystemExit(
+            f"scrub p50 overhead {overhead['p50_overhead']:.1%} above "
+            f"the {MAX_SCRUB_P50_OVERHEAD:.0%} gate")
     return {
         "throughput": record,
         "token_identity": identity,
+        "resilience": {
+            "fault_recovery": recovery,
+            "scrub_overhead": overhead,
+        },
         "machine": machine_info(),
     }
 
