@@ -67,6 +67,21 @@ def test_serve_speedup_gate():
         f"micro-batching speedup regressed: {record['speedup']:.2f}x")
 
 
+def test_obs_overhead_gate():
+    """CI tripwire: the enabled metrics registry must cost < 2% p50 on
+    the serve micro-benchmark vs the disabled (branch-only) path."""
+    from repro.serve.bench import measure_obs_overhead
+
+    record = measure_obs_overhead(
+        model="transformer", concurrency=8, num_requests=32,
+        max_batch=16, max_wait_ms=5.0, seed=0, max_len=MAX_LEN, repeats=3)
+    assert record["p50_overhead"] < 0.02, (
+        f"obs instrumentation overhead regressed: "
+        f"{record['p50_overhead']:.3%} of p50 "
+        f"({record['obs_cost_per_request_us']:.1f}us/request vs p50 "
+        f"{record['p50_ms']:.2f}ms)")
+
+
 def test_serve_token_identity_gate():
     """Batched padded decode must be token-identical to serial decode
     under deterministic_matmul for every model family."""

@@ -26,6 +26,10 @@ Subpackages
     Dynamic micro-batching inference serving: a concurrent request
     server with a bounded queue, padded micro-batch coalescing over the
     KV-cached decode paths, and a shared warm-model pool.
+``repro.obs``
+    The unified telemetry spine: thread-safe metric registry, the
+    injectable monotonic clock, trace spans, Prometheus/JSON exposition
+    and the optional HTTP ``/metrics`` endpoint.
 
 Quick start::
 
@@ -37,14 +41,14 @@ Quick start::
     w_q = q.quantize(w)
 """
 
-from . import (analysis, data, formats, hardware, metrics, nn, resilience,
-               rng, serve)
+from . import (analysis, data, formats, hardware, metrics, nn, obs,
+               resilience, rng, serve)
 from .formats import AdaptivFloat, adaptivfloat_quantize, make_quantizer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdaptivFloat", "adaptivfloat_quantize", "analysis", "data", "formats",
-    "hardware", "make_quantizer", "metrics", "nn", "resilience", "rng",
-    "serve", "__version__",
+    "hardware", "make_quantizer", "metrics", "nn", "obs", "resilience",
+    "rng", "serve", "__version__",
 ]

@@ -177,6 +177,41 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from . import obs
+
+    if args.demo:
+        # A tiny instrumented workload so the dump shows live families:
+        # a few served requests plus one quantized-forward (weight-quant
+        # memo traffic) and a codebook touch via the quantize path.
+        from .formats import make_quantizer
+        from .serve import InferenceServer, ModelPool
+        from .serve.bench import build_requests
+        import numpy as np
+        make_quantizer("adaptivfloat", 8).quantize(
+            np.linspace(-1.0, 1.0, 32, dtype=np.float32))
+        pool = ModelPool(quant=("adaptivfloat", 8))
+        with InferenceServer(pool, max_batch=4, max_wait_ms=5.0) as server:
+            for request in build_requests("resnet", 8, max_len=8):
+                server.submit(request.kind, request.payload,
+                              max_len=request.max_len)
+            server.drain()
+    else:
+        # Importing the instrumented layers registers every metric
+        # family, so even a fresh process dumps the full schema.
+        from . import nn, resilience, serve  # noqa: F401
+
+    if args.format == "prom":
+        print(obs.render_prometheus(), end="")
+    else:
+        print(obs.render_json())
+    if args.spans:
+        for span in obs.TRACER.recent(args.spans):
+            print(f"# span {span.trace_id} {span.name} "
+                  f"{span.duration_s * 1e3:.3f}ms {span.attrs}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -276,6 +311,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measure the p50 latency cost of golden-copy "
                         "weight scrubbing")
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser("obs",
+                       help="dump the process metrics registry "
+                            "(Prometheus text or JSON)")
+    p.add_argument("--format", choices=("prom", "json"), default="prom")
+    p.add_argument("--demo", action="store_true",
+                   help="run a tiny serve+quantize workload first so the "
+                        "dump carries live values")
+    p.add_argument("--spans", type=int, default=0, metavar="N",
+                   help="also print the N most recent trace spans")
+    p.set_defaults(func=_cmd_obs)
     return parser
 
 

@@ -33,6 +33,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from .base import Quantizer
 
 __all__ = [
@@ -174,3 +175,19 @@ def clear_decode_lut_cache() -> None:
     _LUT_CACHE.clear()
     _LUT_HITS = 0
     _LUT_MISSES = 0
+
+
+# ------------------------------------------------------------ observability
+# Pull collector mirroring the legacy counters into gauges at
+# snapshot/render time; the module-global ints stay the source of truth.
+_OBS_GAUGE = obs.gauge(
+    "repro_decode_lut_cache", "Decode-LUT cache state "
+    "(hits/misses/size).", ("stat",))
+
+
+def _collect_lut_stats(_registry) -> None:
+    for stat, value in decode_lut_cache_stats().items():
+        _OBS_GAUGE.labels(stat=stat).set(float(value))
+
+
+obs.register_collector(_collect_lut_stats)

@@ -59,6 +59,8 @@ from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
+
 __all__ = [
     "AffineGrid",
     "Codebook",
@@ -427,3 +429,22 @@ def get_codebook(quantizer: Any,
             _cache.popitem(last=False)
             _stats["evictions"] += 1
     return codebook
+
+
+# ------------------------------------------------------------ observability
+# The legacy dict above stays the source of truth (zero hot-path cost);
+# a pull collector copies it into gauges whenever the obs registry
+# snapshots or renders, so scrapes see the LRU state without the cache
+# paying per-lookup metric writes.
+_OBS_GAUGE = obs.gauge(
+    "repro_codebook_cache", "Codebook LRU cache state "
+    "(hits/misses/builds/evictions/fallbacks/entries/capacity).",
+    ("stat",))
+
+
+def _collect_codebook_stats(_registry) -> None:
+    for stat, value in codebook_cache_stats().items():
+        _OBS_GAUGE.labels(stat=stat).set(float(value))
+
+
+obs.register_collector(_collect_codebook_stats)

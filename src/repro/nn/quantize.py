@@ -29,6 +29,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
 
 import numpy as np
 
+from .. import obs
 from ..formats import AdaptiveQuantizer, Quantizer, make_quantizer
 from ..rng import fresh_rng
 from . import functional as F
@@ -49,6 +50,16 @@ __all__ = [
 #: common accelerator practice (they ride the high-precision accumulator).
 DEFAULT_QUANTIZED_LAYERS: Tuple[Type[Module], ...] = (
     Linear, Conv2d, Embedding, LSTMCell)
+
+# Process-wide memo outcome counters, summed over every WeightFakeQuant
+# instance.  The per-instance ``hits``/``misses`` attributes remain the
+# per-model view (:func:`weight_quant_cache_stats`); these feed the same
+# events into ``repro.obs`` so one snapshot covers every attached model.
+_WQ_CACHE = obs.counter(
+    "repro_weight_quant_cache_total", "Weight-quantization memo "
+    "outcomes, summed over all WeightFakeQuant instances.", ("outcome",))
+_WQ_HIT = _WQ_CACHE.labels(outcome="hit")
+_WQ_MISS = _WQ_CACHE.labels(outcome="miss")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -95,13 +106,16 @@ class WeightFakeQuant:
         version = getattr(weight, "version", None)
         if version is None or os.environ.get("REPRO_NO_WQCACHE"):
             self.misses += 1
+            _WQ_MISS.inc()
             return self.quantizer.quantize(weight.data)
         entry = self._cache.get(id(weight))
         if entry is not None and entry[0] == version \
                 and entry[1] is weight.data:
             self.hits += 1
+            _WQ_HIT.inc()
             return entry[2]
         self.misses += 1
+        _WQ_MISS.inc()
         quantized = np.asarray(self.quantizer.quantize(weight.data),
                                dtype=np.float32)
         self._cache[id(weight)] = (version, weight.data, quantized)

@@ -1,0 +1,209 @@
+"""Exposition formats: Prometheus text 0.0.4 and JSON, plus a validator.
+
+:func:`to_prometheus` renders a :class:`~repro.obs.registry.Registry`
+in the Prometheus text exposition format (``# HELP`` / ``# TYPE`` lines,
+cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` series for
+histograms).  :func:`to_json` is the same data as an indented JSON
+document for humans and for embedding in benchmark records.
+
+:func:`parse_prometheus` is a small *validating* parser used by the CI
+``obs-smoke`` job and the test suite: it checks metric/label syntax,
+requires every sample to belong to a ``# TYPE``-declared family, and
+verifies histogram invariants (cumulative non-decreasing buckets, a
+``+Inf`` bucket equal to ``_count``).  It is intentionally strict — a
+scrape target that fails it would also upset a real Prometheus server.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from .registry import Registry
+
+__all__ = ["parse_prometheus", "to_json", "to_prometheus"]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^ ]+)$")
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: Dict[str, str],
+               extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(k, labels[k]) for k in labels]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: Registry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    registry.run_collectors()
+    lines: List[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.children():
+            if family.kind == "histogram":
+                cumulative = 0
+                for upper, count in zip(family.buckets, child.counts):
+                    cumulative += count
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_label_str(labels, ('le', _format_value(upper)))}"
+                        f" {cumulative}")
+                cumulative += child.counts[-1]
+                lines.append(f"{family.name}_bucket"
+                             f"{_label_str(labels, ('le', '+Inf'))}"
+                             f" {cumulative}")
+                lines.append(f"{family.name}_sum{_label_str(labels)}"
+                             f" {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{_label_str(labels)}"
+                             f" {child.count}")
+            else:
+                lines.append(f"{family.name}{_label_str(labels)}"
+                             f" {_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: Registry, indent: Optional[int] = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _unescape(value: str) -> str:
+    return (value.replace(r"\"", '"').replace(r"\n", "\n")
+            .replace(r"\\", "\\"))
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse + validate Prometheus exposition text.
+
+    Returns ``{family: {"type", "help", "samples": [(name, labels,
+    value), ...]}}``.  Raises :class:`ValueError` on any syntax or
+    consistency violation (see module docstring for what is checked).
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {lineno}: malformed HELP: {raw!r}")
+            families.setdefault(parts[2], {"type": None, "samples": []})[
+                "help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: malformed TYPE: {raw!r}")
+            family = families.setdefault(parts[2],
+                                         {"type": None, "samples": []})
+            if family["type"] is not None:
+                raise ValueError(f"line {lineno}: duplicate TYPE for "
+                                 f"{parts[2]}")
+            family["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {raw!r}")
+        name = match.group("name")
+        label_text = match.group("labels") or ""
+        labels = {key: _unescape(value)
+                  for key, value in _LABEL_PAIR_RE.findall(label_text)}
+        # Labels must round-trip: anything the pair regex did not
+        # consume is a syntax error (e.g. an unquoted value).
+        reassembled = ",".join(f'{k}="{v}"' for k, v
+                               in _LABEL_PAIR_RE.findall(label_text))
+        stripped = label_text.rstrip(",")
+        if stripped and len(reassembled) != len(stripped):
+            raise ValueError(f"line {lineno}: malformed labels: {raw!r}")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: unparseable sample value: "
+                             f"{raw!r}") from None
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
+            if trimmed and families.get(trimmed, {}).get("type") == \
+                    "histogram":
+                base = trimmed
+                break
+        if base not in families or families[base]["type"] is None:
+            raise ValueError(f"line {lineno}: sample {name!r} has no "
+                             f"preceding # TYPE")
+        families[base]["samples"].append((name, labels, value))
+
+    for fname, family in families.items():
+        if family["type"] == "histogram":
+            _validate_histogram(fname, family["samples"])
+    return families
+
+
+def _validate_histogram(name: str,
+                        samples: List[Tuple[str, Dict[str, str], float]]
+                        ) -> None:
+    """Check cumulative buckets, +Inf presence, and _count agreement."""
+    series: Dict[Tuple[Tuple[str, str], ...], Dict[str, Any]] = {}
+    for sample_name, labels, value in samples:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        entry = series.setdefault(key, {"buckets": [], "count": None})
+        if sample_name == f"{name}_bucket":
+            if "le" not in labels:
+                raise ValueError(f"{name}: bucket sample without le label")
+            entry["buckets"].append((_parse_value(labels["le"]), value))
+        elif sample_name == f"{name}_count":
+            entry["count"] = value
+    for key, entry in series.items():
+        buckets = sorted(entry["buckets"])
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ValueError(f"{name}{dict(key)}: missing +Inf bucket")
+        counts = [count for _, count in buckets]
+        if any(b > a for b, a in zip(counts, counts[1:])):
+            raise ValueError(f"{name}{dict(key)}: buckets not cumulative: "
+                             f"{counts}")
+        if entry["count"] is not None and entry["count"] != counts[-1]:
+            raise ValueError(
+                f"{name}{dict(key)}: _count {entry['count']} != +Inf "
+                f"bucket {counts[-1]}")

@@ -1,0 +1,79 @@
+"""Optional stdlib exposition endpoint for the metrics registry.
+
+:class:`MetricsServer` wraps ``http.server.ThreadingHTTPServer`` in a
+daemon thread and serves
+
+* ``GET /metrics``       — Prometheus text format 0.0.4 (what a
+  Prometheus scraper or the CI ``obs-smoke`` job reads), and
+* ``GET /metrics.json``  — the same registry as JSON.
+
+``port=0`` (the default) binds an ephemeral port; read it back from
+:attr:`MetricsServer.port` / :attr:`MetricsServer.url`.  The
+:class:`~repro.serve.engine.InferenceServer` starts one of these when
+constructed with ``metrics_port=...`` and closes it on shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .export import to_json, to_prometheus
+from .registry import Registry
+
+__all__ = ["MetricsServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve one registry over HTTP until :meth:`close`."""
+
+    def __init__(self, registry: Registry, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+                path = self.path.split("?", 1)[0]
+                if path in ("/metrics", "/"):
+                    body = to_prometheus(server.registry).encode()
+                    content_type = PROMETHEUS_CONTENT_TYPE
+                elif path == "/metrics.json":
+                    body = to_json(server.registry).encode()
+                    content_type = "application/json"
+                else:
+                    self.send_error(404, "unknown path (try /metrics)")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *_args) -> None:
+                pass  # scrapes must not spam the serving process's stderr
+
+        self.registry = registry
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="obs-exposition", daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

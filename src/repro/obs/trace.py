@@ -1,0 +1,131 @@
+"""Lightweight trace spans with propagated per-request trace ids.
+
+A :class:`Span` is one named, timed phase of a request's life (queue
+wait, batch execution, total residence).  Spans sharing a ``trace_id``
+belong to one request, so the path of any single request through the
+serving engine can be reconstructed from the span log.
+
+The tracer is deliberately small: no context propagation machinery, no
+sampling — phases in this codebase cross threads with explicit state
+(the engine's ``_Pending`` carries its ``trace_id``), so spans are
+recorded with explicit start/end timestamps read from the shared
+:mod:`repro.obs.clock`.  Every finished span
+
+* observes its duration into the ``repro_span_seconds{name=...}``
+  histogram of the tracer's registry (the aggregate view), and
+* lands in a bounded ring of recent spans (the per-request view,
+  :meth:`Tracer.recent`).
+
+With the registry disabled both effects are skipped, keeping the
+disabled serving path at a branch per span.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import itertools
+import os
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from . import clock
+from .registry import LATENCY_BUCKETS, Registry
+
+__all__ = ["Span", "Tracer", "new_trace_id"]
+
+#: Process-unique prefix so trace ids from different processes (e.g.
+#: campaign workers) never collide in a merged log.
+_PREFIX = os.urandom(4).hex()
+_SEQUENCE = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A short process-unique trace id (``<prefix>-<sequence>``)."""
+    return f"{_PREFIX}-{next(_SEQUENCE):08x}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """One finished, named, timed phase of a trace."""
+
+    name: str
+    trace_id: str
+    start: float
+    end: float
+    attrs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "trace_id": self.trace_id,
+                "start": self.start, "end": self.end,
+                "duration_s": self.duration_s, "attrs": dict(self.attrs)}
+
+
+class Tracer:
+    """Span sink: duration histogram + bounded recent-span ring."""
+
+    def __init__(self, registry: Registry, max_spans: int = 512) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self._registry = registry
+        self._seconds = registry.histogram(
+            "repro_span_seconds", "Duration of trace spans by span name.",
+            ("name",), buckets=LATENCY_BUCKETS)
+        self._lock = threading.Lock()
+        self._spans: Deque[Span] = deque(maxlen=max_spans)
+
+    def record(self, name: str, start: float, end: float,
+               trace_id: Optional[str] = None,
+               **attrs: Any) -> Optional[Span]:
+        """Record a finished span from explicit clock readings.
+
+        Returns the :class:`Span`, or ``None`` when the registry is
+        disabled (nothing was recorded).
+        """
+        if not self._registry.enabled:
+            return None
+        span = Span(name=name, trace_id=trace_id or new_trace_id(),
+                    start=start, end=end, attrs=attrs)
+        self._seconds.labels(name=name).observe(span.duration_s)
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    @contextlib.contextmanager
+    def span(self, name: str, trace_id: Optional[str] = None,
+             **attrs: Any) -> Iterator[Dict[str, Any]]:
+        """Context manager timing its body on the obs clock.
+
+        Yields the (mutable) attrs dict so the body can annotate the
+        span before it is recorded.
+        """
+        start = clock.now()
+        try:
+            yield attrs
+        finally:
+            self.record(name, start, clock.now(), trace_id=trace_id,
+                        **attrs)
+
+    def recent(self, n: Optional[int] = None,
+               trace_id: Optional[str] = None) -> List[Span]:
+        """The most recent spans, newest last, optionally one trace's."""
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is not None:
+            spans = [span for span in spans if span.trace_id == trace_id]
+        if n is not None:
+            spans = spans[-n:]
+        return spans
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-safe dump of the recent-span ring."""
+        return [span.to_dict() for span in self.recent()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()

@@ -55,12 +55,12 @@ blocks reload stably).
 from __future__ import annotations
 
 import hashlib
-import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
+from ..obs import clock
 from ..analysis import format_table, save_result
 from ..cache import content_key
 from ..formats import FORMAT_NAMES, make_quantizer
@@ -84,6 +84,20 @@ _CACHE_SALT = "resilience-v2"
 #: How many eval-set samples the logit probe uses (kept small: the probe
 #: runs once per trial on top of the task-metric evaluation).
 _PROBE_SIZE = 16
+
+#: Campaign-level metrics, emitted by :func:`run` in the parent process
+#: after the (possibly multi-process, possibly cache-served) chunk
+#: results merge: per-cell wall time lands in a wide-bucket histogram so
+#: one scrape shows how cell cost is distributed across the grid.
+_CELLS = obs.counter(
+    "repro_campaign_cells_total", "Injection cells merged by campaign "
+    "runs.")
+_TRIALS = obs.counter(
+    "repro_campaign_trials_total", "Injection trials covered by merged "
+    "cells.")
+_CELL_SECONDS = obs.histogram(
+    "repro_campaign_cell_seconds", "Per-cell wall time (summed over the "
+    "cell's shards).", buckets=obs.WIDE_SECONDS_BUCKETS)
 
 #: Descriptor keys that define a cell's *faults* — the per-trial RNG
 #: stream hashes exactly these, so execution-layout keys (``engine``,
@@ -297,7 +311,7 @@ def run_chunk(cell: Dict) -> Dict:
     scores: List[float] = []
     score_failures = 0
     flips_total = 0
-    t0 = time.perf_counter()
+    t0 = clock.now()
     for trial in range(start, start + count):
         rng = fresh_rng([ctx.seed, ctx.hash, trial])
         target = ctx.pick_target(rng)
@@ -372,7 +386,7 @@ def run_chunk(cell: Dict) -> Dict:
         finally:
             if restore is not None:
                 ctx.model.swap_parameter(target, restore)
-    wall = time.perf_counter() - t0
+    wall = clock.now() - t0
 
     return {
         "trial_start": start,
@@ -529,6 +543,10 @@ def run(profile: str = "fast", models: Sequence[str] = ("transformer",),
     results = [_merge_chunks(cell, chunk_results[i * per_cell:
                                                  (i + 1) * per_cell])
                for i, cell in enumerate(cells)]
+    for payload in results:
+        _CELLS.inc()
+        _TRIALS.inc(int(payload["trials"]))
+        _CELL_SECONDS.observe(payload["timing"]["wall_time_s"])
 
     grid: Dict = {}
     for (model, fmt, key), payload in zip(slots, results):
@@ -594,7 +612,7 @@ def measure_injection_throughput(profile: str = "tiny",
     flips_total = 0
     findings_total = 0
     digests: List[str] = []
-    t0 = time.perf_counter()
+    t0 = clock.now()
     for trial in range(int(trials)):
         rng = fresh_rng([ctx.seed, ctx.hash, trial])
         target = ctx.pick_target(rng)
@@ -628,7 +646,7 @@ def measure_injection_throughput(profile: str = "tiny",
                     data.tobytes()).hexdigest()[:16])
         flips_total += n_flips_actual
         findings_total += len(findings)
-    wall = time.perf_counter() - t0
+    wall = clock.now() - t0
 
     return {
         "engine": bool(engine),

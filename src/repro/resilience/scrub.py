@@ -40,18 +40,37 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-import time
 import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..formats import AdaptiveQuantizer
 from ..formats.bitpack import crc32_stream, pack_words, unpack_words
 from ..formats.codec import decode_tensor, encode_tensor
+from ..obs import clock
 
 __all__ = ["TensorGolden", "ScrubReport", "WeightScrubber",
            "float_stream_crc"]
+
+# Process-wide scrub metrics, summed over every WeightScrubber (the
+# per-instance lifetime counters below remain the per-model view).
+_PASSES = obs.counter(
+    "repro_scrub_passes_total", "Scrub passes by trigger reason.",
+    ("reason",))
+_TENSORS = obs.counter(
+    "repro_scrub_tensors_checked_total", "Parameter tensors CRC-verified "
+    "against their golden checksums.")
+_FAULTS = obs.counter(
+    "repro_scrub_faults_total", "Corrupted tensors detected by verify.")
+_RESTORES = obs.counter(
+    "repro_scrub_restores_total", "Tensors repaired from golden streams.")
+_UNCORRECTABLE = obs.counter(
+    "repro_scrub_uncorrectable_total", "Faults whose golden copy failed "
+    "its self-checksum (restore impossible).")
+_DURATION = obs.histogram(
+    "repro_scrub_duration_seconds", "Wall time of scrub passes.")
 
 #: Golden-stream encoding for weights not on a quantizer grid: the raw
 #: IEEE-754 bit pattern as 32-bit words.
@@ -212,6 +231,7 @@ class WeightScrubber:
                 self.tensors_checked += 1
                 if float_stream_crc(live) != golden.value_crc:
                     corrupted.append(name)
+            _TENSORS.inc(len(targets))
             return corrupted
 
     # -------------------------------------------------------------- restore
@@ -246,17 +266,19 @@ class WeightScrubber:
             restored = self._decode_golden(golden)
             if restored is None:
                 self.uncorrectable_faults += 1
+                _UNCORRECTABLE.inc()
                 return False
             self.model.swap_parameter(name, restored)
             self.generation += 1
             self.restores += 1
+            _RESTORES.inc()
             return True
 
     # ---------------------------------------------------------------- scrub
     def scrub(self, names: Optional[List[str]] = None,
               reason: str = "on-demand") -> ScrubReport:
         """Verify (all or ``names``) and restore whatever is corrupted."""
-        t0 = time.perf_counter()
+        t0 = clock.now()
         with self._lock:
             corrupted = self.verify(names)
             report = ScrubReport(
@@ -269,10 +291,14 @@ class WeightScrubber:
                 else:
                     report.uncorrectable.append(name)
             self.scrubs += 1
-            report.duration_s = time.perf_counter() - t0
+            report.duration_s = clock.now() - t0
             self.scrub_time_s += report.duration_s
             report.generation = self.generation
-            return report
+        _PASSES.labels(reason=reason).inc()
+        if corrupted:
+            _FAULTS.inc(len(corrupted))
+        _DURATION.observe(report.duration_s)
+        return report
 
     # -------------------------------------------------------------- metrics
     def golden_nbytes(self) -> int:

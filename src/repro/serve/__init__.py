@@ -16,7 +16,9 @@ request throughput:
   decode (bit-exact under ``deterministic_matmul``).
 * :class:`ServerStats` (``stats``) — p50/p95/p99 latency, queue depth,
   batch-size histogram, weight-cache hit counters, scrub/fault/retry
-  counters and the degradation state.
+  counters and the degradation state; every event also mirrors into the
+  process-wide :mod:`repro.obs` registry, and ``snapshot()`` embeds the
+  registry dump.
 * ``resilient`` — the self-healing policy layer
   (:class:`ResilienceConfig`, :class:`CircuitBreaker`): golden-copy
   weight scrubbing via :mod:`repro.resilience.scrub`, Sanitizer-backed

@@ -19,15 +19,23 @@ import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence
 
+from .. import obs
 from ..nn import deterministic_matmul
 from ..rng import fresh_rng
 from .batching import KINDS, Request, serial_reference
 from .engine import InferenceServer
 from .pool import ModelPool
 from .resilient import ResilienceConfig
+from .stats import ServerStats
 
 __all__ = ["build_requests", "check_equivalence", "run_serve_benchmark",
-           "run_fault_recovery", "measure_scrub_overhead"]
+           "run_fault_recovery", "measure_scrub_overhead",
+           "measure_obs_overhead"]
+
+_HARVEST_ERRORS = obs.counter(
+    "repro_serve_swallowed_exceptions_total",
+    "Exceptions caught by broad serve/resilience handlers, by handler "
+    "site and exception type.", ("site", "exc"))
 
 #: Kind served per model family (inverse of batching.KINDS).
 _KIND_OF = {model: kind for kind, model in KINDS.items()}
@@ -211,7 +219,10 @@ def run_fault_recovery(model: str = "transformer", num_requests: int = 12,
         for future in futures:
             try:
                 results.append(future.result(timeout=300.0))
-            except Exception:
+            except Exception as error:
+                # Expected when recovery fails; counted, not dropped.
+                _HARVEST_ERRORS.labels(site="bench.fault_recovery",
+                                       exc=type(error).__name__).inc()
                 errors += 1
                 results.append(None)
         stats = server.stats.snapshot()
@@ -289,6 +300,88 @@ def measure_scrub_overhead(model: str = "transformer",
         "p50_overhead": round(scrub_p50 / base_p50 - 1.0, 4)
         if base_p50 else 0.0,
         "scrub_counters": scrubbed["resilience"],
+    }
+
+
+def measure_obs_overhead(model: str = "transformer",
+                         concurrency: int = 8, num_requests: int = 48,
+                         max_batch: int = 16, max_wait_ms: float = 5.0,
+                         seed: int = 0, max_len: Optional[int] = 32,
+                         repeats: int = 3) -> Dict:
+    """p50 latency cost of the metrics spine on the serve micro-bench.
+
+    End-to-end A/B timing cannot resolve this overhead: the serve p50
+    jitters several percent run to run (batch-formation timing under
+    thread scheduling), while the spine's true cost is microseconds per
+    request.  So the measurement is split:
+
+    1. the serve micro-benchmark (best-of-``repeats`` p50 with the
+       registry enabled, the shipping configuration) sets the latency
+       budget, and
+    2. one request's worth of instrument calls — the ``ServerStats``
+       mirror events plus the three tracer spans the engine emits — is
+       micro-timed in a tight loop, once with the registry recording
+       and once disabled via :func:`repro.obs.disabled` (every
+       instrument reduced to one attribute read + branch).  The
+       ``ServerStats`` dict/lock work runs identically on both sides,
+       so the difference isolates the obs mirror: child lock + float
+       adds, span ring appends, histogram bisects.
+
+    ``p50_overhead`` is that per-request cost as a fraction of the p50;
+    the committed benchmark gates it below 2% (measured well under
+    0.1%) — the spine must be cheap enough to leave on.
+    """
+    pool = ModelPool()
+    pool.get(model)                   # warm before the timed runs
+    requests = build_requests(model, num_requests, seed=seed,
+                              max_len=max_len)
+
+    def one_p50() -> float:
+        server = InferenceServer(pool, max_batch=max_batch,
+                                 max_wait_ms=max_wait_ms)
+        with server:
+            _submit_all(server, requests, concurrency)
+            server.drain()
+        return server.stats.latency.summary()["p50_ms"]
+
+    one_p50()                         # warm untimed
+    p50_ms = min(one_p50() for _ in range(repeats))
+
+    stats = ServerStats()
+    iters = 20_000
+
+    def bundle_cost_us() -> float:
+        """Mean microseconds for one request's instrumentation."""
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            stats.record_submit()
+            stats.record_batch(max_batch)   # >= actual (1/batch amortized)
+            stats.record_done(0.01, 0.001)
+            obs.TRACER.record("serve.queue", 0.0, 0.001, trace_id="bench")
+            obs.TRACER.record("serve.batch", 0.0, 0.01, trace_id="bench",
+                              size=max_batch)
+            obs.TRACER.record("serve.request", 0.0, 0.01, trace_id="bench",
+                              kind="bench", outcome="ok")
+        return (time.perf_counter() - t0) / iters * 1e6
+
+    bundle_cost_us()                  # warm untimed
+    enabled_us = min(bundle_cost_us() for _ in range(repeats))
+    with obs.disabled():
+        disabled_us = min(bundle_cost_us() for _ in range(repeats))
+    cost_us = max(0.0, enabled_us - disabled_us)
+    return {
+        "config": {
+            "model": model, "concurrency": concurrency,
+            "num_requests": num_requests, "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms, "max_len": max_len, "seed": seed,
+            "repeats": repeats, "bundle_iters": iters,
+        },
+        "p50_ms": p50_ms,
+        "enabled_bundle_us": round(enabled_us, 3),
+        "disabled_bundle_us": round(disabled_us, 3),
+        "obs_cost_per_request_us": round(cost_us, 3),
+        "p50_overhead": round(cost_us / (p50_ms * 1e3), 6)
+        if p50_ms else 0.0,
     }
 
 

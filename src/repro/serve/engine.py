@@ -34,7 +34,9 @@ import time
 from concurrent.futures import Future
 from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
 
+from .. import obs
 from ..nn import Sanitizer, deterministic_matmul
+from ..obs import clock
 from .batching import Request, bucket_key, run_microbatch
 from .pool import ModelPool
 from .resilient import PROBE_KINDS, CircuitBreaker, ResilienceConfig
@@ -66,19 +68,45 @@ class DeadlineExceeded(ServeError):
     """The request's deadline expired before a worker could serve it."""
 
 
-class _Pending:
-    """A request riding through the engine with its timing and future."""
+#: Exceptions caught by the engine's broad worker/scheduler handlers.
+#: Most are *routed* into the request's future rather than dropped, but
+#: every one disappears from its own thread — this counter is the audit
+#: trail.  ``site`` names the handler, ``exc`` the exception type.
+_SWALLOWED = obs.counter(
+    "repro_serve_swallowed_exceptions_total",
+    "Exceptions caught by broad serve/resilience handlers, by handler "
+    "site and exception type.", ("site", "exc"))
 
-    __slots__ = ("request", "future", "t_submit", "t_dispatch", "deadline")
+
+def _count_swallowed(site: str, error: BaseException) -> None:
+    _SWALLOWED.labels(site=site, exc=type(error).__name__).inc()
+
+
+class _Pending:
+    """A request riding through the engine with its timing and future.
+
+    All timestamps (``t_submit``, ``t_dispatch``, ``deadline``) are
+    readings of the single :mod:`repro.obs.clock` — the scheduler's
+    flush arithmetic and ``drain()``'s timeout compare against the same
+    clock, so absolute times never cross clock domains.  (An earlier
+    version stamped submit times with ``time.perf_counter()`` while
+    ``drain()`` and the circuit breaker read ``time.monotonic()``;
+    the two have unrelated epochs, which made any future mixing of
+    those absolutes silently wrong.)
+    """
+
+    __slots__ = ("request", "future", "t_submit", "t_dispatch", "deadline",
+                 "trace_id")
 
     def __init__(self, request: Request,
                  deadline_s: Optional[float] = None) -> None:
         self.request = request
         self.future: "Future[Any]" = Future()
-        self.t_submit = time.perf_counter()
+        self.t_submit = clock.now()
         self.t_dispatch = 0.0
-        #: absolute perf_counter() time after which the request fails
-        #: with DeadlineExceeded instead of riding further retries.
+        self.trace_id = obs.new_trace_id()
+        #: absolute obs-clock time after which the request fails with
+        #: DeadlineExceeded instead of riding further retries.
         self.deadline = (None if deadline_s is None
                          else self.t_submit + deadline_s)
 
@@ -125,13 +153,20 @@ class InferenceServer:
         breaker shedding load with :class:`ServerDegraded` after
         repeated uncorrectable faults.  ``None`` (default) serves
         exactly as before.
+    metrics_port:
+        When not ``None``, start a :class:`~repro.obs.MetricsServer`
+        exposing the process metrics registry over HTTP (``/metrics``
+        Prometheus text, ``/metrics.json``) for the server's lifetime;
+        ``0`` binds an ephemeral port (read it back from
+        ``server.metrics.url``).  The endpoint closes on shutdown.
     """
 
     def __init__(self, pool: Optional[ModelPool] = None, *,
                  max_batch: int = 16, max_wait_ms: float = 2.0,
                  max_queue: int = 256, workers: int = 1,
                  length_bucket: int = 8, deterministic: bool = False,
-                 resilience: Optional[ResilienceConfig] = None) -> None:
+                 resilience: Optional[ResilienceConfig] = None,
+                 metrics_port: Optional[int] = None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
@@ -160,6 +195,10 @@ class InferenceServer:
                                            resilience.breaker_reset_s)
             self.pool.enable_scrubbing()
         self.stats = ServerStats()
+        self.metrics: Optional[obs.MetricsServer] = None
+        if metrics_port is not None:
+            self.metrics = obs.MetricsServer(obs.REGISTRY,
+                                             port=metrics_port)
         self._slots = threading.BoundedSemaphore(max_queue)
         self._ingress: "queue.Queue[Optional[_Pending]]" = queue.Queue()
         self._batches: "queue.Queue[Any]" = queue.Queue()
@@ -205,11 +244,11 @@ class InferenceServer:
 
         Returns False if ``timeout`` elapsed with work still in flight.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else clock.now() + timeout
         with self._idle:
             while self._inflight:
                 remaining = None if deadline is None \
-                    else deadline - time.monotonic()
+                    else deadline - clock.now()
                 if remaining is not None and remaining <= 0:
                     return False
                 self._idle.wait(remaining)
@@ -227,9 +266,13 @@ class InferenceServer:
                 return
             self._closed = True
         if not self._started:
+            if self.metrics is not None:
+                self.metrics.close()
             return
         if drain:
             self.drain(timeout)
+        if self.metrics is not None:
+            self.metrics.close()
         self._scrub_stop.set()
         self._ingress.put(None)            # wake + stop the scheduler
         self._scheduler.join(timeout=30.0)
@@ -334,6 +377,7 @@ class InferenceServer:
                     # an uncaught raise here would kill the scheduler,
                     # leak the request's queue-depth slot, and hang
                     # every later drain().
+                    _count_swallowed("scheduler.bucket_key", error)
                     self._resolve(item, error=error)
                     key = None
                 if key is not None:
@@ -344,7 +388,7 @@ class InferenceServer:
 
     def _next_flush_in(self, max_wait_s: float) -> Optional[float]:
         """Seconds until the oldest pending bucket must flush."""
-        now = time.perf_counter()
+        now = clock.now()
         with self._state_lock:
             oldest = min((pends[0].t_submit for pends
                           in self._buckets.values() if pends),
@@ -354,7 +398,7 @@ class InferenceServer:
         return max(oldest + max_wait_s - now, 0.0) or 1e-4
 
     def _dispatch_ready(self, max_wait_s: float) -> None:
-        now = time.perf_counter()
+        now = clock.now()
         jobs: List[Tuple[Hashable, List[_Pending]]] = []
         with self._state_lock:
             for key in list(self._buckets):
@@ -381,9 +425,12 @@ class InferenceServer:
                 pends = pends[self.max_batch:]
 
     def _emit(self, job: Tuple[Hashable, List[_Pending]]) -> None:
-        now = time.perf_counter()
+        now = clock.now()
         for pending in job[1]:
             pending.t_dispatch = now
+            obs.TRACER.record("serve.queue", pending.t_submit, now,
+                              trace_id=pending.trace_id,
+                              kind=pending.request.kind)
         self.stats.record_batch(len(job[1]))
         self._batches.put(job)
 
@@ -400,13 +447,17 @@ class InferenceServer:
             if self.resilience is not None:
                 self._process_resilient(pends)
                 continue
+            t_batch = clock.now()
             try:
                 entry = self.pool.get(pends[0].request.model_name)
                 results = self._run_batch(entry, [p.request for p in pends])
             except BaseException as error:  # resolve, don't kill the worker
+                _count_swallowed("worker.batch", error)
                 for pending in pends:
                     self._resolve(pending, error=error)
                 continue
+            obs.TRACER.record("serve.batch", t_batch, clock.now(),
+                              trace_id=pends[0].trace_id, size=len(pends))
             for pending, result in zip(pends, results):
                 self._resolve(pending, result=result)
 
@@ -418,7 +469,7 @@ class InferenceServer:
 
     def _drop_expired(self, pends: List[_Pending]) -> List[_Pending]:
         """Fail deadline-expired requests; return the still-live rest."""
-        now = time.perf_counter()
+        now = clock.now()
         live = []
         for pending in pends:
             if pending.expired(now):
@@ -468,6 +519,7 @@ class InferenceServer:
         try:
             entry = self.pool.get(pends[0].request.model_name)
         except BaseException as error:
+            _count_swallowed("resilient.pool_get", error)
             for pending in pends:
                 self._resolve(pending, error=error)
             return
@@ -483,6 +535,7 @@ class InferenceServer:
             fault: Optional[str] = None
             results: Optional[List[Any]] = None
             error: Optional[BaseException] = None
+            t_batch = clock.now()
             try:
                 if cfg.probe:
                     results, probe_kind = self._probe_batch(entry, requests)
@@ -491,7 +544,11 @@ class InferenceServer:
                 else:
                     results = self._run_batch(entry, requests)
             except BaseException as err:
+                _count_swallowed("resilient.attempt", err)
                 error = err
+            obs.TRACER.record("serve.batch", t_batch, clock.now(),
+                              trace_id=live[0].trace_id, size=len(live),
+                              attempt=attempt)
             report = None
             if scrubber is not None and (
                     fault is not None or error is not None
@@ -569,10 +626,14 @@ class InferenceServer:
 
     def _resolve(self, pending: _Pending, result: Any = None,
                  error: Optional[BaseException] = None) -> None:
-        now = time.perf_counter()
+        now = clock.now()
         queue_wait = (pending.t_dispatch or now) - pending.t_submit
         self.stats.record_done(now - pending.t_submit, queue_wait,
                                failed=error is not None)
+        obs.TRACER.record("serve.request", pending.t_submit, now,
+                          trace_id=pending.trace_id,
+                          kind=pending.request.kind,
+                          outcome="error" if error is not None else "ok")
         self._slots.release()
         with self._idle:
             self._inflight -= 1
@@ -586,5 +647,5 @@ class InferenceServer:
                 pending.future.set_exception(error)
             else:
                 pending.future.set_result(result)
-        except Exception:
-            pass
+        except Exception as swallowed:
+            _count_swallowed("resolve.set_future", swallowed)

@@ -28,12 +28,24 @@ import dataclasses
 import threading
 from typing import Dict, Optional, Tuple
 
+from .. import obs
 from ..experiments.common import get_bundle, trained_model
 from ..nn import no_grad
 from ..nn.quantize import QuantSpec, attach_weight_quantizers
+from ..obs import clock
 from ..rng import fresh_rng
 
 __all__ = ["ModelPool", "PooledModel"]
+
+_HITS = obs.counter(
+    "repro_pool_hits_total", "Pool lookups served from an already-warm "
+    "model.", ("model",))
+_BUILDS = obs.counter(
+    "repro_pool_builds_total", "Cold model builds (construct + quantize "
+    "+ warm).", ("model",))
+_BUILD_SECONDS = obs.histogram(
+    "repro_pool_build_seconds", "Wall time of cold model builds.",
+    ("model",), buckets=obs.WIDE_SECONDS_BUCKETS)
 
 
 @dataclasses.dataclass
@@ -89,12 +101,14 @@ class ModelPool:
         with self._lock:
             entry = self._models.get(name)
             if entry is not None:
+                _HITS.labels(model=name).inc()
                 return entry
             build_lock = self._building.setdefault(name, threading.Lock())
         with build_lock:
             with self._lock:
                 entry = self._models.get(name)
                 if entry is not None:
+                    _HITS.labels(model=name).inc()
                     return entry
             # A build failure (e.g. the quantizer raising mid-attach, a
             # checkpoint load dying) must leave *no trace*: the entry is
@@ -102,7 +116,10 @@ class ModelPool:
             # model, so the exception propagates to this caller, every
             # concurrently-waiting `get` retries the build cleanly, and
             # nothing half-constructed is ever served.
+            t0 = clock.now()
             entry = self._build(name)
+            _BUILDS.labels(model=name).inc()
+            _BUILD_SECONDS.labels(model=name).observe(clock.now() - t0)
             with self._lock:
                 self._models[name] = entry
             return entry

@@ -30,10 +30,19 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-import time
 from typing import Optional
 
+from .. import obs
+from ..obs import clock
+
 __all__ = ["ResilienceConfig", "CircuitBreaker", "PROBE_KINDS"]
+
+#: Breaker state changes (to="open" | "half-open" | "closed").  A
+#: transition is counted once, when it actually happens — half-open is
+#: detected lazily inside the next state query after the dwell.
+_TRANSITIONS = obs.counter(
+    "repro_serve_breaker_transitions_total",
+    "Circuit breaker state transitions by destination state.", ("to",))
 
 #: Sanitizer finding kinds that quarantine a micro-batch.  These are the
 #: "batch output went numerically wrong" signals; underflow-flood is
@@ -126,7 +135,10 @@ class CircuitBreaker:
       it (restarting the dwell).
 
     Thread-safe; called from worker threads, the scrub daemon, and
-    ``submit`` on client threads.
+    ``submit`` on client threads.  All dwell timing reads the shared
+    :mod:`repro.obs.clock` (the same domain as the engine's deadline
+    stamps); state transitions increment
+    ``repro_serve_breaker_transitions_total{to=...}``.
     """
 
     def __init__(self, threshold: int, reset_s: float) -> None:
@@ -145,8 +157,9 @@ class CircuitBreaker:
 
     def _state_locked(self) -> str:
         if self._state == "open" \
-                and time.monotonic() - self._opened_at >= self.reset_s:
+                and clock.now() - self._opened_at >= self.reset_s:
             self._state = "half-open"
+            _TRANSITIONS.labels(to="half-open").inc()
         return self._state
 
     def allow(self) -> bool:
@@ -158,6 +171,8 @@ class CircuitBreaker:
     def record_success(self) -> None:
         with self._lock:
             self._consecutive = 0
+            if self._state != "closed":
+                _TRANSITIONS.labels(to="closed").inc()
             self._state = "closed"
 
     def record_uncorrectable(self) -> None:
@@ -167,4 +182,5 @@ class CircuitBreaker:
             if state == "half-open" or (state == "closed" and
                                         self._consecutive >= self.threshold):
                 self._state = "open"
-                self._opened_at = time.monotonic()
+                self._opened_at = clock.now()
+                _TRANSITIONS.labels(to="open").inc()

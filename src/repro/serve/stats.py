@@ -10,6 +10,13 @@ percentiles split into queue wait vs. total.
 All mutation goes through one lock; reads (:meth:`ServerStats.snapshot`)
 produce a plain JSON-safe dict so benchmarks can embed it verbatim in
 ``BENCH_serve.json``.
+
+Every ``record_*`` call is also mirrored into the process-wide
+:mod:`repro.obs` registry (``repro_serve_*`` families), so the same
+events that feed this per-server snapshot are scrapeable via the
+Prometheus/JSON exporters; :meth:`ServerStats.snapshot` embeds the
+registry dump under the ``"obs"`` key.  With the registry disabled the
+mirror costs one branch per event.
 """
 
 from __future__ import annotations
@@ -19,6 +26,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
+from ..obs.registry import SIZE_BUCKETS
+
 __all__ = ["LatencyRecorder", "ServerStats"]
 
 #: Latency samples kept per recorder; enough for every benchmark in the
@@ -26,11 +36,76 @@ __all__ = ["LatencyRecorder", "ServerStats"]
 #: new samples overwrite the oldest — percentile estimates stay recent).
 _SAMPLE_CAP = 100_000
 
+# ---- process-wide obs mirror of the per-server counters ----------------
+_REQUESTS = obs.counter(
+    "repro_serve_requests_total",
+    "Request lifecycle events across every InferenceServer in the "
+    "process.", ("event",))
+_REQ_SUBMITTED = _REQUESTS.labels(event="submitted")
+_REQ_COMPLETED = _REQUESTS.labels(event="completed")
+_REQ_FAILED = _REQUESTS.labels(event="failed")
+_REQ_REJECTED = _REQUESTS.labels(event="rejected")
+_REQ_DEADLINE = _REQUESTS.labels(event="deadline_expired")
+_REQ_DEGRADED = _REQUESTS.labels(event="degraded_rejected")
+_QUEUE_DEPTH = obs.gauge(
+    "repro_serve_queue_depth", "In-flight requests (submitted, not yet "
+    "resolved), summed over servers.")
+_QUEUE_PEAK = obs.gauge(
+    "repro_serve_queue_depth_peak", "High-water mark of any one server's "
+    "queue depth.")
+_BATCHES = obs.counter(
+    "repro_serve_batches_total", "Micro-batches dispatched by the "
+    "scheduler.")
+_BATCH_SIZE = obs.histogram(
+    "repro_serve_batch_size", "Requests coalesced per dispatched "
+    "micro-batch.", buckets=SIZE_BUCKETS)
+_LATENCY = obs.histogram(
+    "repro_serve_latency_seconds", "Total request residence time "
+    "(submit to resolve), successful requests only.")
+_QUEUE_WAIT = obs.histogram(
+    "repro_serve_queue_wait_seconds", "Submit-to-dispatch wait inside "
+    "the scheduler, successful requests only.")
+_SCRUB_PASSES = obs.counter(
+    "repro_serve_scrubs_total", "Scrub passes observed by serving "
+    "(periodic daemon + on-demand).")
+_SCRUB_TENSORS = obs.counter(
+    "repro_serve_scrub_tensors_total", "Tensors CRC-checked by scrub "
+    "passes observed by serving.")
+_SCRUB_SECONDS = obs.histogram(
+    "repro_serve_scrub_seconds", "Duration of scrub passes observed by "
+    "serving.")
+_FAULTS = obs.counter(
+    "repro_serve_faults_total", "Detected weight/numeric faults by "
+    "detector kind.", ("kind",))
+_RETRIES = obs.counter(
+    "repro_serve_retries_total", "Micro-batch retry attempts after a "
+    "detected-and-repaired fault.")
+_RESTORES = obs.counter(
+    "repro_serve_restores_total", "Tensors repaired from golden streams, "
+    "as observed by serving.")
+_RECOVERED = obs.counter(
+    "repro_serve_recovered_batches_total", "Micro-batches that survived "
+    "a fault through retry.")
+_UNCORRECTABLE = obs.counter(
+    "repro_serve_uncorrectable_total", "Faults the scrubber could not "
+    "repair (corrupted golden or retries exhausted).")
+_DEGRADATION = obs.gauge(
+    "repro_serve_degradation_state", "Circuit-breaker degradation: "
+    "0=ok, 1=half-open, 2=open.")
+
+#: Breaker state -> numeric gauge level.
+_DEGRADATION_LEVELS = {"ok": 0.0, "closed": 0.0, "half-open": 1.0,
+                       "open": 2.0}
+
 
 class LatencyRecorder:
     """Ring buffer of latency samples with percentile summaries."""
 
     def __init__(self, cap: int = _SAMPLE_CAP) -> None:
+        # cap=0 used to slip through and blow up later inside record()
+        # with a ZeroDivisionError on the ring modulo; reject it here.
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
         self._cap = cap
         self._samples: List[float] = []
         self._next = 0
@@ -56,7 +131,8 @@ class LatencyRecorder:
         latency regression would move the percentiles while a long calm
         history pinned the mean.  The lifetime request count survives
         under the separate ``count_lifetime`` key; ``window`` is the
-        sample count the other fields were computed over.
+        sample count the other fields were computed over.  A 1-sample
+        window is well-defined: every percentile equals the sample.
         """
         if not self._samples:
             return None
@@ -114,15 +190,22 @@ class ServerStats:
             self.queue_depth += 1
             self.queue_depth_peak = max(self.queue_depth_peak,
                                         self.queue_depth)
+            peak = self.queue_depth_peak
+        _REQ_SUBMITTED.inc()
+        _QUEUE_DEPTH.inc()
+        _QUEUE_PEAK.set_max(peak)
 
     def record_reject(self) -> None:
         with self._lock:
             self.rejected += 1
+        _REQ_REJECTED.inc()
 
     def record_batch(self, size: int) -> None:
         with self._lock:
             self.batches += 1
             self.batch_histogram[size] = self.batch_histogram.get(size, 0) + 1
+        _BATCHES.inc()
+        _BATCH_SIZE.observe(size)
 
     def record_done(self, latency_s: float, queue_wait_s: float,
                     failed: bool = False) -> None:
@@ -134,6 +217,13 @@ class ServerStats:
                 self.completed += 1
                 self.latency.record(latency_s)
                 self.queue_wait.record(queue_wait_s)
+        _QUEUE_DEPTH.dec()
+        if failed:
+            _REQ_FAILED.inc()
+        else:
+            _REQ_COMPLETED.inc()
+            _LATENCY.observe(latency_s)
+            _QUEUE_WAIT.observe(queue_wait_s)
 
     # -------------------------------------------------------- resilience
     def record_scrub(self, checked: int, restored: int, uncorrectable: int,
@@ -144,39 +234,60 @@ class ServerStats:
             self.scrub_time_s += duration_s
             self.restores += restored
             self.uncorrectable += uncorrectable
+        _SCRUB_PASSES.inc()
+        _SCRUB_TENSORS.inc(checked)
+        _SCRUB_SECONDS.observe(duration_s)
+        if restored:
+            _RESTORES.inc(restored)
+        if uncorrectable:
+            _UNCORRECTABLE.inc(uncorrectable)
 
     def record_fault(self, kind: str) -> None:
         with self._lock:
             self.faults_detected += 1
             self.fault_kinds[kind] = self.fault_kinds.get(kind, 0) + 1
+        _FAULTS.labels(kind=kind).inc()
 
     def record_retry(self) -> None:
         with self._lock:
             self.retries += 1
+        _RETRIES.inc()
 
     def record_recovered(self) -> None:
         with self._lock:
             self.recovered_batches += 1
+        _RECOVERED.inc()
 
     def record_uncorrectable(self) -> None:
         with self._lock:
             self.uncorrectable += 1
+        _UNCORRECTABLE.inc()
 
     def record_deadline(self) -> None:
         with self._lock:
             self.deadline_expired += 1
+        _REQ_DEADLINE.inc()
 
     def record_degraded_rejection(self) -> None:
         with self._lock:
             self.degraded_rejections += 1
+        _REQ_DEGRADED.inc()
 
     def set_degradation(self, state: str) -> None:
         with self._lock:
             self.degradation = state
+        _DEGRADATION.set(_DEGRADATION_LEVELS.get(state, 2.0))
 
     # ------------------------------------------------------------- reading
     def snapshot(self) -> Dict:
-        """JSON-safe summary of everything recorded so far."""
+        """JSON-safe summary of everything recorded so far.
+
+        The ``"obs"`` key carries the process-wide registry dump
+        (:func:`repro.obs.snapshot`), so any record embedding this
+        snapshot — ``BENCH_serve.json`` in particular — also embeds
+        every metric family in the process.
+        """
+        obs_dump = obs.snapshot()
         with self._lock:
             histogram = {str(size): count for size, count
                          in sorted(self.batch_histogram.items())}
@@ -215,4 +326,5 @@ class ServerStats:
                     "degraded_rejections": self.degraded_rejections,
                     "degradation": self.degradation,
                 },
+                "obs": obs_dump,
             }

@@ -1,0 +1,110 @@
+"""Exposition: Prometheus rendering, JSON, and the validating parser."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import Registry, parse_prometheus, to_json, to_prometheus
+
+
+@pytest.fixture()
+def registry():
+    reg = Registry()
+    reg.counter("t_requests_total", "Requests.", ("event",)).labels(
+        event="ok").inc(3)
+    reg.gauge("t_depth", "Queue depth.").set(2)
+    h = reg.histogram("t_seconds", "Latency.", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestRender:
+    def test_round_trip_through_validator(self, registry):
+        families = parse_prometheus(to_prometheus(registry))
+        assert families["t_requests_total"]["type"] == "counter"
+        assert families["t_seconds"]["type"] == "histogram"
+        samples = {(name, tuple(sorted(labels.items()))): value
+                   for name, labels, value
+                   in families["t_requests_total"]["samples"]}
+        assert samples[("t_requests_total", (("event", "ok"),))] == 3.0
+
+    def test_histogram_buckets_cumulative_with_inf(self, registry):
+        families = parse_prometheus(to_prometheus(registry))
+        buckets = {labels["le"]: value for name, labels, value
+                   in families["t_seconds"]["samples"]
+                   if name == "t_seconds_bucket"}
+        assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 3.0}
+        count = [value for name, _, value
+                 in families["t_seconds"]["samples"]
+                 if name == "t_seconds_count"]
+        assert count == [3.0]
+
+    def test_label_values_escaped(self):
+        reg = Registry()
+        reg.counter("t_total", "help", ("k",)).labels(
+            k='a"b\\c\nd').inc()
+        families = parse_prometheus(to_prometheus(reg))
+        (_, labels, value), = families["t_total"]["samples"]
+        assert labels["k"] == 'a"b\\c\nd'
+        assert value == 1.0
+
+    def test_json_export_loads(self, registry):
+        data = json.loads(to_json(registry))
+        assert data["t_depth"]["samples"][0]["value"] == 2.0
+        assert data["t_seconds"]["buckets"] == [0.1, 1.0]
+
+
+class TestParserRejects:
+    def test_sample_without_type(self):
+        with pytest.raises(ValueError, match="no preceding # TYPE"):
+            parse_prometheus("orphan_total 1\n")
+
+    def test_malformed_type_line(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus("# TYPE t_total weird\nt_total 1\n")
+
+    def test_duplicate_type(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus("# TYPE t_total counter\n"
+                             "# TYPE t_total counter\n")
+
+    def test_malformed_labels(self):
+        with pytest.raises(ValueError, match="malformed labels"):
+            parse_prometheus("# TYPE t_total counter\n"
+                             "t_total{k=unquoted} 1\n")
+
+    def test_unparseable_sample(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus("# TYPE t_total counter\n"
+                             "t_total one\n")
+
+    def test_histogram_missing_inf_bucket(self):
+        with pytest.raises(ValueError, match=r"missing \+Inf"):
+            parse_prometheus(
+                "# TYPE t_seconds histogram\n"
+                't_seconds_bucket{le="1"} 1\n'
+                "t_seconds_count 1\n")
+
+    def test_histogram_non_cumulative(self):
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus(
+                "# TYPE t_seconds histogram\n"
+                't_seconds_bucket{le="1"} 5\n'
+                't_seconds_bucket{le="+Inf"} 3\n')
+
+    def test_histogram_count_disagrees(self):
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus(
+                "# TYPE t_seconds histogram\n"
+                't_seconds_bucket{le="1"} 1\n'
+                't_seconds_bucket{le="+Inf"} 2\n'
+                "t_seconds_count 9\n")
+
+    def test_inf_values_parse(self):
+        families = parse_prometheus("# TYPE t_depth gauge\n"
+                                    "t_depth +Inf\n")
+        (_, _, value), = families["t_depth"]["samples"]
+        assert value == math.inf

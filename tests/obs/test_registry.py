@@ -1,0 +1,218 @@
+"""Registry semantics: families, labels, threading, the disabled path."""
+
+import threading
+
+import pytest
+
+from repro.obs import (LATENCY_BUCKETS, MetricError, Registry, SIZE_BUCKETS)
+
+
+@pytest.fixture()
+def registry():
+    return Registry()
+
+
+class TestCounter:
+    def test_unlabeled_inc(self, registry):
+        c = registry.counter("t_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_inc_rejected(self, registry):
+        c = registry.counter("t_total", "help")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_labeled_children_independent(self, registry):
+        c = registry.counter("t_total", "help", ("kind",))
+        c.labels(kind="a").inc()
+        c.labels(kind="b").inc(4)
+        by_label = {labels["kind"]: child.value
+                    for labels, child in c.children()}
+        assert by_label == {"a": 1.0, "b": 4.0}
+
+    def test_wrong_labelnames_rejected(self, registry):
+        c = registry.counter("t_total", "help", ("kind",))
+        with pytest.raises(MetricError):
+            c.labels(knd="a")
+        with pytest.raises(MetricError):
+            c.labels(kind="a", extra="b")
+
+    def test_label_child_is_cached(self, registry):
+        c = registry.counter("t_total", "help", ("kind",))
+        assert c.labels(kind="a") is c.labels(kind="a")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("t_depth", "help")
+        g.set(10)
+        g.inc()
+        g.dec(4)
+        assert g.value == 7.0
+
+    def test_set_max_is_high_water_mark(self, registry):
+        g = registry.gauge("t_peak", "help")
+        g.set_max(5)
+        g.set_max(3)
+        assert g.value == 5.0
+        g.set_max(9)
+        assert g.value == 9.0
+
+
+class TestHistogram:
+    def test_bucket_assignment_le_semantics(self, registry):
+        h = registry.histogram("t_seconds", "help", buckets=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 99.0):
+            h.observe(value)
+        child = h._default
+        # le=1.0 gets 0.5 and 1.0 (upper bounds are inclusive);
+        # le=2.0 gets 1.5 and 2.0; +Inf overflow gets 99.0.
+        assert child.counts == [2, 2, 1]
+        assert child.count == 5
+        assert child.sum == pytest.approx(104.0)
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.histogram("t_seconds", "help", buckets=())
+
+    def test_non_increasing_buckets_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.histogram("t_seconds", "help", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_idempotent_same_signature(self, registry):
+        a = registry.counter("t_total", "help", ("k",))
+        b = registry.counter("t_total", "other help", ("k",))
+        assert a is b
+
+    def test_conflicting_redeclaration_rejected(self, registry):
+        registry.counter("t_total", "help")
+        with pytest.raises(MetricError):
+            registry.gauge("t_total", "help")
+        with pytest.raises(MetricError):
+            registry.counter("t_total", "help", ("k",))
+
+    def test_conflicting_histogram_buckets_rejected(self, registry):
+        registry.histogram("t_seconds", "help", buckets=LATENCY_BUCKETS)
+        with pytest.raises(MetricError):
+            registry.histogram("t_seconds", "help", buckets=SIZE_BUCKETS)
+
+    def test_bad_names_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("0bad", "help")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", "help", ("0bad",))
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", "help", ("__reserved",))
+
+    def test_snapshot_is_json_safe(self, registry):
+        import json
+        registry.counter("t_total", "help", ("k",)).labels(k="x").inc()
+        registry.histogram("t_seconds", "help").observe(0.5)
+        registry.gauge("t_depth", "help").set(3)
+        json.dumps(registry.snapshot())
+
+    def test_reset_zeroes_children(self, registry):
+        c = registry.counter("t_total", "help")
+        c.inc(5)
+        registry.reset()
+        assert c.value == 0.0
+
+    def test_collector_runs_on_snapshot(self, registry):
+        g = registry.gauge("t_external", "help")
+        state = {"n": 7}
+        registry.register_collector(lambda _reg: g.set(state["n"]))
+        snap = registry.snapshot()
+        assert snap["t_external"]["samples"][0]["value"] == 7.0
+
+    def test_raising_collector_is_counted_and_skipped(self, registry):
+        def bad(_reg):
+            raise RuntimeError("boom")
+        registry.register_collector(bad)
+        registry.snapshot()   # must not raise
+        assert registry.collector_errors == 1
+
+
+class TestDisabled:
+    def test_disabled_registry_mutates_nothing(self):
+        registry = Registry(enabled=False)
+        c = registry.counter("t_total", "help")
+        g = registry.gauge("t_depth", "help")
+        h = registry.histogram("t_seconds", "help")
+        c.inc(100)
+        g.set(5)
+        g.set_max(9)
+        h.observe(1.0)
+        assert c.value == 0.0
+        assert g.value == 0.0
+        assert h._default.count == 0
+
+    def test_reenable_records_again(self):
+        registry = Registry(enabled=False)
+        c = registry.counter("t_total", "help")
+        c.inc()
+        registry.enable()
+        c.inc()
+        assert c.value == 1.0
+
+
+class TestConcurrency:
+    """Lossless mutation from many threads (the lock-stripe contract)."""
+
+    N_THREADS = 8
+    PER_THREAD = 2_000
+
+    def test_counter_increments_lossless(self, registry):
+        c = registry.counter("t_total", "help", ("kind",))
+        children = [c.labels(kind=str(i % 3)) for i in range(self.N_THREADS)]
+
+        def worker(child):
+            for _ in range(self.PER_THREAD):
+                child.inc()
+
+        threads = [threading.Thread(target=worker, args=(children[i],))
+                   for i in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(child.value for _, child in c.children())
+        assert total == self.N_THREADS * self.PER_THREAD
+
+    def test_histogram_observations_lossless(self, registry):
+        h = registry.histogram("t_seconds", "help", buckets=(0.5,))
+
+        def worker():
+            for i in range(self.PER_THREAD):
+                h.observe(0.25 if i % 2 else 0.75)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        child = h._default
+        expected = self.N_THREADS * self.PER_THREAD
+        assert child.count == expected
+        assert sum(child.counts) == expected
+        assert child.counts[0] == expected // 2
+
+    def test_concurrent_family_creation_single_instance(self, registry):
+        results = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker():
+            barrier.wait()
+            results.append(registry.counter("t_total", "help"))
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(map(id, results))) == 1

@@ -1,0 +1,71 @@
+"""Trace spans: ids, recording, the ring, and the disabled path."""
+
+import pytest
+
+from repro.obs import ManualClock, Registry, Tracer, clock, new_trace_id
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer(Registry(), max_spans=8)
+
+
+class TestTraceIds:
+    def test_unique_and_prefixed(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        prefixes = {i.split("-")[0] for i in ids}
+        assert len(prefixes) == 1   # one process -> one prefix
+
+
+class TestRecording:
+    def test_record_returns_span_and_feeds_histogram(self, tracer):
+        span = tracer.record("phase", 1.0, 1.5, trace_id="t1", size=4)
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.attrs == {"size": 4}
+        family = tracer._seconds
+        (labels, child), = family.children()
+        assert labels == {"name": "phase"}
+        assert child.count == 1
+
+    def test_span_context_manager_times_on_obs_clock(self, tracer):
+        manual = ManualClock()
+        with clock.patched(manual):
+            with tracer.span("work", trace_id="t2") as attrs:
+                manual.advance(0.25)
+                attrs["extra"] = True
+        (span,) = tracer.recent()
+        assert span.duration_s == pytest.approx(0.25)
+        assert span.attrs["extra"] is True
+        assert span.trace_id == "t2"
+
+    def test_recent_filters_by_trace_id(self, tracer):
+        tracer.record("a", 0.0, 1.0, trace_id="x")
+        tracer.record("b", 0.0, 1.0, trace_id="y")
+        tracer.record("c", 1.0, 2.0, trace_id="x")
+        assert [s.name for s in tracer.recent(trace_id="x")] == ["a", "c"]
+        assert [s.name for s in tracer.recent(n=1)] == ["c"]
+
+    def test_ring_is_bounded(self, tracer):
+        for i in range(20):
+            tracer.record("s", 0.0, 1.0, trace_id=str(i))
+        spans = tracer.recent()
+        assert len(spans) == 8
+        assert spans[-1].trace_id == "19"
+
+    def test_snapshot_json_safe(self, tracer):
+        import json
+        tracer.record("s", 0.0, 1.0, trace_id="t", n=3)
+        json.dumps(tracer.snapshot())
+
+
+class TestDisabled:
+    def test_disabled_registry_records_nothing(self):
+        registry = Registry(enabled=False)
+        tracer = Tracer(registry)
+        assert tracer.record("s", 0.0, 1.0) is None
+        assert tracer.recent() == []
+
+    def test_bad_max_spans_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(Registry(), max_spans=0)

@@ -9,6 +9,22 @@ class TestLatencyRecorder:
     def test_empty_summary_is_none(self):
         assert LatencyRecorder().summary() is None
 
+    @pytest.mark.parametrize("cap", [0, -1, -100])
+    def test_non_positive_cap_rejected(self, cap):
+        # Regression: cap=0 used to build an empty ring and crash with
+        # ZeroDivisionError on the first record()'s index modulo.
+        with pytest.raises(ValueError, match="cap"):
+            LatencyRecorder(cap=cap)
+
+    def test_single_sample_summary_well_defined(self):
+        rec = LatencyRecorder(cap=1)
+        rec.record(0.040)
+        summary = rec.summary()
+        assert summary["window"] == 1
+        # with one sample every order statistic IS that sample
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"):
+            assert summary[key] == pytest.approx(40.0), key
+
     def test_summary_fields(self):
         rec = LatencyRecorder()
         for value in (0.010, 0.020, 0.030):
@@ -114,3 +130,11 @@ class TestServerStats:
         stats.record_scrub(1, 0, 0, 0.001)
         stats.record_fault("crc")
         json.dumps(stats.snapshot())  # must not raise
+
+    def test_snapshot_embeds_obs_registry(self):
+        stats = ServerStats()
+        stats.record_submit()
+        snap = stats.snapshot()
+        # the registry dump rides along so BENCH_serve.json carries it
+        assert "obs" in snap
+        assert "repro_serve_requests_total" in snap["obs"]

@@ -11,7 +11,7 @@ PACKAGES = [
     "repro", "repro.formats", "repro.nn", "repro.nn.models",
     "repro.nn.layers", "repro.data", "repro.metrics", "repro.hardware",
     "repro.analysis", "repro.experiments", "repro.resilience",
-    "repro.serve",
+    "repro.serve", "repro.obs",
 ]
 
 

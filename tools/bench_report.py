@@ -27,10 +27,14 @@ Two suites:
   (under ``deterministic_matmul``), and a ``resilience`` block: the
   closed-loop single-fault recovery record (exponent-bit weight flip
   injected mid-serve; scrub/restore/retry counters) plus the measured
-  p50 latency overhead of golden-copy scrubbing.  Gates: >= 3x
-  throughput speedup, every family token-identical, zero failed
-  requests + token-identical recovery under injection, and scrub p50
-  overhead below 5%.
+  p50 latency overhead of golden-copy scrubbing and of the metrics
+  spine itself (registry enabled vs disabled).  The server stats
+  snapshot embeds the full ``repro.obs`` registry dump, and the record
+  additionally stores the Prometheus text rendering round-tripped
+  through the validating parser.  Gates: >= 3x throughput speedup,
+  every family token-identical, zero failed requests + token-identical
+  recovery under injection, scrub p50 overhead below 5%, obs p50
+  overhead below 2%, and the Prometheus exposition must parse.
 
 Run:  PYTHONPATH=src python tools/bench_report.py [--suite decode]
 
@@ -96,6 +100,22 @@ MIN_SERVE_SPEEDUP = 3.0
 #: Largest tolerated p50 latency regression with golden-copy weight
 #: scrubbing enabled (per-batch CRC verify + periodic scrub daemon).
 MAX_SCRUB_P50_OVERHEAD = 0.05
+
+#: Largest tolerated p50 latency cost of the always-on metrics spine
+#: (per-request instrument cost, registry enabled vs disabled, as a
+#: fraction of the serve micro-benchmark p50).
+MAX_OBS_P50_OVERHEAD = 0.02
+
+#: Metric families the committed serve record must expose (the same
+#: list the CI ``obs-smoke`` job asserts after scraping ``/metrics``).
+REQUIRED_OBS_FAMILIES = (
+    "repro_serve_requests_total", "repro_serve_batches_total",
+    "repro_serve_batch_size", "repro_serve_latency_seconds",
+    "repro_serve_queue_wait_seconds", "repro_serve_queue_depth",
+    "repro_span_seconds", "repro_weight_quant_cache_total",
+    "repro_codebook_cache", "repro_decode_lut_cache",
+    "repro_scrub_passes_total", "repro_serve_degradation_state",
+)
 
 
 def machine_info() -> dict:
@@ -224,13 +244,17 @@ def _run_serve() -> dict:
     cost less than :data:`MAX_SCRUB_P50_OVERHEAD` of p50 latency.
     """
     sys.path.insert(0, str(REPO / "src"))
-    from repro.serve.bench import (check_equivalence, measure_scrub_overhead,
+    from repro import obs
+    from repro.obs import parse_prometheus
+    from repro.serve.bench import (check_equivalence, measure_obs_overhead,
+                                   measure_scrub_overhead,
                                    run_fault_recovery, run_serve_benchmark)
 
     record = run_serve_benchmark(**SERVE_CONFIG)
     identity = check_equivalence(seed=SERVE_CONFIG["seed"])
     recovery = run_fault_recovery(seed=SERVE_CONFIG["seed"])
     overhead = measure_scrub_overhead(seed=SERVE_CONFIG["seed"])
+    obs_overhead = measure_obs_overhead(seed=SERVE_CONFIG["seed"])
 
     if record["speedup"] < MIN_SERVE_SPEEDUP:
         raise SystemExit(f"batched-vs-serial speedup {record['speedup']}x "
@@ -252,12 +276,33 @@ def _run_serve() -> dict:
         raise SystemExit(
             f"scrub p50 overhead {overhead['p50_overhead']:.1%} above "
             f"the {MAX_SCRUB_P50_OVERHEAD:.0%} gate")
+    if obs_overhead["p50_overhead"] > MAX_OBS_P50_OVERHEAD:
+        raise SystemExit(
+            f"obs p50 overhead {obs_overhead['p50_overhead']:.1%} above "
+            f"the {MAX_OBS_P50_OVERHEAD:.0%} gate")
+
+    # The exposition gate: render the registry the bench run populated
+    # and push it through the validating parser — the committed record
+    # must carry a scrape a real Prometheus server would accept.
+    exposition = obs.render_prometheus()
+    families = parse_prometheus(exposition)
+    missing = [name for name in REQUIRED_OBS_FAMILIES
+               if name not in families]
+    if missing:
+        raise SystemExit(f"obs exposition missing families: {missing}")
+
     return {
         "throughput": record,
         "token_identity": identity,
         "resilience": {
             "fault_recovery": recovery,
             "scrub_overhead": overhead,
+        },
+        "observability": {
+            "obs_overhead": obs_overhead,
+            "prometheus_families": len(families),
+            "prometheus_parses": True,
+            "registry": obs.snapshot(),
         },
         "machine": machine_info(),
     }
